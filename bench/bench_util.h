@@ -1,0 +1,46 @@
+#ifndef SETM_BENCH_BENCH_UTIL_H_
+#define SETM_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment binaries. Each binary regenerates one
+// table or figure of the paper (see DESIGN.md section 5) and prints both
+// the measured values and, where applicable, the numbers the paper reports,
+// so the *shape* comparison is visible at a glance.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "datagen/retail_generator.h"
+
+namespace setm::bench {
+
+/// The paper's minimum-support sweep (Sections 6.1-6.2), in percent.
+inline const std::vector<double>& PaperMinSupSweep() {
+  static const std::vector<double> kSweep = {0.1, 0.5, 1.0, 2.0, 5.0};
+  return kSweep;
+}
+
+/// One shared instance of the calibrated retail database (46,873
+/// transactions). Generated once per process.
+inline const TransactionDb& RetailDb() {
+  static const TransactionDb* db = [] {
+    auto* out = new TransactionDb(RetailGenerator(RetailOptions{}).Generate());
+    return out;
+  }();
+  return *db;
+}
+
+/// Prints a banner identifying the experiment.
+inline void Banner(const std::string& experiment, const std::string& paper_ref,
+                   const std::string& expectation) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_ref.c_str());
+  std::printf("expected shape: %s\n", expectation.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace setm::bench
+
+#endif  // SETM_BENCH_BENCH_UTIL_H_

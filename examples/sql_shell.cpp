@@ -1,0 +1,108 @@
+// Interactive SQL shell over the engine — type the paper's queries by hand.
+//
+// Usage:   ./build/examples/sql_shell
+//   setm> CREATE TABLE sales (trans_id INT, item INT);
+//   setm> INSERT INTO sales VALUES (10, 1), (10, 2), (20, 1);
+//   setm> SELECT item, COUNT(*) FROM sales GROUP BY item;
+//   setm> \tables      -- list catalog tables
+//   setm> \quit
+//
+// Also accepts SQL piped on stdin (one statement per line or ';'-separated).
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sql/engine.h"
+
+namespace {
+
+void PrintResult(const setm::sql::QueryResult& result) {
+  const size_t n = result.schema.NumColumns();
+  if (n == 0) {
+    if (result.rows_affected > 0) {
+      std::printf("ok, %llu rows affected\n",
+                  static_cast<unsigned long long>(result.rows_affected));
+    } else {
+      std::printf("ok\n");
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("%s%s", i ? " | " : "", result.schema.column(i).name.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < n; ++i) std::printf("%s----", i ? "-+-" : "");
+  std::printf("\n");
+  for (const setm::Tuple& row : result.rows) {
+    for (size_t i = 0; i < n; ++i) {
+      std::string cell = row.value(i).ToString();
+      std::printf("%s%s", i ? " | " : "", cell.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu rows)\n", result.rows.size());
+}
+
+}  // namespace
+
+int main() {
+  setm::Database db;
+  setm::sql::SqlEngine engine(&db);
+  const bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("setm SQL shell — \\tables lists tables, \\quit exits\n");
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) std::printf(buffer.empty() ? "setm> " : "  ... ");
+    if (!std::getline(std::cin, line)) break;
+    // Meta commands.
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\tables") {
+        for (const std::string& name : db.catalog()->TableNames()) {
+          auto t = db.catalog()->GetTable(name);
+          if (t.ok()) {
+            std::printf("%s %s  -- %llu rows\n", name.c_str(),
+                        t.value()->schema().ToString().c_str(),
+                        static_cast<unsigned long long>(t.value()->num_rows()));
+          }
+        }
+        continue;
+      }
+      std::printf("unknown command %s\n", line.c_str());
+      continue;
+    }
+    buffer += line;
+    buffer += ' ';
+    // Execute every complete (';'-terminated) statement in the buffer.
+    size_t pos;
+    while ((pos = buffer.find(';')) != std::string::npos) {
+      const std::string stmt = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (stmt.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+      auto result = engine.Execute(stmt);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        PrintResult(result.value());
+      }
+    }
+    // In pipe mode, a line without ';' is also treated as one statement.
+    if (!interactive && buffer.find_first_not_of(" \t\r\n") != std::string::npos &&
+        line.find(';') == std::string::npos && !line.empty()) {
+      auto result = engine.Execute(buffer);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        PrintResult(result.value());
+      }
+      buffer.clear();
+    }
+  }
+  return 0;
+}

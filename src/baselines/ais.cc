@@ -1,0 +1,104 @@
+#include "baselines/ais.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/timer.h"
+
+namespace setm {
+
+Result<MiningResult> AisMiner::Mine(const TransactionDb& transactions,
+                                    const MiningOptions& options) {
+  SETM_RETURN_IF_ERROR(ValidateTransactions(transactions));
+  WallTimer timer;
+  MiningResult result;
+  result.itemsets.num_transactions = transactions.size();
+  const int64_t minsup = ResolveMinSupportCount(options, transactions.size());
+
+  // Pass 1.
+  std::vector<std::vector<ItemId>> frontier;
+  {
+    WallTimer iter_timer;
+    std::unordered_map<ItemId, int64_t> counts;
+    for (const Transaction& t : transactions) {
+      for (ItemId item : t.items) ++counts[item];
+    }
+    std::vector<PatternCount> l1;
+    for (const auto& [item, count] : counts) {
+      if (count >= minsup) l1.push_back(PatternCount{{item}, count});
+    }
+    std::sort(l1.begin(), l1.end(),
+              [](const PatternCount& a, const PatternCount& b) {
+                return a.items < b.items;
+              });
+    for (PatternCount& pc : l1) {
+      frontier.push_back(pc.items);
+      result.itemsets.Add(std::move(pc.items), pc.count);
+    }
+    IterationStats stats;
+    stats.k = 1;
+    stats.r_prime_rows = counts.size();
+    stats.c_size = frontier.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+  }
+
+  // Passes k >= 2: extend frontier sets found in each transaction.
+  for (size_t k = 2; !frontier.empty(); ++k) {
+    if (options.max_pattern_length != 0 && k > options.max_pattern_length) {
+      break;
+    }
+    WallTimer iter_timer;
+    std::unordered_map<std::string, int64_t> counts;
+    std::vector<ItemId> extended;
+    for (const Transaction& t : transactions) {
+      if (t.items.size() < k) continue;
+      for (const auto& f : frontier) {
+        // Containment check: frontier and transaction items are sorted.
+        if (!std::includes(t.items.begin(), t.items.end(), f.begin(),
+                           f.end())) {
+          continue;
+        }
+        // Extend with every later item of the transaction.
+        auto from = std::upper_bound(t.items.begin(), t.items.end(), f.back());
+        for (auto it = from; it != t.items.end(); ++it) {
+          extended = f;
+          extended.push_back(*it);
+          ++counts[ItemsetKey(extended)];
+        }
+      }
+    }
+
+    frontier.clear();
+    std::vector<PatternCount> lk;
+    for (const auto& [key, count] : counts) {
+      if (count < minsup) continue;
+      std::vector<ItemId> items(key.size() / sizeof(ItemId));
+      std::memcpy(items.data(), key.data(), key.size());
+      lk.push_back(PatternCount{std::move(items), count});
+    }
+    std::sort(lk.begin(), lk.end(),
+              [](const PatternCount& a, const PatternCount& b) {
+                return a.items < b.items;
+              });
+    for (PatternCount& pc : lk) {
+      frontier.push_back(pc.items);
+      result.itemsets.Add(std::move(pc.items), pc.count);
+    }
+
+    IterationStats stats;
+    stats.k = k;
+    stats.r_prime_rows = counts.size();
+    stats.c_size = frontier.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+  }
+
+  result.itemsets.Normalize();
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace setm

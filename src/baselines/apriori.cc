@@ -1,0 +1,129 @@
+#include "baselines/apriori.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/hash_tree.h"
+#include "common/timer.h"
+
+namespace setm {
+
+std::vector<std::vector<ItemId>> AprioriMiner::GenerateCandidates(
+    const std::vector<std::vector<ItemId>>& prev) {
+  std::vector<std::vector<ItemId>> candidates;
+  if (prev.empty()) return candidates;
+  const size_t k1 = prev[0].size();  // size of L_{k-1} itemsets
+
+  std::unordered_set<std::string> prev_keys;
+  prev_keys.reserve(prev.size() * 2);
+  for (const auto& items : prev) prev_keys.insert(ItemsetKey(items));
+
+  // Join step: pairs sharing the first k-2 items (prev is sorted, so equal
+  // prefixes are contiguous).
+  for (size_t i = 0; i < prev.size(); ++i) {
+    for (size_t j = i + 1; j < prev.size(); ++j) {
+      bool same_prefix =
+          std::equal(prev[i].begin(), prev[i].end() - 1, prev[j].begin());
+      if (!same_prefix) break;  // sorted order: no later j can match either
+      std::vector<ItemId> cand = prev[i];
+      cand.push_back(prev[j].back());
+      // Prune step: every (k-1)-subset must be frequent.
+      bool keep = true;
+      std::vector<ItemId> subset(cand.size() - 1);
+      for (size_t drop = 0; drop + 2 < cand.size() && keep; ++drop) {
+        // Subsets missing the last two items are new; subsets missing one
+        // of the last two equal prev[i]/prev[j], already known frequent.
+        size_t s = 0;
+        for (size_t x = 0; x < cand.size(); ++x) {
+          if (x != drop) subset[s++] = cand[x];
+        }
+        keep = prev_keys.count(ItemsetKey(subset)) != 0;
+      }
+      if (keep) candidates.push_back(std::move(cand));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  (void)k1;
+  return candidates;
+}
+
+Result<MiningResult> AprioriMiner::Mine(const TransactionDb& transactions,
+                                        const MiningOptions& options) {
+  SETM_RETURN_IF_ERROR(ValidateTransactions(transactions));
+  WallTimer timer;
+  MiningResult result;
+  result.itemsets.num_transactions = transactions.size();
+  const int64_t minsup = ResolveMinSupportCount(options, transactions.size());
+
+  // Pass 1: plain item counting.
+  std::vector<std::vector<ItemId>> frontier;
+  {
+    WallTimer iter_timer;
+    std::unordered_map<ItemId, int64_t> counts;
+    for (const Transaction& t : transactions) {
+      for (ItemId item : t.items) ++counts[item];
+    }
+    std::vector<PatternCount> l1;
+    for (const auto& [item, count] : counts) {
+      if (count >= minsup) l1.push_back(PatternCount{{item}, count});
+    }
+    std::sort(l1.begin(), l1.end(),
+              [](const PatternCount& a, const PatternCount& b) {
+                return a.items < b.items;
+              });
+    for (PatternCount& pc : l1) {
+      frontier.push_back(pc.items);
+      result.itemsets.Add(std::move(pc.items), pc.count);
+    }
+    IterationStats stats;
+    stats.k = 1;
+    stats.r_prime_rows = counts.size();
+    stats.c_size = frontier.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+  }
+
+  for (size_t k = 2; !frontier.empty(); ++k) {
+    if (options.max_pattern_length != 0 && k > options.max_pattern_length) {
+      break;
+    }
+    WallTimer iter_timer;
+    std::vector<std::vector<ItemId>> candidates =
+        GenerateCandidates(frontier);
+    if (candidates.empty()) break;
+
+    HashTree tree(k);
+    for (const auto& cand : candidates) tree.Insert(cand);
+    for (const Transaction& t : transactions) {
+      tree.CountTransaction(t.items);
+    }
+
+    frontier.clear();
+    std::vector<PatternCount> lk;
+    tree.ForEach([&](const std::vector<ItemId>& items, int64_t count) {
+      if (count >= minsup) lk.push_back(PatternCount{items, count});
+    });
+    std::sort(lk.begin(), lk.end(),
+              [](const PatternCount& a, const PatternCount& b) {
+                return a.items < b.items;
+              });
+    for (PatternCount& pc : lk) {
+      frontier.push_back(pc.items);
+      result.itemsets.Add(std::move(pc.items), pc.count);
+    }
+
+    IterationStats stats;
+    stats.k = k;
+    stats.r_prime_rows = candidates.size();
+    stats.c_size = frontier.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+  }
+
+  result.itemsets.Normalize();
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace setm

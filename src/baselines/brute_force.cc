@@ -1,0 +1,67 @@
+#include "baselines/brute_force.h"
+
+#include <map>
+
+#include "common/timer.h"
+
+namespace setm {
+
+Result<MiningResult> BruteForceMiner::Mine(const TransactionDb& transactions,
+                                           const MiningOptions& options) {
+  SETM_RETURN_IF_ERROR(ValidateTransactions(transactions));
+  WallTimer timer;
+  MiningResult result;
+  result.itemsets.num_transactions = transactions.size();
+  const int64_t minsup = ResolveMinSupportCount(options, transactions.size());
+
+  // Level-wise: count all k-subsets of each transaction whose (k-1)-prefix
+  // family was not already globally infrequent. To stay simple and exact we
+  // recount every level from scratch.
+  std::vector<std::vector<ItemId>> frontier;  // frequent (k-1)-itemsets
+  for (size_t k = 1;; ++k) {
+    if (options.max_pattern_length != 0 && k > options.max_pattern_length) {
+      break;
+    }
+    WallTimer iter_timer;
+    std::map<std::vector<ItemId>, int64_t> counts;
+    std::vector<ItemId> subset(k);
+    for (const Transaction& t : transactions) {
+      const size_t n = t.items.size();
+      if (n < k) continue;
+      // Enumerate k-subsets of t.items with an index odometer.
+      std::vector<size_t> pick(k);
+      for (size_t i = 0; i < k; ++i) pick[i] = i;
+      while (true) {
+        for (size_t i = 0; i < k; ++i) subset[i] = t.items[pick[i]];
+        ++counts[subset];
+        ptrdiff_t i = static_cast<ptrdiff_t>(k) - 1;
+        while (i >= 0 && pick[i] == static_cast<size_t>(i) + n - k) --i;
+        if (i < 0) break;
+        ++pick[i];
+        for (size_t j = static_cast<size_t>(i) + 1; j < k; ++j) {
+          pick[j] = pick[j - 1] + 1;
+        }
+      }
+    }
+    frontier.clear();
+    for (const auto& [items, count] : counts) {
+      if (count >= minsup) {
+        result.itemsets.Add(items, count);
+        frontier.push_back(items);
+      }
+    }
+    IterationStats stats;
+    stats.k = k;
+    stats.r_prime_rows = counts.size();
+    stats.c_size = frontier.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+    if (frontier.empty()) break;
+  }
+
+  result.itemsets.Normalize();
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace setm

@@ -1,0 +1,21 @@
+#ifndef SETM_BASELINES_BRUTE_FORCE_H_
+#define SETM_BASELINES_BRUTE_FORCE_H_
+
+#include "core/types.h"
+
+namespace setm {
+
+/// Oracle miner: enumerates every itemset that occurs in some transaction
+/// and counts supports exactly, with no pruning cleverness beyond the
+/// anti-monotone level-wise cut. Exponential in the worst case — test-sized
+/// inputs only. Every other miner's output is checked against this one.
+class BruteForceMiner {
+ public:
+  /// Mines `transactions`; items in each transaction must be sorted/unique.
+  Result<MiningResult> Mine(const TransactionDb& transactions,
+                            const MiningOptions& options);
+};
+
+}  // namespace setm
+
+#endif  // SETM_BASELINES_BRUTE_FORCE_H_

@@ -1,0 +1,86 @@
+#include "baselines/hash_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace setm {
+
+HashTree::HashTree(size_t k, size_t max_leaf, size_t buckets)
+    : k_(k), max_leaf_(max_leaf), buckets_(buckets),
+      root_(std::make_unique<Node>()) {
+  SETM_CHECK(k_ >= 1);
+  SETM_CHECK(buckets_ >= 2);
+}
+
+void HashTree::Insert(const std::vector<ItemId>& items) {
+  SETM_DCHECK(items.size() == k_);
+  SETM_DCHECK(std::is_sorted(items.begin(), items.end()));
+  InsertAt(root_.get(), Candidate{items, 0, 0}, 0);
+  ++size_;
+}
+
+void HashTree::InsertAt(Node* node, Candidate cand, size_t depth) {
+  if (!node->leaf) {
+    const size_t b = Bucket(cand.items[depth]);
+    InsertAt(node->kids[b].get(), std::move(cand), depth + 1);
+    return;
+  }
+  node->candidates.push_back(std::move(cand));
+  // Split once the leaf overflows, unless all k items are already consumed
+  // as hash levels (then the leaf simply grows).
+  if (node->candidates.size() > max_leaf_ && depth < k_) {
+    node->leaf = false;
+    node->kids.resize(buckets_);
+    for (auto& kid : node->kids) kid = std::make_unique<Node>();
+    for (Candidate& c : node->candidates) {
+      const size_t b = Bucket(c.items[depth]);
+      InsertAt(node->kids[b].get(), std::move(c), depth + 1);
+    }
+    node->candidates.clear();
+    node->candidates.shrink_to_fit();
+  }
+}
+
+void HashTree::CountTransaction(const std::vector<ItemId>& txn) {
+  ++stamp_counter_;  // candidates start at stamp 0, so 1 is never "seen"
+  if (txn.size() < k_) return;
+  Count(root_.get(), txn, 0, 0, stamp_counter_);
+}
+
+void HashTree::Count(Node* node, const std::vector<ItemId>& txn, size_t start,
+                     size_t depth, uint64_t stamp) {
+  if (node->leaf) {
+    for (Candidate& c : node->candidates) {
+      if (c.stamp == stamp) continue;  // already counted via another path
+      if (std::includes(txn.begin(), txn.end(), c.items.begin(),
+                        c.items.end())) {
+        c.stamp = stamp;
+        ++c.count;
+      }
+    }
+    return;
+  }
+  // Need k_ - depth more items; stop once too few remain.
+  for (size_t i = start; i + (k_ - depth) <= txn.size(); ++i) {
+    Node* kid = node->kids[Bucket(txn[i])].get();
+    Count(kid, txn, i + 1, depth + 1, stamp);
+  }
+}
+
+void HashTree::ForEach(
+    const std::function<void(const std::vector<ItemId>&, int64_t)>& fn) const {
+  Visit(root_.get(), fn);
+}
+
+void HashTree::Visit(
+    const Node* node,
+    const std::function<void(const std::vector<ItemId>&, int64_t)>& fn) const {
+  if (node->leaf) {
+    for (const Candidate& c : node->candidates) fn(c.items, c.count);
+    return;
+  }
+  for (const auto& kid : node->kids) Visit(kid.get(), fn);
+}
+
+}  // namespace setm

@@ -1,0 +1,72 @@
+#ifndef SETM_BASELINES_HASH_TREE_H_
+#define SETM_BASELINES_HASH_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/types.h"
+
+namespace setm {
+
+/// The candidate hash tree of Apriori (Agrawal & Srikant, VLDB'94).
+///
+/// Interior nodes hash one item per depth level; leaves hold candidate
+/// k-itemsets with their running support counts. Counting a transaction
+/// descends along every combination of its items (in order), so each
+/// candidate contained in the transaction is found without enumerating all
+/// k-subsets of the transaction. A per-candidate transaction stamp prevents
+/// double counting when several hash paths reach the same leaf.
+class HashTree {
+ public:
+  /// `k` is the candidate size; `max_leaf` the split threshold.
+  explicit HashTree(size_t k, size_t max_leaf = 8, size_t buckets = 13);
+
+  /// Adds a candidate (sorted, size k) with count 0.
+  void Insert(const std::vector<ItemId>& items);
+
+  /// Increments the count of every candidate contained in `txn` (sorted).
+  void CountTransaction(const std::vector<ItemId>& txn);
+
+  /// Visits every candidate with its count.
+  void ForEach(
+      const std::function<void(const std::vector<ItemId>&, int64_t)>& fn)
+      const;
+
+  /// Number of candidates stored.
+  size_t size() const { return size_; }
+
+ private:
+  struct Candidate {
+    std::vector<ItemId> items;
+    int64_t count = 0;
+    uint64_t stamp = 0;  // last transaction that counted this candidate
+  };
+
+  struct Node {
+    bool leaf = true;
+    std::vector<Candidate> candidates;        // leaf payload
+    std::vector<std::unique_ptr<Node>> kids;  // interior: `buckets` slots
+  };
+
+  size_t Bucket(ItemId item) const {
+    return static_cast<size_t>(static_cast<uint32_t>(item)) % buckets_;
+  }
+  void InsertAt(Node* node, Candidate cand, size_t depth);
+  void Count(Node* node, const std::vector<ItemId>& txn, size_t start,
+             size_t depth, uint64_t stamp);
+  void Visit(const Node* node,
+             const std::function<void(const std::vector<ItemId>&, int64_t)>&
+                 fn) const;
+
+  size_t k_;
+  size_t max_leaf_;
+  size_t buckets_;
+  size_t size_ = 0;
+  uint64_t stamp_counter_ = 0;  // one per CountTransaction call
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_BASELINES_HASH_TREE_H_

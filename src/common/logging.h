@@ -1,0 +1,77 @@
+#ifndef SETM_COMMON_LOGGING_H_
+#define SETM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace setm {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kWarn so library internals stay quiet in tests and benches.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+/// Emits one formatted line to stderr. Not for direct use; see SETM_LOG.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+}  // namespace internal
+
+/// Streams a log line at the given level:
+///   SETM_LOG(kInfo) << "spilled " << runs << " runs";
+#define SETM_LOG(level)                                                   \
+  for (bool _setm_once = ::setm::GetLogLevel() <= ::setm::LogLevel::level; \
+       _setm_once; _setm_once = false)                                    \
+  ::setm::internal::LogStream(::setm::LogLevel::level, __FILE__, __LINE__)
+
+namespace internal {
+/// RAII stream that forwards its accumulated message on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+/// Fatal invariant check, active in all build types. The relational kernel
+/// uses it for conditions that indicate memory corruption rather than bad
+/// user input (bad input gets a Status instead).
+#define SETM_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::std::fprintf(stderr, "SETM_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                     __LINE__, #cond);                                        \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (0)
+
+/// Debug-only invariant check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define SETM_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define SETM_DCHECK(cond) SETM_CHECK(cond)
+#endif
+
+}  // namespace setm
+
+#endif  // SETM_COMMON_LOGGING_H_

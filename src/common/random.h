@@ -1,0 +1,83 @@
+#ifndef SETM_COMMON_RANDOM_H_
+#define SETM_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace setm {
+
+/// Deterministic pseudo-random generator (xoshiro256**) used throughout the
+/// data generators and property tests so that every experiment is exactly
+/// reproducible from its seed.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams on all platforms.
+  explicit Rng(uint64_t seed = 0x5e7a9d2bu);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in the closed range [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed value with the given mean (Knuth's method for small
+  /// means, normal approximation above 30; means in this library are small).
+  uint32_t Poisson(double mean);
+
+  /// Exponential variate with the given mean.
+  double Exponential(double mean);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Sampler for the Zipf(n, s) distribution over {0, .., n-1} using the
+/// rejection-inversion method of Hörmann & Derflinger; O(1) per sample.
+/// Used to model skewed item popularities in the retail generator.
+class ZipfSampler {
+ public:
+  /// Creates a sampler over n ranks with exponent s (> 0). s close to 0 is
+  /// near-uniform; s = 1 is the classic Zipf.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws one rank in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_COMMON_RANDOM_H_

@@ -1,0 +1,80 @@
+#ifndef SETM_COMMON_RESULT_H_
+#define SETM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace setm {
+
+/// A value-or-error holder, the moral equivalent of absl::StatusOr<T>.
+///
+/// A Result is either ok and holds a T, or holds a non-ok Status. Accessing
+/// the value of an error Result is a programming error (asserted in debug
+/// builds).
+///
+///     Result<PageId> r = file.Allocate();
+///     if (!r.ok()) return r.status();
+///     UsePage(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status makes
+  /// `return Status::NotFound(...);` work. `status` must not be ok.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from an OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from an OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (Status::OK() when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Accessors for the contained value; require ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK when value_ present.
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result expression, else assigns its value.
+/// Usage: SETM_ASSIGN_OR_RETURN(auto page, pool.Fetch(id));
+#define SETM_ASSIGN_OR_RETURN(decl, expr)             \
+  decl = ({                                           \
+    auto _setm_result = (expr);                       \
+    if (!_setm_result.ok()) return _setm_result.status(); \
+    std::move(_setm_result).value();                  \
+  })
+
+}  // namespace setm
+
+#endif  // SETM_COMMON_RESULT_H_

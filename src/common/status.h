@@ -1,0 +1,115 @@
+#ifndef SETM_COMMON_STATUS_H_
+#define SETM_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace setm {
+
+/// Error category carried by a Status.
+///
+/// Library code never throws; every fallible operation returns a Status (or a
+/// Result<T>, see result.h). Codes follow the RocksDB/Abseil convention.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kIOError,
+  kNotSupported,
+  kOutOfRange,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code, e.g. "IOError".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// An ok Status carries no allocation; error statuses carry a message.
+/// Typical use:
+///
+///     Status s = table.Insert(tuple);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an ok status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category (kOk when ok()).
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty when ok()).
+  const std::string& message() const { return message_; }
+
+  /// Convenience predicates mirroring the factories.
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  /// Renders "OK" or "<CodeName>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-ok Status to the caller. Mirrors RocksDB's pattern.
+#define SETM_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::setm::Status _setm_status = (expr);           \
+    if (!_setm_status.ok()) return _setm_status;    \
+  } while (0)
+
+}  // namespace setm
+
+#endif  // SETM_COMMON_STATUS_H_

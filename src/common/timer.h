@@ -1,0 +1,36 @@
+#ifndef SETM_COMMON_TIMER_H_
+#define SETM_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace setm {
+
+/// Monotonic wall-clock stopwatch used for experiment timing.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in whole microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_COMMON_TIMER_H_

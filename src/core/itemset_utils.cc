@@ -1,0 +1,69 @@
+#include "core/itemset_utils.h"
+
+#include <algorithm>
+
+namespace setm {
+
+namespace {
+
+/// True iff sorted `a` is a subset of sorted `b`.
+bool IsSubset(const std::vector<ItemId>& a, const std::vector<ItemId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Shared scaffolding: keep patterns of size k for which no (k+1)-pattern
+/// superset satisfies `dominates`.
+template <typename Dominates>
+std::vector<PatternCount> FilterDominated(const FrequentItemsets& itemsets,
+                                          Dominates dominates) {
+  std::vector<PatternCount> out;
+  for (size_t k = 1; k <= itemsets.MaxSize(); ++k) {
+    for (const PatternCount& p : itemsets.OfSize(k)) {
+      bool dominated = false;
+      // Anti-monotonicity: if any superset dominates, some superset of size
+      // k+1 does (it has at least the count of the larger superset).
+      for (const PatternCount& q : itemsets.OfSize(k + 1)) {
+        if (IsSubset(p.items, q.items) && dominates(p, q)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) out.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PatternCount& a, const PatternCount& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<PatternCount> MaximalItemsets(const FrequentItemsets& itemsets) {
+  return FilterDominated(itemsets,
+                         [](const PatternCount&, const PatternCount&) {
+                           return true;  // any frequent superset dominates
+                         });
+}
+
+std::vector<PatternCount> ClosedItemsets(const FrequentItemsets& itemsets) {
+  return FilterDominated(itemsets,
+                         [](const PatternCount& p, const PatternCount& q) {
+                           return q.count == p.count;
+                         });
+}
+
+int64_t SupportFromClosed(const std::vector<PatternCount>& closed,
+                          const std::vector<ItemId>& items) {
+  int64_t best = 0;
+  for (const PatternCount& c : closed) {
+    if (c.count > best && IsSubset(items, c.items)) best = c.count;
+  }
+  return best;
+}
+
+}  // namespace setm

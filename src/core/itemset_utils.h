@@ -1,0 +1,29 @@
+#ifndef SETM_CORE_ITEMSET_UTILS_H_
+#define SETM_CORE_ITEMSET_UTILS_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace setm {
+
+/// Maximal frequent itemsets: frequent sets with no frequent superset.
+/// The standard compressed summary of a FrequentItemsets result (the full
+/// family can be reconstructed as all non-empty subsets, minus counts).
+/// Output is sorted by (size, items).
+std::vector<PatternCount> MaximalItemsets(const FrequentItemsets& itemsets);
+
+/// Closed frequent itemsets: frequent sets with no superset of *equal*
+/// support. Closed sets preserve every support value of the full family
+/// while usually being far fewer.
+std::vector<PatternCount> ClosedItemsets(const FrequentItemsets& itemsets);
+
+/// Reconstructs the support of an arbitrary (sub)set from a closed-set
+/// summary: the support of X is the maximum count among closed supersets
+/// of X; returns 0 if no closed superset exists (X is infrequent).
+int64_t SupportFromClosed(const std::vector<PatternCount>& closed,
+                          const std::vector<ItemId>& items);
+
+}  // namespace setm
+
+#endif  // SETM_CORE_ITEMSET_UTILS_H_

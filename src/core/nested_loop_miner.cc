@@ -1,0 +1,181 @@
+#include "core/nested_loop_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "index/bplus_tree.h"
+
+namespace setm {
+
+namespace {
+
+IoStats DiffIo(const IoStats& after, const IoStats& before) {
+  IoStats d;
+  d.page_reads = after.page_reads - before.page_reads;
+  d.page_writes = after.page_writes - before.page_writes;
+  d.sequential_reads = after.sequential_reads - before.sequential_reads;
+  d.random_reads = after.random_reads - before.random_reads;
+  d.sequential_writes = after.sequential_writes - before.sequential_writes;
+  d.random_writes = after.random_writes - before.random_writes;
+  d.pages_allocated = after.pages_allocated - before.pages_allocated;
+  return d;
+}
+
+}  // namespace
+
+Result<MiningResult> NestedLoopMiner::Mine(const TransactionDb& transactions,
+                                           const MiningOptions& options) {
+  SETM_RETURN_IF_ERROR(ValidateTransactions(transactions));
+  MiningResult result;
+  result.itemsets.num_transactions = transactions.size();
+  const int64_t minsup = ResolveMinSupportCount(options, transactions.size());
+
+  // --- Build the two SALES indexes (bulk-loaded from sorted entries). -----
+  std::vector<BPlusTree::Entry> by_item_tid;
+  std::vector<BPlusTree::Entry> by_tid;
+  for (const Transaction& t : transactions) {
+    for (ItemId item : t.items) {
+      by_item_tid.push_back(
+          {ComposeKey(static_cast<uint32_t>(item), static_cast<uint32_t>(t.id)),
+           0});
+      by_tid.push_back({ComposeKey(static_cast<uint32_t>(t.id), 0),
+                        static_cast<uint64_t>(item)});
+    }
+  }
+  std::sort(by_item_tid.begin(), by_item_tid.end());
+  std::sort(by_tid.begin(), by_tid.end(),
+            [](const BPlusTree::Entry& a, const BPlusTree::Entry& b) {
+              return a.key < b.key || (a.key == b.key && a.value < b.value);
+            });
+  auto idx_item_tid_or = BPlusTree::BulkLoad(db_->pool(), by_item_tid);
+  if (!idx_item_tid_or.ok()) return idx_item_tid_or.status();
+  BPlusTree idx_item_tid = std::move(idx_item_tid_or).value();
+  auto idx_tid_or = BPlusTree::BulkLoad(db_->pool(), by_tid);
+  if (!idx_tid_or.ok()) return idx_tid_or.status();
+  BPlusTree idx_tid = std::move(idx_tid_or).value();
+  by_item_tid.clear();
+  by_item_tid.shrink_to_fit();
+  by_tid.clear();
+  by_tid.shrink_to_fit();
+
+  // Mining I/O is measured from here on (index build excluded).
+  SETM_RETURN_IF_ERROR(db_->pool()->FlushAll());
+  const IoStats io_before = *db_->io_stats();
+  WallTimer total_timer;
+
+  // --- C_1: one sequential range walk of the (item, trans_id) index. ------
+  {
+    WallTimer iter_timer;
+    auto it_or = idx_item_tid.Begin();
+    if (!it_or.ok()) return it_or.status();
+    auto it = std::move(it_or).value();
+    bool have_current = false;
+    ItemId current = 0;
+    int64_t count = 0;
+    auto flush = [&]() {
+      if (have_current && count >= minsup) {
+        result.itemsets.Add({current}, count);
+      }
+    };
+    while (it.Valid()) {
+      const ItemId item = static_cast<ItemId>(KeyHigh(it.entry().key));
+      if (!have_current || item != current) {
+        flush();
+        current = item;
+        count = 0;
+        have_current = true;
+      }
+      ++count;
+      SETM_RETURN_IF_ERROR(it.Next());
+    }
+    flush();
+    IterationStats stats;
+    stats.k = 1;
+    stats.c_size = result.itemsets.OfSize(1).size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+  }
+
+  // --- C_k from C_{k-1} via index nested loops (steps 1-5). ---------------
+  for (size_t k = 2;; ++k) {
+    if (options.max_pattern_length != 0 && k > options.max_pattern_length) {
+      break;
+    }
+    const auto& prev = result.itemsets.OfSize(k - 1);
+    if (prev.empty()) break;
+    WallTimer iter_timer;
+
+    // Extension counts, keyed by (pattern items..., extension item).
+    std::map<std::vector<ItemId>, int64_t> counts;
+    std::vector<TransactionId> tids;
+    for (const PatternCount& c : prev) {
+      // Step 1: transactions containing item_1.
+      tids.clear();
+      {
+        auto it_or =
+            idx_item_tid.Seek(ComposeKey(static_cast<uint32_t>(c.items[0]), 0));
+        if (!it_or.ok()) return it_or.status();
+        auto it = std::move(it_or).value();
+        while (it.Valid() &&
+               KeyHigh(it.entry().key) == static_cast<uint32_t>(c.items[0])) {
+          tids.push_back(static_cast<TransactionId>(KeyLow(it.entry().key)));
+          SETM_RETURN_IF_ERROR(it.Next());
+        }
+      }
+      // Steps 2-3: point probes for item_2 .. item_{k-1}.
+      for (TransactionId tid : tids) {
+        bool all = true;
+        for (size_t i = 1; i + 1 <= c.items.size() && all; ++i) {
+          auto has = idx_item_tid.Contains(
+              ComposeKey(static_cast<uint32_t>(c.items[i]),
+                         static_cast<uint32_t>(tid)),
+              0);
+          if (!has.ok()) return has.status();
+          all = has.value();
+        }
+        if (!all) continue;
+        // Step 4: enumerate the transaction's items via the (trans_id)
+        // index and keep r_k.item > c.item_{k-1}.
+        auto it_or = idx_tid.Seek(ComposeKey(static_cast<uint32_t>(tid), 0));
+        if (!it_or.ok()) return it_or.status();
+        auto it = std::move(it_or).value();
+        std::vector<ItemId> extended = c.items;
+        extended.push_back(0);
+        while (it.Valid() &&
+               KeyHigh(it.entry().key) == static_cast<uint32_t>(tid)) {
+          const ItemId item = static_cast<ItemId>(it.entry().value);
+          if (item > c.items.back()) {
+            extended.back() = item;
+            ++counts[extended];
+          }
+          SETM_RETURN_IF_ERROR(it.Next());
+        }
+      }
+    }
+
+    // Step 5: apply the minimum-support constraint.
+    size_t added = 0;
+    for (const auto& [items, count] : counts) {
+      if (count >= minsup) {
+        result.itemsets.Add(items, count);
+        ++added;
+      }
+    }
+    IterationStats stats;
+    stats.k = k;
+    stats.r_prime_rows = counts.size();
+    stats.c_size = added;
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+    if (added == 0) break;
+  }
+
+  result.itemsets.Normalize();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  result.io = DiffIo(*db_->io_stats(), io_before);
+  return result;
+}
+
+}  // namespace setm

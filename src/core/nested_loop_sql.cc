@@ -1,0 +1,146 @@
+#include "core/nested_loop_sql.h"
+
+#include "common/timer.h"
+
+namespace setm {
+
+namespace {
+
+/// "item1 INT, ..., itemk INT".
+std::string ItemColumnsDdl(size_t k) {
+  std::string out;
+  for (size_t i = 1; i <= k; ++i) {
+    if (i > 1) out += ", ";
+    out += "item" + std::to_string(i) + " INT";
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<sql::QueryResult> NestedLoopSqlMiner::Run(const std::string& statement,
+                                                 const sql::Params& params) {
+  statements_.push_back(statement);
+  return engine_.Execute(statement, params);
+}
+
+Result<MiningResult> NestedLoopSqlMiner::MineTable(
+    const MiningOptions& options) {
+  statements_.clear();
+  // Drop scratch tables from a previous run.
+  for (const std::string& name : db_->catalog()->TableNames()) {
+    if (name.rfind("nl_", 0) == 0) {
+      SETM_RETURN_IF_ERROR(db_->catalog()->DropTable(name));
+    }
+  }
+
+  WallTimer total_timer;
+  MiningResult result;
+
+  {
+    auto r = Run("SELECT DISTINCT trans_id FROM " + sales_table_);
+    if (!r.ok()) return r.status();
+    result.itemsets.num_transactions = r.value().rows.size();
+  }
+  const int64_t minsup =
+      ResolveMinSupportCount(options, result.itemsets.num_transactions);
+  const sql::Params params = {{"minsupport", Value::Int64(minsup)}};
+
+  // C_1: the first query of Section 3.1.
+  {
+    WallTimer iter_timer;
+    auto r = Run("CREATE MEMORY TABLE nl_c1 (item1 INT, cnt BIGINT)");
+    if (!r.ok()) return r.status();
+    r = Run("INSERT INTO nl_c1 SELECT r1.item, COUNT(*) FROM " + sales_table_ +
+                " r1 GROUP BY r1.item HAVING COUNT(*) >= :minsupport",
+            params);
+    if (!r.ok()) return r.status();
+    auto c1 = Run("SELECT item1, cnt FROM nl_c1 ORDER BY item1");
+    if (!c1.ok()) return c1.status();
+    for (const Tuple& row : c1.value().rows) {
+      result.itemsets.Add({row.value(0).AsInt32()}, row.value(1).AsInt64());
+    }
+    IterationStats stats;
+    stats.k = 1;
+    stats.c_size = c1.value().rows.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+  }
+
+  // C_k: the generalized k-way self-join of Section 3.1.
+  for (size_t k = 2;; ++k) {
+    if (options.max_pattern_length != 0 && k > options.max_pattern_length) {
+      break;
+    }
+    if (result.itemsets.OfSize(k - 1).empty()) break;
+    WallTimer iter_timer;
+    const std::string ck = "nl_c" + std::to_string(k);
+    const std::string ck_prev = "nl_c" + std::to_string(k - 1);
+
+    auto r = Run("CREATE MEMORY TABLE " + ck + " (" + ItemColumnsDdl(k) +
+                 ", cnt BIGINT)");
+    if (!r.ok()) return r.status();
+
+    // SELECT r1.item, ..., rk.item, COUNT(*)
+    std::string sql = "INSERT INTO " + ck + " SELECT ";
+    for (size_t i = 1; i <= k; ++i) {
+      if (i > 1) sql += ", ";
+      sql += "r" + std::to_string(i) + ".item";
+    }
+    sql += ", COUNT(*) FROM " + ck_prev + " c";
+    for (size_t i = 1; i <= k; ++i) {
+      sql += ", " + sales_table_ + " r" + std::to_string(i);
+    }
+    sql += " WHERE ";
+    // r1.trans_id = r2.trans_id AND ... (pairwise chain, as the paper's
+    // "r1.trans_id = ... = rk.trans_id" expands).
+    for (size_t i = 1; i < k; ++i) {
+      if (i > 1) sql += " AND ";
+      sql += "r" + std::to_string(i) + ".trans_id = r" + std::to_string(i + 1) +
+             ".trans_id";
+    }
+    // r_i.item = c.item_i for i < k.
+    for (size_t i = 1; i < k; ++i) {
+      sql += " AND r" + std::to_string(i) + ".item = c.item" +
+             std::to_string(i);
+    }
+    // r_k.item > r_{k-1}.item (single inequality suffices: items are
+    // generated in lexicographic order, Section 3.1).
+    sql += " AND r" + std::to_string(k) + ".item > r" + std::to_string(k - 1) +
+           ".item GROUP BY ";
+    for (size_t i = 1; i <= k; ++i) {
+      if (i > 1) sql += ", ";
+      sql += "r" + std::to_string(i) + ".item";
+    }
+    sql += " HAVING COUNT(*) >= :minsupport";
+    r = Run(sql, params);
+    if (!r.ok()) return r.status();
+
+    std::string select = "SELECT ";
+    for (size_t i = 1; i <= k; ++i) {
+      select += "item" + std::to_string(i) + ", ";
+    }
+    select += "cnt FROM " + ck;
+    auto rows = Run(select);
+    if (!rows.ok()) return rows.status();
+    for (const Tuple& row : rows.value().rows) {
+      std::vector<ItemId> items;
+      items.reserve(k);
+      for (size_t i = 0; i < k; ++i) items.push_back(row.value(i).AsInt32());
+      result.itemsets.Add(std::move(items), row.value(k).AsInt64());
+    }
+
+    IterationStats stats;
+    stats.k = k;
+    stats.c_size = rows.value().rows.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+    if (rows.value().rows.empty()) break;
+  }
+
+  result.itemsets.Normalize();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace setm

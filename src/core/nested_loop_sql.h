@@ -1,0 +1,57 @@
+#ifndef SETM_CORE_NESTED_LOOP_SQL_H_
+#define SETM_CORE_NESTED_LOOP_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "relational/database.h"
+#include "sql/engine.h"
+
+namespace setm {
+
+/// The paper's *first* SQL formulation (Section 3.1), executed literally:
+///
+///   INSERT INTO C_k
+///   SELECT r1.item, ..., rk.item, COUNT(*)
+///   FROM C_{k-1} c, SALES r1, ..., SALES rk
+///   WHERE r1.trans_id = r2.trans_id AND ... AND
+///         r1.item = c.item1 AND ... AND r_{k-1}.item = c.item_{k-1} AND
+///         rk.item > r_{k-1}.item
+///   GROUP BY r1.item, ..., rk.item
+///   HAVING COUNT(*) >= :minsupport
+///
+/// The paper analyzes this query under a nested-loop plan and rejects it
+/// (Section 3.2); this class exists to demonstrate that the formulation is
+/// *correct* — it must produce exactly the same count relations as SETM —
+/// and to let the k-way self-join be executed at small scale. Our planner
+/// runs it with sort-merge joins, so it is slow only polynomially, not
+/// catastrophically; the Section 3.2 strategy with real index probes lives
+/// in NestedLoopMiner.
+class NestedLoopSqlMiner {
+ public:
+  /// `sales_table` must exist in `db`'s catalog as (trans_id, item).
+  NestedLoopSqlMiner(Database* db, std::string sales_table)
+      : db_(db), engine_(db), sales_table_(std::move(sales_table)) {}
+
+  /// Runs the Section 3.1 loop until C_k is empty.
+  Result<MiningResult> MineTable(const MiningOptions& options);
+
+  /// SQL statements executed by the last MineTable call.
+  const std::vector<std::string>& executed_statements() const {
+    return statements_;
+  }
+
+ private:
+  Result<sql::QueryResult> Run(const std::string& statement,
+                               const sql::Params& params = {});
+
+  Database* db_;
+  sql::SqlEngine engine_;
+  std::string sales_table_;
+  std::vector<std::string> statements_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_CORE_NESTED_LOOP_SQL_H_

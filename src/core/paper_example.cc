@@ -1,0 +1,30 @@
+#include "core/paper_example.h"
+
+namespace setm {
+
+namespace {
+// A=0, B=1, C=2, D=3, E=4, F=5, G=6, H=7.
+constexpr ItemId A = 0, B = 1, C = 2, D = 3, E = 4, F = 5, G = 6, H = 7;
+}  // namespace
+
+TransactionDb PaperExampleTransactions() {
+  return TransactionDb{
+      {10, {A, B, C}}, {20, {A, B, D}}, {30, {A, B, C}}, {40, {B, C, D}},
+      {50, {A, C, G}}, {60, {A, D, G}}, {70, {A, E, H}}, {80, {D, E, F}},
+      {90, {D, E, F}}, {99, {D, E, F}},
+  };
+}
+
+MiningOptions PaperExampleOptions() {
+  MiningOptions options;
+  options.min_support = 0.30;
+  options.min_confidence = 0.70;
+  return options;
+}
+
+std::string PaperItemName(ItemId id) {
+  if (id >= 0 && id < 8) return std::string(1, static_cast<char>('A' + id));
+  return std::to_string(id);
+}
+
+}  // namespace setm

@@ -1,0 +1,33 @@
+#ifndef SETM_CORE_PAPER_EXAMPLE_H_
+#define SETM_CORE_PAPER_EXAMPLE_H_
+
+#include <string>
+
+#include "core/types.h"
+
+namespace setm {
+
+/// The worked example of Sections 4.2 and 5: ten transactions of three
+/// items each, mined at 30% minimum support and 70% minimum confidence.
+///
+/// The OCR of Figure 1 is partially garbled; the data set below was
+/// reconstructed from the rule list of Section 5 and reproduces every
+/// number stated in the paper (|AB|=3, |A|=6, |B|=4, IABI/IBI = 75%,
+/// C2 = {AB, AC, BC, DE, DF, EF} all with count 3, C3 = {DEF:3}, and the
+/// eleven rules with their confidence/support values):
+///
+///   10: A B C     40: B C D     70: A E H
+///   20: A B D     50: A C G     80: D E F
+///   30: A B C     60: A D G     90: D E F
+///                               99: D E F
+TransactionDb PaperExampleTransactions();
+
+/// Mining options matching the example: 30% support, 70% confidence.
+MiningOptions PaperExampleOptions();
+
+/// Maps item ids 0..7 to the paper's item letters "A".."H".
+std::string PaperItemName(ItemId id);
+
+}  // namespace setm
+
+#endif  // SETM_CORE_PAPER_EXAMPLE_H_

@@ -1,0 +1,126 @@
+#include "core/rules.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace setm {
+
+namespace {
+
+/// Enumerates all subsets of `items` with the given size, invoking `fn`
+/// with (subset, complement). Items are sorted; subsets come out in
+/// lexicographic order.
+void ForEachSubsetOfSize(
+    const std::vector<ItemId>& items, size_t size,
+    const std::function<void(const std::vector<ItemId>&,
+                             const std::vector<ItemId>&)>& fn) {
+  const size_t n = items.size();
+  SETM_DCHECK(size >= 1 && size < n);
+  std::vector<size_t> pick(size);
+  for (size_t i = 0; i < size; ++i) pick[i] = i;
+  std::vector<ItemId> subset(size), complement(n - size);
+  while (true) {
+    for (size_t i = 0; i < size; ++i) subset[i] = items[pick[i]];
+    size_t c = 0, p = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (p < size && pick[p] == i) {
+        ++p;
+      } else {
+        complement[c++] = items[i];
+      }
+    }
+    fn(subset, complement);
+    // Advance to the next combination (standard odometer).
+    ptrdiff_t i = static_cast<ptrdiff_t>(size) - 1;
+    while (i >= 0 && pick[i] == static_cast<size_t>(i) + n - size) --i;
+    if (i < 0) return;
+    ++pick[i];
+    for (size_t j = static_cast<size_t>(i) + 1; j < size; ++j) {
+      pick[j] = pick[j - 1] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AssociationRule> GenerateRules(const FrequentItemsets& itemsets,
+                                           const MiningOptions& options,
+                                           RuleMode mode) {
+  std::vector<AssociationRule> rules;
+  const double n = static_cast<double>(itemsets.num_transactions);
+
+  for (size_t k = 2; k <= itemsets.MaxSize(); ++k) {
+    for (const PatternCount& pattern : itemsets.OfSize(k)) {
+      const double pattern_support =
+          n > 0 ? static_cast<double>(pattern.count) / n : 0.0;
+
+      auto consider = [&](const std::vector<ItemId>& antecedent,
+                          const std::vector<ItemId>& consequent) {
+        const int64_t antecedent_count = itemsets.CountOf(antecedent);
+        if (antecedent_count <= 0) return;  // cannot happen for frequent sets
+        const double confidence = static_cast<double>(pattern.count) /
+                                  static_cast<double>(antecedent_count);
+        if (confidence + 1e-12 < options.min_confidence) return;
+        AssociationRule rule;
+        rule.antecedent = antecedent;
+        rule.consequent = consequent;
+        rule.confidence = confidence;
+        rule.support = pattern_support;
+        // Lift needs the consequent's own support; it is always available
+        // (any subset of a frequent set is frequent).
+        const int64_t consequent_count = itemsets.CountOf(consequent);
+        if (consequent_count > 0 && n > 0) {
+          rule.lift = confidence /
+                      (static_cast<double>(consequent_count) / n);
+        }
+        rules.push_back(std::move(rule));
+      };
+
+      if (mode == RuleMode::kSingleConsequent) {
+        ForEachSubsetOfSize(pattern.items, k - 1, consider);
+      } else {
+        for (size_t a = 1; a < k; ++a) {
+          ForEachSubsetOfSize(pattern.items, a, consider);
+        }
+      }
+    }
+  }
+
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              const size_t sa = a.antecedent.size() + a.consequent.size();
+              const size_t sb = b.antecedent.size() + b.consequent.size();
+              if (sa != sb) return sa < sb;
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+std::string FormatRule(const AssociationRule& rule,
+                       const std::function<std::string(ItemId)>& item_name) {
+  auto name = [&](ItemId id) {
+    return item_name ? item_name(id) : std::to_string(id);
+  };
+  std::string out;
+  for (size_t i = 0; i < rule.antecedent.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += name(rule.antecedent[i]);
+  }
+  out += " ==> ";
+  for (size_t i = 0; i < rule.consequent.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += name(rule.consequent[i]);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ", [%.1f%%, %.1f%%]",
+                rule.confidence * 100.0, rule.support * 100.0);
+  out += buf;
+  return out;
+}
+
+}  // namespace setm

@@ -1,0 +1,42 @@
+#ifndef SETM_CORE_RULES_H_
+#define SETM_CORE_RULES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace setm {
+
+/// Rule-generation mode.
+enum class RuleMode {
+  /// The paper's Section 5 generator: for a pattern of length k, every
+  /// combination of k-1 items forms the antecedent and the remaining item
+  /// the consequent.
+  kSingleConsequent,
+  /// Extended (Agrawal-style): every non-empty proper subset forms the
+  /// antecedent, the complement the consequent.
+  kAnySubset,
+};
+
+/// Generates association rules from the count relations.
+///
+/// A rule X => I qualifies when conf = |X u I| / |X| meets the minimum
+/// confidence; its support is |X u I| / |D|. The antecedent count comes
+/// from a lookup in the next-smaller count relation, exactly as Section 5
+/// describes. Results are sorted by (pattern size, antecedent, consequent).
+std::vector<AssociationRule> GenerateRules(
+    const FrequentItemsets& itemsets, const MiningOptions& options,
+    RuleMode mode = RuleMode::kSingleConsequent);
+
+/// Renders a rule in the paper's output format:
+///   "B C ==> A, [75.0%, 30.0%]"  (confidence first, then support),
+/// with items printed through `item_name` (defaults to the numeric id).
+std::string FormatRule(
+    const AssociationRule& rule,
+    const std::function<std::string(ItemId)>& item_name = {});
+
+}  // namespace setm
+
+#endif  // SETM_CORE_RULES_H_

@@ -1,0 +1,308 @@
+#include "core/setm.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "exec/exec_context.h"
+#include "exec/external_sort.h"
+#include "exec/hash_operators.h"
+#include "exec/operators.h"
+
+namespace setm {
+
+namespace {
+
+/// Subtracts two IoStats snapshots.
+IoStats DiffIo(const IoStats& after, const IoStats& before) {
+  IoStats d;
+  d.page_reads = after.page_reads - before.page_reads;
+  d.page_writes = after.page_writes - before.page_writes;
+  d.sequential_reads = after.sequential_reads - before.sequential_reads;
+  d.random_reads = after.random_reads - before.random_reads;
+  d.sequential_writes = after.sequential_writes - before.sequential_writes;
+  d.random_writes = after.random_writes - before.random_writes;
+  d.pages_allocated = after.pages_allocated - before.pages_allocated;
+  return d;
+}
+
+/// Key columns (item_1 .. item_k) of an R_k row.
+std::vector<size_t> ItemColumns(size_t k) {
+  std::vector<size_t> cols;
+  cols.reserve(k);
+  for (size_t i = 1; i <= k; ++i) cols.push_back(i);
+  return cols;
+}
+
+/// Key columns (trans_id, item_1 .. item_k) of an R_k row.
+std::vector<size_t> TidItemColumns(size_t k) {
+  std::vector<size_t> cols;
+  cols.reserve(k + 1);
+  for (size_t i = 0; i <= k; ++i) cols.push_back(i);
+  return cols;
+}
+
+/// The C_k aggregation pipeline under either physical strategy. Both emit
+/// identical rows (group columns + count, ordered by the group columns).
+std::unique_ptr<TupleIterator> MakeGroupCount(
+    ExecContext ctx, std::unique_ptr<TupleIterator> input,
+    std::vector<size_t> group_columns, int64_t min_count, CountMethod method) {
+  if (method == CountMethod::kHash) {
+    return std::make_unique<HashGroupCountIterator>(
+        std::move(input), std::move(group_columns), min_count);
+  }
+  auto sorted = std::make_unique<SortIterator>(
+      ctx, std::move(input), TupleComparator(group_columns));
+  return std::make_unique<SortedGroupCountIterator>(
+      std::move(sorted), std::move(group_columns), min_count);
+}
+
+}  // namespace
+
+Schema SetmMiner::SalesSchema() {
+  return Schema({Column{"trans_id", ValueType::kInt32},
+                 Column{"item", ValueType::kInt32}});
+}
+
+Schema SetmMiner::RkSchema(size_t k) {
+  Schema schema;
+  schema.AddColumn(Column{"trans_id", ValueType::kInt32});
+  for (size_t i = 1; i <= k; ++i) {
+    schema.AddColumn(Column{"item" + std::to_string(i), ValueType::kInt32});
+  }
+  return schema;
+}
+
+Result<std::unique_ptr<Table>> SetmMiner::NewRelation(const std::string& name,
+                                                      Schema schema) {
+  if (setm_options_.storage == TableBacking::kMemory) {
+    return std::unique_ptr<Table>(
+        std::make_unique<MemTable>(name, std::move(schema)));
+  }
+  auto t = HeapTable::Create(name, std::move(schema), db_->pool());
+  if (!t.ok()) return t.status();
+  return std::unique_ptr<Table>(std::move(t).value());
+}
+
+Result<Table*> LoadSalesTable(Database* db, const std::string& name,
+                              const TransactionDb& transactions,
+                              TableBacking backing) {
+  SETM_RETURN_IF_ERROR(ValidateTransactions(transactions));
+  auto table_or =
+      db->catalog()->CreateTable(name, SetmMiner::SalesSchema(), backing);
+  if (!table_or.ok()) return table_or.status();
+  Table* table = table_or.value();
+  for (const Transaction& t : transactions) {
+    for (ItemId item : t.items) {
+      SETM_RETURN_IF_ERROR(table->Insert(
+          Tuple({Value::Int32(t.id), Value::Int32(item)})));
+    }
+  }
+  return table;
+}
+
+Result<MiningResult> SetmMiner::Mine(const TransactionDb& transactions,
+                                     const MiningOptions& options) {
+  SETM_RETURN_IF_ERROR(ValidateTransactions(transactions));
+  auto sales_or = NewRelation("sales", SalesSchema());
+  if (!sales_or.ok()) return sales_or.status();
+  std::unique_ptr<Table> sales = std::move(sales_or).value();
+  for (const Transaction& t : transactions) {
+    for (ItemId item : t.items) {
+      SETM_RETURN_IF_ERROR(
+          sales->Insert(Tuple({Value::Int32(t.id), Value::Int32(item)})));
+    }
+  }
+  return MineTable(*sales, options);
+}
+
+Result<MiningResult> SetmMiner::MineTable(const Table& sales,
+                                          const MiningOptions& options) {
+  if (sales.schema().NumColumns() != 2) {
+    return Status::InvalidArgument("SALES must have schema (trans_id, item)");
+  }
+  WallTimer total_timer;
+  const IoStats io_before = *db_->io_stats();
+  ExecContext ctx = ExecContext::From(db_);
+  MiningResult result;
+
+  // --- R_1 := SALES sorted on (trans_id, item); count transactions. ------
+  auto r1_or = NewRelation("r1", RkSchema(1));
+  if (!r1_or.ok()) return r1_or.status();
+  std::unique_ptr<Table> r1 = std::move(r1_or).value();
+  uint64_t num_transactions = 0;
+  {
+    auto sorted = std::make_unique<SortIterator>(ctx, sales.Scan(),
+                                                 TupleComparator({0, 1}));
+    Tuple row;
+    bool first = true;
+    int32_t prev_tid = 0;
+    while (true) {
+      auto more = sorted->Next(&row);
+      if (!more.ok()) return more.status();
+      if (!more.value()) break;
+      const int32_t tid = row.value(0).AsInt32();
+      if (first || tid != prev_tid) {
+        ++num_transactions;
+        prev_tid = tid;
+        first = false;
+      }
+      SETM_RETURN_IF_ERROR(r1->Insert(row));
+    }
+  }
+  result.itemsets.num_transactions = num_transactions;
+  const int64_t minsup = ResolveMinSupportCount(options, num_transactions);
+
+  // --- C_1: sort R_1 on item, stream-count, keep count >= minsupport. ----
+  std::unordered_set<std::string> frequent_keys;
+  {
+    WallTimer iter_timer;
+    auto counts = MakeGroupCount(ctx, r1->Scan(), {1}, minsup,
+                                 setm_options_.count_method);
+    Tuple row;
+    while (true) {
+      auto more = counts->Next(&row);
+      if (!more.ok()) return more.status();
+      if (!more.value()) break;
+      const ItemId item = row.value(0).AsInt32();
+      const int64_t count = row.value(1).AsInt64();
+      result.itemsets.Add({item}, count);
+      frequent_keys.insert(ItemsetKey({item}));
+    }
+    IterationStats stats;
+    stats.k = 1;
+    stats.r_prime_rows = r1->num_rows();
+    stats.r_rows = r1->num_rows();
+    stats.r_bytes = r1->size_bytes();
+    stats.r_pages = r1->num_pages();
+    stats.c_size = result.itemsets.OfSize(1).size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+  }
+
+  // Optional ablation: restrict R_1 to frequent items before the loop.
+  if (options.filter_r1) {
+    auto filtered_or = NewRelation("r1f", RkSchema(1));
+    if (!filtered_or.ok()) return filtered_or.status();
+    std::unique_ptr<Table> filtered = std::move(filtered_or).value();
+    auto it = r1->Scan();
+    Tuple row;
+    while (true) {
+      auto more = it->Next(&row);
+      if (!more.ok()) return more.status();
+      if (!more.value()) break;
+      if (frequent_keys.count(ItemsetKey({row.value(1).AsInt32()})) != 0) {
+        SETM_RETURN_IF_ERROR(filtered->Insert(row));
+      }
+    }
+    r1 = std::move(filtered);
+  }
+
+  // --- Main loop (Figure 4). ---------------------------------------------
+  std::unique_ptr<Table> r_prev = nullptr;  // R_{k-1}; null means use R_1
+  for (size_t k = 2;; ++k) {
+    if (options.max_pattern_length != 0 && k > options.max_pattern_length) {
+      break;
+    }
+    WallTimer iter_timer;
+    const Table* left_table = r_prev == nullptr ? r1.get() : r_prev.get();
+    if (left_table->num_rows() == 0) break;
+
+    // R'_k := merge-scan(R_{k-1}, R_1) on trans_id with q.item > p.item_k-1.
+    // Both inputs are maintained sorted on (trans_id, items...), so no sort
+    // is needed here — the "sort order tracked across iterations" remark of
+    // Section 4.1.
+    auto rk_prime_or = NewRelation("r" + std::to_string(k) + "p", RkSchema(k));
+    if (!rk_prime_or.ok()) return rk_prime_or.status();
+    std::unique_ptr<Table> rk_prime = std::move(rk_prime_or).value();
+    {
+      // Combined row: (trans_id, item_1..item_{k-1}, trans_id, item).
+      const size_t last_left_item = k - 1;  // index of item_{k-1}
+      const size_t right_item = k + 1;
+      ExprPtr residual = Binary(BinaryOp::kGt, Col(right_item, "q.item"),
+                                Col(last_left_item, "p.item_last"));
+      MergeJoinIterator join(left_table->Scan(), r1->Scan(), {0}, {0},
+                             std::move(residual));
+      // Project to (trans_id, item_1 .. item_k).
+      Tuple row;
+      std::vector<Value> values;
+      while (true) {
+        auto more = join.Next(&row);
+        if (!more.ok()) return more.status();
+        if (!more.value()) break;
+        values.clear();
+        for (size_t i = 0; i < k; ++i) values.push_back(row.value(i));
+        values.push_back(row.value(right_item));
+        SETM_RETURN_IF_ERROR(rk_prime->Insert(Tuple(values)));
+      }
+    }
+
+    // C_k := sort R'_k on items, stream-count, keep count >= minsupport.
+    std::unordered_set<std::string> ck_keys;
+    std::vector<PatternCount> ck_rows;
+    {
+      auto counts = MakeGroupCount(ctx, rk_prime->Scan(), ItemColumns(k),
+                                   minsup, setm_options_.count_method);
+      Tuple row;
+      while (true) {
+        auto more = counts->Next(&row);
+        if (!more.ok()) return more.status();
+        if (!more.value()) break;
+        std::vector<ItemId> items;
+        items.reserve(k);
+        for (size_t i = 0; i < k; ++i) {
+          items.push_back(row.value(i).AsInt32());
+        }
+        ck_keys.insert(ItemsetKey(items));
+        ck_rows.push_back(
+            PatternCount{std::move(items), row.value(k).AsInt64()});
+      }
+    }
+
+    // R_k := filter R'_k by C_k membership, sorted on (trans_id, items).
+    auto rk_or = NewRelation("r" + std::to_string(k), RkSchema(k));
+    if (!rk_or.ok()) return rk_or.status();
+    std::unique_ptr<Table> rk = std::move(rk_or).value();
+    if (!ck_keys.empty()) {
+      ExternalSort sort(ctx, RkSchema(k), TupleComparator(TidItemColumns(k)));
+      auto it = rk_prime->Scan();
+      Tuple row;
+      std::vector<ItemId> items(k);
+      while (true) {
+        auto more = it->Next(&row);
+        if (!more.ok()) return more.status();
+        if (!more.value()) break;
+        for (size_t i = 0; i < k; ++i) items[i] = row.value(i + 1).AsInt32();
+        if (ck_keys.count(ItemsetKey(items)) != 0) {
+          SETM_RETURN_IF_ERROR(sort.Add(row));
+        }
+      }
+      auto sorted_or = sort.Finish();
+      if (!sorted_or.ok()) return sorted_or.status();
+      SETM_RETURN_IF_ERROR(MaterializeInto(sorted_or.value().get(), rk.get()));
+    }
+
+    IterationStats stats;
+    stats.k = k;
+    stats.r_prime_rows = rk_prime->num_rows();
+    stats.r_rows = rk->num_rows();
+    stats.r_bytes = rk->size_bytes();
+    stats.r_pages = rk->num_pages();
+    stats.c_size = ck_rows.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+
+    for (PatternCount& pc : ck_rows) {
+      result.itemsets.Add(std::move(pc.items), pc.count);
+    }
+    if (rk->num_rows() == 0) break;
+    r_prev = std::move(rk);
+  }
+
+  result.itemsets.Normalize();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  result.io = DiffIo(*db_->io_stats(), io_before);
+  return result;
+}
+
+}  // namespace setm

@@ -1,0 +1,89 @@
+#ifndef SETM_CORE_SETM_H_
+#define SETM_CORE_SETM_H_
+
+#include <memory>
+
+#include "core/types.h"
+#include "relational/database.h"
+
+namespace setm {
+
+/// How the support counts C_k are produced from R'_k.
+enum class CountMethod {
+  /// The paper's pipeline: sort R'_k on its item columns, then one
+  /// streaming group-count scan (Figure 4's "sort R'_k on item_1..item_k;
+  /// C_k := generate counts").
+  kSortMerge,
+  /// Hash aggregation, the post-1995 alternative; skips the sort entirely.
+  /// Results are identical (the ablation `ablation_count_method` compares
+  /// the physical behaviour).
+  kHash,
+};
+
+/// Physical knobs of the SETM run.
+struct SetmOptions {
+  /// Where SALES/R_k relations live. kHeap stores them in paged tables so
+  /// every scan, spill and materialization is visible in the IoStats ledger
+  /// (the configuration the paper's Section 4.3 analysis describes);
+  /// kMemory mirrors the paper's Section 6 implementation, which "ran in
+  /// main memory" for the timing experiments.
+  TableBacking storage = TableBacking::kMemory;
+  /// Physical strategy for the C_k aggregation.
+  CountMethod count_method = CountMethod::kSortMerge;
+};
+
+/// Algorithm SETM (Figure 4 of the paper), implemented directly on the
+/// engine's two primitives: external sort and merge-scan join.
+///
+/// Per iteration k:
+///   1. R'_k := merge-scan join of R_{k-1} (sorted on trans_id, items) with
+///      R_1 (sorted on trans_id, item) on trans_id, keeping extensions with
+///      q.item > p.item_{k-1} — lexicographic candidate patterns;
+///   2. sort R'_k on (item_1 .. item_k) and stream-count groups, keeping
+///      those with count >= minsupport: the count relation C_k;
+///   3. R_k := R'_k filtered to patterns present in C_k ("simple table
+///      look-ups on relation C_k"), sorted back on (trans_id, items).
+/// The loop ends when R_k (equivalently C_k) is empty.
+///
+///     Database db;
+///     SetmMiner miner(&db);
+///     MiningResult result = miner.Mine(transactions, options).value();
+class SetmMiner {
+ public:
+  explicit SetmMiner(Database* db, SetmOptions setm_options = {})
+      : db_(db), setm_options_(setm_options) {}
+
+  /// Mines a transaction database. Loads it into a SALES-shaped relation
+  /// first (items within a transaction must be sorted and unique).
+  Result<MiningResult> Mine(const TransactionDb& transactions,
+                            const MiningOptions& options);
+
+  /// Mines an existing relation with schema (trans_id INT32, item INT32);
+  /// rows need not be sorted.
+  Result<MiningResult> MineTable(const Table& sales,
+                                 const MiningOptions& options);
+
+  /// The canonical SALES schema: (trans_id INT32, item INT32).
+  static Schema SalesSchema();
+
+  /// Schema of R_k: (trans_id, item_1, .., item_k), all INT32.
+  static Schema RkSchema(size_t k);
+
+ private:
+  Result<std::unique_ptr<Table>> NewRelation(const std::string& name,
+                                             Schema schema);
+
+  Database* db_;
+  SetmOptions setm_options_;
+};
+
+/// Creates a catalog table `name` with the SALES schema and loads the
+/// transaction database into it. Convenience shared by the SQL mining path,
+/// the examples and the benchmarks.
+Result<Table*> LoadSalesTable(Database* db, const std::string& name,
+                              const TransactionDb& transactions,
+                              TableBacking backing);
+
+}  // namespace setm
+
+#endif  // SETM_CORE_SETM_H_

@@ -1,0 +1,200 @@
+#include "core/setm_sql.h"
+
+#include "common/timer.h"
+
+namespace setm {
+
+namespace {
+
+/// "p.item1, p.item2, ..., p.itemk" with the given qualifier.
+std::string ItemList(size_t k, const std::string& qualifier) {
+  std::string out;
+  for (size_t i = 1; i <= k; ++i) {
+    if (i > 1) out += ", ";
+    if (!qualifier.empty()) {
+      out += qualifier;
+      out += '.';
+    }
+    out += "item" + std::to_string(i);
+  }
+  return out;
+}
+
+/// "item1 INT, item2 INT, ..., itemk INT".
+std::string ItemColumnsDdl(size_t k) {
+  std::string out;
+  for (size_t i = 1; i <= k; ++i) {
+    if (i > 1) out += ", ";
+    out += "item" + std::to_string(i) + " INT";
+  }
+  return out;
+}
+
+IoStats DiffIo(const IoStats& after, const IoStats& before) {
+  IoStats d;
+  d.page_reads = after.page_reads - before.page_reads;
+  d.page_writes = after.page_writes - before.page_writes;
+  d.sequential_reads = after.sequential_reads - before.sequential_reads;
+  d.random_reads = after.random_reads - before.random_reads;
+  d.sequential_writes = after.sequential_writes - before.sequential_writes;
+  d.random_writes = after.random_writes - before.random_writes;
+  d.pages_allocated = after.pages_allocated - before.pages_allocated;
+  return d;
+}
+
+}  // namespace
+
+Result<sql::QueryResult> SetmSqlMiner::Run(const std::string& statement,
+                                           const sql::Params& params) {
+  statements_.push_back(statement);
+  return engine_.Execute(statement, params);
+}
+
+Status SetmSqlMiner::DropScratchTables() {
+  for (const std::string& name : db_->catalog()->TableNames()) {
+    if (name.rfind("setm_", 0) == 0) {
+      SETM_RETURN_IF_ERROR(db_->catalog()->DropTable(name));
+    }
+  }
+  return Status::OK();
+}
+
+Result<MiningResult> SetmSqlMiner::MineTable(const MiningOptions& options) {
+  statements_.clear();
+  SETM_RETURN_IF_ERROR(DropScratchTables());
+
+  WallTimer total_timer;
+  const IoStats io_before = *db_->io_stats();
+  MiningResult result;
+  const std::string mem = backing_ == TableBacking::kMemory ? "MEMORY " : "";
+
+  // Number of transactions (for the support threshold).
+  {
+    auto r = Run("SELECT DISTINCT trans_id FROM " + sales_table_);
+    if (!r.ok()) return r.status();
+    result.itemsets.num_transactions = r.value().rows.size();
+  }
+  const int64_t minsup =
+      ResolveMinSupportCount(options, result.itemsets.num_transactions);
+  const sql::Params params = {{"minsupport", Value::Int64(minsup)}};
+
+  // R_1 := SALES sorted on (trans_id, item); C_1 := supported items.
+  {
+    WallTimer iter_timer;
+    auto r = Run("CREATE " + mem + "TABLE setm_r1 (trans_id INT, item1 INT)");
+    if (!r.ok()) return r.status();
+    r = Run("INSERT INTO setm_r1 SELECT s.trans_id, s.item FROM " +
+            sales_table_ + " s ORDER BY s.trans_id, s.item");
+    if (!r.ok()) return r.status();
+    r = Run("CREATE MEMORY TABLE setm_c1 (item1 INT, cnt BIGINT)");
+    if (!r.ok()) return r.status();
+    r = Run(
+        "INSERT INTO setm_c1 SELECT p.item1, COUNT(*) FROM setm_r1 p "
+        "GROUP BY p.item1 HAVING COUNT(*) >= :minsupport",
+        params);
+    if (!r.ok()) return r.status();
+    auto c1 = Run("SELECT item1, cnt FROM setm_c1");
+    if (!c1.ok()) return c1.status();
+    for (const Tuple& row : c1.value().rows) {
+      result.itemsets.Add({row.value(0).AsInt32()}, row.value(1).AsInt64());
+    }
+    auto r1_table = db_->catalog()->GetTable("setm_r1");
+    if (!r1_table.ok()) return r1_table.status();
+    IterationStats stats;
+    stats.k = 1;
+    stats.r_prime_rows = r1_table.value()->num_rows();
+    stats.r_rows = r1_table.value()->num_rows();
+    stats.r_bytes = r1_table.value()->size_bytes();
+    stats.r_pages = r1_table.value()->num_pages();
+    stats.c_size = c1.value().rows.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+  }
+
+  // Main loop: the three statements of Section 4.1 per iteration.
+  for (size_t k = 2;; ++k) {
+    if (options.max_pattern_length != 0 && k > options.max_pattern_length) {
+      break;
+    }
+    WallTimer iter_timer;
+    const std::string rk_prev = "setm_r" + std::to_string(k - 1);
+    const std::string rkp = "setm_r" + std::to_string(k) + "p";
+    const std::string rk = "setm_r" + std::to_string(k);
+    const std::string ck = "setm_c" + std::to_string(k);
+
+    auto r = Run("CREATE " + mem + "TABLE " + rkp + " (trans_id INT, " +
+                 ItemColumnsDdl(k) + ")");
+    if (!r.ok()) return r.status();
+    // INSERT INTO R'_k SELECT p.trans_id, p.item_1.., q.item
+    //   FROM R_{k-1} p, SALES q
+    //   WHERE q.trans_id = p.trans_id AND q.item > p.item_{k-1}.
+    r = Run("INSERT INTO " + rkp + " SELECT p.trans_id, " +
+            ItemList(k - 1, "p") + ", q.item FROM " + rk_prev + " p, " +
+            sales_table_ +
+            " q WHERE q.trans_id = p.trans_id AND q.item > p.item" +
+            std::to_string(k - 1));
+    if (!r.ok()) return r.status();
+
+    r = Run("CREATE MEMORY TABLE " + ck + " (" + ItemColumnsDdl(k) +
+            ", cnt BIGINT)");
+    if (!r.ok()) return r.status();
+    // INSERT INTO C_k SELECT items, COUNT(*) FROM R'_k
+    //   GROUP BY items HAVING COUNT(*) >= :minsupport.
+    r = Run("INSERT INTO " + ck + " SELECT " + ItemList(k, "p") +
+                ", COUNT(*) FROM " + rkp + " p GROUP BY " + ItemList(k, "p") +
+                " HAVING COUNT(*) >= :minsupport",
+            params);
+    if (!r.ok()) return r.status();
+
+    auto ck_rows = Run("SELECT " + ItemList(k, "") + ", cnt FROM " + ck);
+    if (!ck_rows.ok()) return ck_rows.status();
+
+    // INSERT INTO R_k SELECT p.trans_id, p.items FROM R'_k p, C_k q
+    //   WHERE p.item_i = q.item_i ... ORDER BY p.trans_id, p.items.
+    r = Run("CREATE " + mem + "TABLE " + rk + " (trans_id INT, " +
+            ItemColumnsDdl(k) + ")");
+    if (!r.ok()) return r.status();
+    std::string filter_sql = "INSERT INTO " + rk + " SELECT p.trans_id, " +
+                             ItemList(k, "p") + " FROM " + rkp + " p, " + ck +
+                             " q WHERE ";
+    for (size_t i = 1; i <= k; ++i) {
+      if (i > 1) filter_sql += " AND ";
+      filter_sql += "p.item" + std::to_string(i) + " = q.item" +
+                    std::to_string(i);
+    }
+    filter_sql += " ORDER BY p.trans_id, " + ItemList(k, "p");
+    r = Run(filter_sql);
+    if (!r.ok()) return r.status();
+
+    auto rkp_table = db_->catalog()->GetTable(rkp);
+    if (!rkp_table.ok()) return rkp_table.status();
+    auto rk_table = db_->catalog()->GetTable(rk);
+    if (!rk_table.ok()) return rk_table.status();
+
+    IterationStats stats;
+    stats.k = k;
+    stats.r_prime_rows = rkp_table.value()->num_rows();
+    stats.r_rows = rk_table.value()->num_rows();
+    stats.r_bytes = rk_table.value()->size_bytes();
+    stats.r_pages = rk_table.value()->num_pages();
+    stats.c_size = ck_rows.value().rows.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+
+    for (const Tuple& row : ck_rows.value().rows) {
+      std::vector<ItemId> items;
+      items.reserve(k);
+      for (size_t i = 0; i < k; ++i) items.push_back(row.value(i).AsInt32());
+      result.itemsets.Add(std::move(items), row.value(k).AsInt64());
+    }
+
+    if (rk_table.value()->num_rows() == 0) break;
+  }
+
+  result.itemsets.Normalize();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  result.io = DiffIo(*db_->io_stats(), io_before);
+  return result;
+}
+
+}  // namespace setm

@@ -1,0 +1,85 @@
+#include "core/types.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace setm {
+
+std::string ItemsetKey(const std::vector<ItemId>& items) {
+  std::string key;
+  key.resize(items.size() * sizeof(ItemId));
+  std::memcpy(key.data(), items.data(), key.size());
+  return key;
+}
+
+void FrequentItemsets::Add(std::vector<ItemId> items, int64_t count) {
+  SETM_DCHECK(std::is_sorted(items.begin(), items.end()));
+  const size_t k = items.size();
+  SETM_DCHECK(k >= 1);
+  if (by_size_.size() < k) by_size_.resize(k);
+  index_[ItemsetKey(items)] = count;
+  by_size_[k - 1].push_back(PatternCount{std::move(items), count});
+}
+
+int64_t FrequentItemsets::CountOf(const std::vector<ItemId>& items) const {
+  auto it = index_.find(ItemsetKey(items));
+  return it == index_.end() ? 0 : it->second;
+}
+
+const std::vector<PatternCount>& FrequentItemsets::OfSize(size_t k) const {
+  static const std::vector<PatternCount> kEmpty;
+  if (k == 0 || k > by_size_.size()) return kEmpty;
+  return by_size_[k - 1];
+}
+
+size_t FrequentItemsets::TotalPatterns() const {
+  size_t total = 0;
+  for (const auto& level : by_size_) total += level.size();
+  return total;
+}
+
+void FrequentItemsets::Normalize() {
+  for (auto& level : by_size_) {
+    std::sort(level.begin(), level.end(),
+              [](const PatternCount& a, const PatternCount& b) {
+                return a.items < b.items;
+              });
+  }
+  // Trim empty trailing levels so MaxSize() is exact.
+  while (!by_size_.empty() && by_size_.back().empty()) by_size_.pop_back();
+}
+
+bool FrequentItemsets::operator==(const FrequentItemsets& o) const {
+  return by_size_ == o.by_size_;
+}
+
+int64_t ResolveMinSupportCount(const MiningOptions& options,
+                               uint64_t num_transactions) {
+  if (options.min_support_count > 0) return options.min_support_count;
+  const double raw = options.min_support * static_cast<double>(num_transactions);
+  int64_t count = static_cast<int64_t>(std::ceil(raw - 1e-9));
+  return std::max<int64_t>(count, 1);
+}
+
+Status ValidateTransactions(const TransactionDb& db) {
+  for (size_t i = 0; i < db.size(); ++i) {
+    const Transaction& t = db[i];
+    for (size_t j = 0; j < t.items.size(); ++j) {
+      if (t.items[j] < 0) {
+        return Status::InvalidArgument("transaction " + std::to_string(t.id) +
+                                       " has a negative item");
+      }
+      if (j > 0 && t.items[j] <= t.items[j - 1]) {
+        return Status::InvalidArgument("transaction " + std::to_string(t.id) +
+                                       " items not sorted/unique");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace setm

@@ -1,0 +1,142 @@
+#ifndef SETM_CORE_TYPES_H_
+#define SETM_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+
+namespace setm {
+
+/// Items and transaction ids are 4-byte integers, as in the paper's
+/// analysis ("each item and transaction id is represented using 4 bytes").
+using ItemId = int32_t;
+using TransactionId = int32_t;
+
+/// One customer transaction (basket). Items are kept sorted and unique.
+struct Transaction {
+  TransactionId id = 0;
+  std::vector<ItemId> items;
+};
+
+/// A transaction database, the logical content of SALES(trans_id, item).
+using TransactionDb = std::vector<Transaction>;
+
+/// An itemset with its support count — one row of a count relation C_k.
+struct PatternCount {
+  std::vector<ItemId> items;  // lexicographically ordered
+  int64_t count = 0;
+
+  bool operator==(const PatternCount& o) const {
+    return count == o.count && items == o.items;
+  }
+};
+
+/// Serializes an itemset into a flat hash key.
+std::string ItemsetKey(const std::vector<ItemId>& items);
+
+/// All frequent itemsets found by a miner, organized by size: the contents
+/// of the count relations C_1, C_2, ... plus a lookup index used by rule
+/// generation ("available by lookup in a previous count relation").
+class FrequentItemsets {
+ public:
+  /// Registers one frequent pattern; `items` must be sorted ascending.
+  void Add(std::vector<ItemId> items, int64_t count);
+
+  /// Support count of an exact itemset, or 0 if it is not frequent.
+  int64_t CountOf(const std::vector<ItemId>& items) const;
+
+  /// The patterns of size k (empty vector when none). k >= 1.
+  const std::vector<PatternCount>& OfSize(size_t k) const;
+
+  /// Largest k with any frequent pattern (0 when empty).
+  size_t MaxSize() const { return by_size_.size(); }
+
+  /// Total number of frequent patterns over all sizes.
+  size_t TotalPatterns() const;
+
+  /// Number of transactions in the mined database (for support fractions).
+  uint64_t num_transactions = 0;
+
+  /// Canonical ordering (by size, then lexicographic items) applied in
+  /// place; makes outputs of different miners directly comparable.
+  void Normalize();
+
+  bool operator==(const FrequentItemsets& o) const;
+
+ private:
+  std::vector<std::vector<PatternCount>> by_size_;  // [k-1] -> C_k rows
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+/// An association rule X => Y with its metrics. The paper's generator emits
+/// single-item consequents; the extended (Agrawal-style) generator allows
+/// larger consequents.
+struct AssociationRule {
+  std::vector<ItemId> antecedent;
+  std::vector<ItemId> consequent;
+  double confidence = 0.0;  // |X u Y| / |X|
+  double support = 0.0;     // |X u Y| / |D|
+  /// Lift = confidence / P(Y): > 1 means X genuinely raises the odds of Y
+  /// (a post-1995 metric, filled in because bare confidence famously
+  /// over-reports rules whose consequent is popular anyway). 0 when the
+  /// consequent's own support was unavailable.
+  double lift = 0.0;
+
+  bool operator==(const AssociationRule& o) const {
+    return antecedent == o.antecedent && consequent == o.consequent;
+  }
+};
+
+/// Mining parameters shared by every miner in this library.
+struct MiningOptions {
+  /// Minimum support as a fraction of transactions (e.g. 0.01 = 1%).
+  /// Used when min_support_count == 0.
+  double min_support = 0.01;
+  /// Absolute minimum support count; overrides min_support when > 0.
+  int64_t min_support_count = 0;
+  /// Minimum confidence for rule generation (e.g. 0.7 = 70%).
+  double min_confidence = 0.5;
+  /// Stop after patterns of this length (0 = run until fixpoint).
+  size_t max_pattern_length = 0;
+  /// SETM ablation: drop non-frequent items from R1 before the loop.
+  /// The paper's Figure 4 joins with the unfiltered R1; this switch enables
+  /// the obvious optimization for comparison.
+  bool filter_r1 = false;
+};
+
+/// Resolves the effective support threshold in transactions (>= 1).
+int64_t ResolveMinSupportCount(const MiningOptions& options,
+                               uint64_t num_transactions);
+
+/// Per-iteration observability, the raw material for Figures 5 and 6.
+struct IterationStats {
+  size_t k = 0;              ///< pattern length of this iteration
+  uint64_t r_prime_rows = 0; ///< |R'_k| (candidate pattern tuples)
+  uint64_t r_rows = 0;       ///< |R_k| after the support filter
+  uint64_t r_bytes = 0;      ///< size of R_k in bytes (Figure 5 plots KB)
+  uint64_t r_pages = 0;      ///< ||R_k|| in pages
+  uint64_t c_size = 0;       ///< |C_k| (Figure 6)
+  double seconds = 0.0;      ///< wall-clock for the iteration
+};
+
+/// What a miner returns.
+struct MiningResult {
+  FrequentItemsets itemsets;
+  std::vector<IterationStats> iterations;
+  double total_seconds = 0.0;
+  IoStats io;  ///< page traffic attributable to this mining run
+};
+
+/// Validates a transaction database: ids strictly increasing is not
+/// required, but items within each transaction must be sorted, unique and
+/// non-negative. Returns InvalidArgument describing the first offence.
+Status ValidateTransactions(const TransactionDb& db);
+
+}  // namespace setm
+
+#endif  // SETM_CORE_TYPES_H_

@@ -1,0 +1,103 @@
+#include "datagen/quest_generator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace setm {
+
+QuestGenerator::QuestGenerator(QuestOptions options) : options_(options) {}
+
+TransactionDb QuestGenerator::Generate() {
+  Rng rng(options_.seed);
+  const uint32_t n_items = std::max<uint32_t>(options_.num_items, 1);
+
+  // --- Build the pool of potentially frequent patterns. -------------------
+  std::vector<std::vector<ItemId>> patterns;
+  std::vector<double> corruption_level;
+  std::vector<double> cumulative_weight;
+  patterns.reserve(options_.num_patterns);
+  double weight_sum = 0.0;
+  std::vector<ItemId> prev;
+  for (uint32_t p = 0; p < options_.num_patterns; ++p) {
+    uint32_t len = std::max<uint32_t>(1, rng.Poisson(options_.avg_pattern_size));
+    len = std::min(len, n_items);
+    std::set<ItemId> items;
+    // Reuse a prefix of the previous pattern (correlation), as in Quest.
+    if (!prev.empty() && options_.correlation > 0.0) {
+      const auto reuse = static_cast<size_t>(options_.correlation *
+                                             static_cast<double>(len));
+      for (size_t i = 0; i < reuse && i < prev.size(); ++i) {
+        if (rng.Bernoulli(0.5)) items.insert(prev[i]);
+      }
+    }
+    while (items.size() < len) {
+      items.insert(static_cast<ItemId>(rng.Uniform(n_items)));
+    }
+    prev.assign(items.begin(), items.end());
+    patterns.push_back(prev);
+    // Corruption level per pattern: clipped normal around the mean, as in
+    // the Quest description; approximated with an exponential clip.
+    double level = options_.corruption <= 0.0
+                       ? 0.0
+                       : std::min(0.95, rng.Exponential(options_.corruption));
+    corruption_level.push_back(level);
+    const double w = rng.Exponential(1.0);
+    weight_sum += w;
+    cumulative_weight.push_back(weight_sum);
+  }
+
+  auto pick_pattern = [&]() -> size_t {
+    if (patterns.empty()) return 0;
+    const double x = rng.NextDouble() * weight_sum;
+    return static_cast<size_t>(
+        std::lower_bound(cumulative_weight.begin(), cumulative_weight.end(),
+                         x) -
+        cumulative_weight.begin());
+  };
+
+  // --- Emit transactions. --------------------------------------------------
+  TransactionDb db;
+  db.reserve(options_.num_transactions);
+  for (uint32_t t = 0; t < options_.num_transactions; ++t) {
+    const uint32_t size =
+        std::max<uint32_t>(1, rng.Poisson(options_.avg_transaction_size));
+    std::set<ItemId> items;
+    size_t guard = 0;
+    while (items.size() < size && guard++ < 64) {
+      if (patterns.empty()) {
+        items.insert(static_cast<ItemId>(rng.Uniform(n_items)));
+        continue;
+      }
+      const size_t p = pick_pattern();
+      // Corrupt the instance: drop each item with the pattern's level.
+      bool added = false;
+      for (ItemId item : patterns[p]) {
+        if (!rng.Bernoulli(corruption_level[p])) {
+          items.insert(item);
+          added = true;
+          if (items.size() >= size &&
+              rng.Bernoulli(0.5)) {  // half the time, stop at the brim
+            break;
+          }
+        }
+      }
+      if (!added) items.insert(patterns[p].front());
+    }
+    Transaction txn;
+    txn.id = static_cast<TransactionId>(t + 1);
+    txn.items.assign(items.begin(), items.end());
+    db.push_back(std::move(txn));
+  }
+  return db;
+}
+
+std::string QuestDatasetName(const QuestOptions& options) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "T%.0f.I%.0f.D%uK",
+                options.avg_transaction_size, options.avg_pattern_size,
+                options.num_transactions / 1000);
+  return buf;
+}
+
+}  // namespace setm

@@ -1,0 +1,49 @@
+#ifndef SETM_DATAGEN_QUEST_GENERATOR_H_
+#define SETM_DATAGEN_QUEST_GENERATOR_H_
+
+#include "common/random.h"
+#include "core/types.h"
+
+namespace setm {
+
+/// Parameters of the synthetic basket generator, after the IBM Quest
+/// generator of Agrawal & Srikant (the de-facto standard for association-
+/// rule benchmarks, e.g. T10.I4.D100K).
+struct QuestOptions {
+  uint32_t num_transactions = 10000;  ///< |D|
+  double avg_transaction_size = 10;   ///< |T| (Poisson mean)
+  uint32_t num_items = 1000;          ///< N
+  uint32_t num_patterns = 200;        ///< |L|: potentially frequent itemsets
+  double avg_pattern_size = 4;        ///< |I| (Poisson mean, min 1)
+  double correlation = 0.5;   ///< fraction of a pattern reused from its
+                              ///< predecessor
+  double corruption = 0.5;    ///< mean per-pattern corruption level: each
+                              ///< planted instance drops items with this
+                              ///< probability
+  uint64_t seed = 42;
+};
+
+/// Generates a transaction database in the Quest style: a pool of weighted
+/// "potentially frequent" patterns is planted into transactions whose sizes
+/// are Poisson-distributed; pattern instances are corrupted (items dropped)
+/// to soften their support. Deterministic for a fixed options struct.
+class QuestGenerator {
+ public:
+  explicit QuestGenerator(QuestOptions options = {});
+
+  /// Generates the full database. Transaction ids are 1..N; items within a
+  /// transaction are sorted and unique.
+  TransactionDb Generate();
+
+  const QuestOptions& options() const { return options_; }
+
+ private:
+  QuestOptions options_;
+};
+
+/// Convenience: the classic "T<avg>.I<pat>.D<count>" dataset name.
+std::string QuestDatasetName(const QuestOptions& options);
+
+}  // namespace setm
+
+#endif  // SETM_DATAGEN_QUEST_GENERATOR_H_

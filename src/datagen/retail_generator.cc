@@ -1,0 +1,103 @@
+#include "datagen/retail_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace setm {
+
+RetailGenerator::RetailGenerator(RetailOptions options) : options_(options) {
+  SETM_CHECK(options_.num_core_items >= 1);
+}
+
+TransactionDb RetailGenerator::Generate() {
+  const RetailOptions& o = options_;
+  Rng rng(o.seed);
+  ZipfSampler core_zipf(o.num_core_items, o.core_zipf_s);
+
+  // Planted groups. Triples take mid-popularity core ranks so their joint
+  // support (~6.5%) dominates their members' independent co-occurrence;
+  // pairs take the next ranks. Groups never share items.
+  std::vector<std::vector<ItemId>> triples;
+  std::vector<std::vector<ItemId>> pairs;
+  {
+    ItemId next = static_cast<ItemId>(std::min<uint32_t>(20, o.num_core_items / 3));
+    for (uint32_t g = 0; g < o.num_triples; ++g) {
+      triples.push_back({next, static_cast<ItemId>(next + 1),
+                         static_cast<ItemId>(next + 2)});
+      next = static_cast<ItemId>(next + 3);
+    }
+    for (uint32_t g = 0; g < o.num_pairs; ++g) {
+      pairs.push_back({next, static_cast<ItemId>(next + 1)});
+      next = static_cast<ItemId>(next + 2);
+    }
+  }
+
+  // Branch probabilities and the base basket size, solved so the expected
+  // tuple count matches avg_basket (see header).
+  const double p_triple = o.num_triples * o.triple_prob;
+  const double p_pair = o.num_pairs * o.pair_prob;
+  const double p_base = std::max(0.05, 1.0 - p_triple - p_pair);
+  const double lambda_pair = 0.6;
+  const double tail_in_triple = 0.3;
+  double lambda_base =
+      (o.avg_basket - p_triple * (3.0 + tail_in_triple) -
+       p_pair * (2.0 + lambda_pair)) /
+          p_base -
+      1.0;
+  lambda_base = std::max(0.2, lambda_base);
+
+  auto draw_core = [&]() -> ItemId {
+    return static_cast<ItemId>(core_zipf.Sample(&rng));
+  };
+  auto draw_tail = [&]() -> ItemId {
+    return static_cast<ItemId>(o.num_core_items + rng.Uniform(std::max<uint32_t>(
+                                                      o.num_tail_items, 1)));
+  };
+  auto draw_any = [&]() -> ItemId {
+    return (o.num_tail_items > 0 && rng.Bernoulli(o.tail_fraction))
+               ? draw_tail()
+               : draw_core();
+  };
+
+  TransactionDb db;
+  db.reserve(o.num_transactions);
+  for (uint32_t t = 0; t < o.num_transactions; ++t) {
+    std::set<ItemId> items;
+    const double branch = rng.NextDouble();
+    if (branch < p_triple && !triples.empty()) {
+      // A planted triple; any extra item comes from the rare tail only, so
+      // no 4-itemset ever reaches the 0.1% support floor (C4 stays empty).
+      const auto& g = triples[rng.Uniform(triples.size())];
+      items.insert(g.begin(), g.end());
+      if (o.num_tail_items > 0 && rng.Bernoulli(tail_in_triple)) {
+        items.insert(draw_tail());
+      }
+    } else if (branch < p_triple + p_pair && !pairs.empty()) {
+      const auto& g = pairs[rng.Uniform(pairs.size())];
+      items.insert(g.begin(), g.end());
+      const uint32_t extras = rng.Poisson(lambda_pair);
+      for (uint32_t i = 0; i < extras; ++i) items.insert(draw_any());
+    } else {
+      uint32_t size = 1 + rng.Poisson(lambda_base);
+      size = std::min<uint32_t>(size, 8);
+      size_t guard = 0;
+      while (items.size() < size && guard++ < 64) items.insert(draw_any());
+    }
+    if (items.empty()) items.insert(draw_core());
+    Transaction txn;
+    txn.id = static_cast<TransactionId>(t + 1);
+    txn.items.assign(items.begin(), items.end());
+    db.push_back(std::move(txn));
+  }
+  return db;
+}
+
+uint64_t CountSalesTuples(const TransactionDb& db) {
+  uint64_t total = 0;
+  for (const Transaction& t : db) total += t.items.size();
+  return total;
+}
+
+}  // namespace setm

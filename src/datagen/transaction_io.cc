@@ -1,0 +1,121 @@
+#include "datagen/transaction_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace setm {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+Status SaveTransactionsCsv(const std::string& path, const TransactionDb& db) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  if (std::fputs("trans_id,item\n", f.get()) < 0) {
+    return Status::IOError("write failed on " + path);
+  }
+  for (const Transaction& t : db) {
+    for (ItemId item : t.items) {
+      if (std::fprintf(f.get(), "%d,%d\n", t.id, item) < 0) {
+        return Status::IOError("write failed on " + path);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<TransactionDb> LoadTransactionsCsv(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) return Status::IOError("cannot open " + path + " for reading");
+  std::map<TransactionId, std::vector<ItemId>> grouped;
+  char line[256];
+  size_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++lineno;
+    // Skip a header line and blank lines.
+    if (lineno == 1 && std::strchr(line, ',') != nullptr &&
+        !std::isdigit(static_cast<unsigned char>(line[0]))) {
+      continue;
+    }
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    long tid, item;
+    if (std::sscanf(line, "%ld,%ld", &tid, &item) != 2) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected 'trans_id,item'");
+    }
+    grouped[static_cast<TransactionId>(tid)].push_back(
+        static_cast<ItemId>(item));
+  }
+  TransactionDb db;
+  db.reserve(grouped.size());
+  for (auto& [tid, items] : grouped) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    db.push_back(Transaction{tid, std::move(items)});
+  }
+  return db;
+}
+
+Status SaveTransactionsBinary(const std::string& path,
+                              const TransactionDb& db) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  const uint32_t n = static_cast<uint32_t>(db.size());
+  if (std::fwrite(&n, sizeof(n), 1, f.get()) != 1) {
+    return Status::IOError("write failed on " + path);
+  }
+  for (const Transaction& t : db) {
+    const int32_t id = t.id;
+    const uint32_t len = static_cast<uint32_t>(t.items.size());
+    if (std::fwrite(&id, sizeof(id), 1, f.get()) != 1 ||
+        std::fwrite(&len, sizeof(len), 1, f.get()) != 1) {
+      return Status::IOError("write failed on " + path);
+    }
+    if (len > 0 &&
+        std::fwrite(t.items.data(), sizeof(ItemId), len, f.get()) != len) {
+      return Status::IOError("write failed on " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<TransactionDb> LoadTransactionsBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open " + path + " for reading");
+  uint32_t n;
+  if (std::fread(&n, sizeof(n), 1, f.get()) != 1) {
+    return Status::Corruption(path + ": truncated header");
+  }
+  TransactionDb db;
+  db.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t id;
+    uint32_t len;
+    if (std::fread(&id, sizeof(id), 1, f.get()) != 1 ||
+        std::fread(&len, sizeof(len), 1, f.get()) != 1) {
+      return Status::Corruption(path + ": truncated transaction header");
+    }
+    Transaction t;
+    t.id = id;
+    t.items.resize(len);
+    if (len > 0 &&
+        std::fread(t.items.data(), sizeof(ItemId), len, f.get()) != len) {
+      return Status::Corruption(path + ": truncated item list");
+    }
+    db.push_back(std::move(t));
+  }
+  return db;
+}
+
+}  // namespace setm

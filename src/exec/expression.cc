@@ -1,0 +1,101 @@
+#include "exec/expression.h"
+
+namespace setm {
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+bool ValueIsTrue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt32:
+    case ValueType::kInt64:
+      return v.NumericInt() != 0;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0.0;
+    case ValueType::kString:
+      return !v.AsString().empty();
+  }
+  return false;
+}
+
+Result<Value> BinaryExpr::Eval(const Tuple& row) const {
+  auto l = lhs_->Eval(row);
+  if (!l.ok()) return l.status();
+
+  if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+    const bool lv = ValueIsTrue(l.value());
+    // Short-circuit.
+    if (op_ == BinaryOp::kAnd && !lv) return Value::Int32(0);
+    if (op_ == BinaryOp::kOr && lv) return Value::Int32(1);
+    auto r = rhs_->Eval(row);
+    if (!r.ok()) return r.status();
+    return Value::Int32(ValueIsTrue(r.value()) ? 1 : 0);
+  }
+
+  auto r = rhs_->Eval(row);
+  if (!r.ok()) return r.status();
+  const int c = l.value().Compare(r.value());
+  bool out = false;
+  switch (op_) {
+    case BinaryOp::kEq:
+      out = c == 0;
+      break;
+    case BinaryOp::kNe:
+      out = c != 0;
+      break;
+    case BinaryOp::kLt:
+      out = c < 0;
+      break;
+    case BinaryOp::kLe:
+      out = c <= 0;
+      break;
+    case BinaryOp::kGt:
+      out = c > 0;
+      break;
+    case BinaryOp::kGe:
+      out = c >= 0;
+      break;
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      break;  // handled above
+  }
+  return Value::Int32(out ? 1 : 0);
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + lhs_->ToString() + " " + std::string(BinaryOpName(op_)) + " " +
+         rhs_->ToString() + ")";
+}
+
+ExprPtr ConjoinAll(std::vector<ExprPtr> conjuncts) {
+  ExprPtr out;
+  for (auto& c : conjuncts) {
+    if (!out) {
+      out = std::move(c);
+    } else {
+      out = Binary(BinaryOp::kAnd, std::move(out), std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace setm

@@ -1,0 +1,122 @@
+#ifndef SETM_EXEC_EXPRESSION_H_
+#define SETM_EXEC_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/tuple.h"
+
+namespace setm {
+
+/// Binary operators supported in scalar expressions. Comparisons and the
+/// logical connectives evaluate to INT32 0/1 (the engine has no separate
+/// boolean type).
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+/// Returns the SQL spelling of an operator ("=", "<>", "AND", ...).
+std::string_view BinaryOpName(BinaryOp op);
+
+/// A scalar expression evaluated against one input row. Expressions are
+/// immutable trees produced by the SQL binder (or built directly by tests).
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates against `row`.
+  virtual Result<Value> Eval(const Tuple& row) const = 0;
+
+  /// Debug rendering.
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Reference to an input column by position.
+class ColumnExpr : public Expr {
+ public:
+  /// `name` is carried for diagnostics only.
+  ColumnExpr(size_t index, std::string name = "")
+      : index_(index), name_(std::move(name)) {}
+
+  Result<Value> Eval(const Tuple& row) const override {
+    if (index_ >= row.NumValues()) {
+      return Status::Internal("column index " + std::to_string(index_) +
+                              " out of range for tuple of " +
+                              std::to_string(row.NumValues()));
+    }
+    return row.value(index_);
+  }
+
+  std::string ToString() const override {
+    return name_.empty() ? "#" + std::to_string(index_) : name_;
+  }
+
+  size_t index() const { return index_; }
+
+ private:
+  size_t index_;
+  std::string name_;
+};
+
+/// Literal constant.
+class ConstExpr : public Expr {
+ public:
+  explicit ConstExpr(Value v) : value_(std::move(v)) {}
+
+  Result<Value> Eval(const Tuple&) const override { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// Binary comparison or logical connective.
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Eval(const Tuple& row) const override;
+  std::string ToString() const override;
+
+  BinaryOp op() const { return op_; }
+  const Expr* lhs() const { return lhs_.get(); }
+  const Expr* rhs() const { return rhs_.get(); }
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// True iff `v` is truthy (non-zero numeric, non-empty string).
+bool ValueIsTrue(const Value& v);
+
+/// Convenience builders used heavily in tests and the planner.
+inline ExprPtr Col(size_t index, std::string name = "") {
+  return std::make_unique<ColumnExpr>(index, std::move(name));
+}
+inline ExprPtr Const(Value v) {
+  return std::make_unique<ConstExpr>(std::move(v));
+}
+inline ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<BinaryExpr>(op, std::move(l), std::move(r));
+}
+/// AND of all conjuncts; nullptr for an empty list (meaning "true").
+ExprPtr ConjoinAll(std::vector<ExprPtr> conjuncts);
+
+}  // namespace setm
+
+#endif  // SETM_EXEC_EXPRESSION_H_

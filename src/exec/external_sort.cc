@@ -1,0 +1,257 @@
+#include "exec/external_sort.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace setm {
+
+namespace {
+
+/// Upper bound on runs merged at once. The effective fan-in is further
+/// capped by the temp buffer pool capacity (each run needs its head page
+/// resident, like any real external sort); extra runs trigger cascaded
+/// merge passes.
+constexpr size_t kMaxFanIn = 64;
+
+size_t EffectiveFanIn(const ExecContext& ctx) {
+  const size_t frames =
+      ctx.temp_pool != nullptr ? ctx.temp_pool->capacity() : kMaxFanIn;
+  const size_t budget = frames > 4 ? frames - 4 : 2;  // leave output room
+  return std::max<size_t>(2, std::min(kMaxFanIn, budget));
+}
+
+/// Streams one spilled run back as tuples.
+class RunReader {
+ public:
+  RunReader(const TableHeap* heap, const Schema* schema)
+      : it_(heap->Begin()), schema_(schema) {}
+
+  Result<bool> Next(Tuple* out) {
+    if (!it_.Valid()) return false;
+    auto t = Tuple::Deserialize(*schema_, it_.record());
+    if (!t.ok()) return t.status();
+    *out = std::move(t).value();
+    SETM_RETURN_IF_ERROR(it_.Next());
+    return true;
+  }
+
+ private:
+  TableHeap::Iterator it_;
+  const Schema* schema_;
+};
+
+/// K-way merge over runs. Stability: ties broken by run index, and runs are
+/// created in arrival order, so equal keys keep their original order.
+class MergeIterator : public TupleIterator {
+ public:
+  MergeIterator(std::vector<RunReader> readers, const Schema* schema,
+                const TupleComparator* cmp)
+      : readers_(std::move(readers)), schema_(schema), cmp_(cmp) {
+    heads_.resize(readers_.size());
+    live_.resize(readers_.size(), false);
+  }
+
+  Status Prime() {
+    for (size_t i = 0; i < readers_.size(); ++i) {
+      SETM_RETURN_IF_ERROR(Advance(i));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    // Linear scan over run heads. Fan-in is <= 64 and comparisons are
+    // cheap relative to deserialization, so a loser tree is not needed.
+    int best = -1;
+    for (size_t i = 0; i < readers_.size(); ++i) {
+      if (!live_[i]) continue;
+      if (best < 0 || cmp_->Compare(heads_[i], heads_[best]) < 0) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) return false;
+    *out = std::move(heads_[best]);
+    SETM_RETURN_IF_ERROR(Advance(static_cast<size_t>(best)));
+    return true;
+  }
+
+  const Schema& schema() const override { return *schema_; }
+
+ private:
+  Status Advance(size_t i) {
+    auto more = readers_[i].Next(&heads_[i]);
+    if (!more.ok()) return more.status();
+    live_[i] = more.value();
+    return Status::OK();
+  }
+
+  std::vector<RunReader> readers_;
+  const Schema* schema_;
+  const TupleComparator* cmp_;
+  std::vector<Tuple> heads_;
+  std::vector<bool> live_;
+};
+
+/// Iterator over an owned, already-sorted vector (in-memory fast path).
+class VectorIterator : public TupleIterator {
+ public:
+  VectorIterator(std::vector<Tuple> rows, Schema schema)
+      : rows_(std::move(rows)), schema_(std::move(schema)) {}
+
+  Result<bool> Next(Tuple* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = std::move(rows_[pos_++]);
+    return true;
+  }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  std::vector<Tuple> rows_;
+  Schema schema_;
+  size_t pos_ = 0;
+};
+
+/// Owns the merge state (runs + comparator) for the streaming final merge.
+class OwningMergeIterator : public TupleIterator {
+ public:
+  OwningMergeIterator(std::vector<TableHeap> runs, Schema schema,
+                      TupleComparator cmp)
+      : runs_(std::move(runs)),
+        schema_(std::move(schema)),
+        cmp_(std::move(cmp)) {
+    std::vector<RunReader> readers;
+    readers.reserve(runs_.size());
+    for (const TableHeap& run : runs_) {
+      readers.emplace_back(&run, &schema_);
+    }
+    merge_ = std::make_unique<MergeIterator>(std::move(readers), &schema_,
+                                             &cmp_);
+  }
+
+  Status Prime() { return merge_->Prime(); }
+
+  Result<bool> Next(Tuple* out) override { return merge_->Next(out); }
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  std::vector<TableHeap> runs_;
+  Schema schema_;
+  TupleComparator cmp_;
+  std::unique_ptr<MergeIterator> merge_;
+};
+
+}  // namespace
+
+ExternalSort::ExternalSort(ExecContext ctx, Schema schema, TupleComparator cmp)
+    : ctx_(ctx), schema_(std::move(schema)), cmp_(std::move(cmp)) {}
+
+Status ExternalSort::Add(Tuple row) {
+  SETM_DCHECK(!finished_);
+  ++stats_.rows;
+  buffer_bytes_ += row.SerializedSize(schema_);
+  buffer_.push_back(std::move(row));
+  if (buffer_bytes_ >= ctx_.sort_memory_bytes) {
+    SETM_RETURN_IF_ERROR(SpillRun());
+  }
+  return Status::OK();
+}
+
+Status ExternalSort::SpillRun() {
+  if (buffer_.empty()) return Status::OK();
+  std::stable_sort(buffer_.begin(), buffer_.end(), cmp_);
+  auto heap_or = TableHeap::Create(ctx_.temp_pool);
+  if (!heap_or.ok()) return heap_or.status();
+  TableHeap heap = std::move(heap_or).value();
+  std::string record;
+  for (const Tuple& t : buffer_) {
+    record.clear();
+    t.SerializeTo(schema_, &record);
+    auto rid = heap.Insert(record);
+    if (!rid.ok()) return rid.status();
+  }
+  runs_.push_back(std::move(heap));
+  ++stats_.runs;
+  ++stats_.spilled_runs;
+  buffer_.clear();
+  buffer_bytes_ = 0;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TupleIterator>> ExternalSort::Finish() {
+  SETM_DCHECK(!finished_);
+  finished_ = true;
+
+  if (runs_.empty()) {
+    // Fully in-memory.
+    std::stable_sort(buffer_.begin(), buffer_.end(), cmp_);
+    stats_.runs = 1;
+    return std::unique_ptr<TupleIterator>(
+        std::make_unique<VectorIterator>(std::move(buffer_), schema_));
+  }
+
+  SETM_RETURN_IF_ERROR(SpillRun());
+
+  // Cascade merge passes while the run count exceeds the fan-in.
+  const size_t fan_in = EffectiveFanIn(ctx_);
+  while (runs_.size() > fan_in) {
+    ++stats_.merge_passes;
+    std::vector<TableHeap> next;
+    size_t i = 0;
+    while (i < runs_.size()) {
+      const size_t take = std::min(fan_in, runs_.size() - i);
+      if (take == 1) {
+        next.push_back(std::move(runs_[i]));
+        ++i;
+        continue;
+      }
+      std::vector<TableHeap> group;
+      group.reserve(take);
+      for (size_t j = 0; j < take; ++j) group.push_back(std::move(runs_[i + j]));
+      i += take;
+      OwningMergeIterator merge(std::move(group), schema_, cmp_);
+      SETM_RETURN_IF_ERROR(merge.Prime());
+      auto out_or = TableHeap::Create(ctx_.temp_pool);
+      if (!out_or.ok()) return out_or.status();
+      TableHeap out = std::move(out_or).value();
+      Tuple row;
+      std::string record;
+      while (true) {
+        auto more = merge.Next(&row);
+        if (!more.ok()) return more.status();
+        if (!more.value()) break;
+        record.clear();
+        row.SerializeTo(schema_, &record);
+        auto rid = out.Insert(record);
+        if (!rid.ok()) return rid.status();
+      }
+      next.push_back(std::move(out));
+    }
+    runs_ = std::move(next);
+  }
+
+  auto merge = std::make_unique<OwningMergeIterator>(std::move(runs_), schema_,
+                                                     cmp_);
+  SETM_RETURN_IF_ERROR(merge->Prime());
+  return std::unique_ptr<TupleIterator>(std::move(merge));
+}
+
+Result<bool> SortIterator::Next(Tuple* out) {
+  if (!sorted_) {
+    ExternalSort sort(ctx_, schema_, cmp_);
+    Tuple row;
+    while (true) {
+      auto more = child_->Next(&row);
+      if (!more.ok()) return more.status();
+      if (!more.value()) break;
+      SETM_RETURN_IF_ERROR(sort.Add(std::move(row)));
+    }
+    auto sorted_or = sort.Finish();
+    if (!sorted_or.ok()) return sorted_or.status();
+    sorted_ = std::move(sorted_or).value();
+    stats_ = sort.stats();
+  }
+  return sorted_->Next(out);
+}
+
+}  // namespace setm

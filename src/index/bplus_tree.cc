@@ -1,0 +1,512 @@
+#include "index/bplus_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace setm {
+
+namespace {
+
+// Node layouts --------------------------------------------------------------
+//
+// Both node kinds fit exactly one page:
+//   leaf:     [NodeHeader | Entry entries[kLeafCap]]
+//   internal: [NodeHeader | PageId children[kInternalCap+1]
+//                         | Entry separators[kInternalCap]]
+//
+// Internal separators are full (key, payload) pairs: the tree orders by the
+// pair, which keeps duplicate keys exact instead of "mostly sorted".
+// children[i] covers pairs < separators[i]; children[i+1] covers >= .
+
+struct NodeHeader {
+  uint16_t is_leaf;
+  uint16_t num_keys;
+  PageId next_leaf;  // leaves only; kInvalidPageId elsewhere
+};
+
+constexpr size_t kHeaderSize = sizeof(NodeHeader);
+constexpr size_t kLeafCap = (kPageSize - kHeaderSize) / sizeof(BPlusTree::Entry);
+constexpr size_t kInternalCap =
+    (kPageSize - kHeaderSize - sizeof(PageId)) /
+    (sizeof(BPlusTree::Entry) + sizeof(PageId));
+
+static_assert(kLeafCap >= 4, "page too small");
+static_assert(kInternalCap >= 4, "page too small");
+
+NodeHeader* Header(Page* p) { return p->As<NodeHeader>(); }
+const NodeHeader* Header(const Page* p) { return p->As<NodeHeader>(); }
+
+BPlusTree::Entry* LeafEntries(Page* p) {
+  return p->As<BPlusTree::Entry>(kHeaderSize);
+}
+const BPlusTree::Entry* LeafEntries(const Page* p) {
+  return p->As<BPlusTree::Entry>(kHeaderSize);
+}
+
+PageId* Children(Page* p) { return p->As<PageId>(kHeaderSize); }
+const PageId* Children(const Page* p) { return p->As<PageId>(kHeaderSize); }
+
+constexpr size_t kSepOffset = kHeaderSize + (kInternalCap + 1) * sizeof(PageId);
+
+BPlusTree::Entry* Separators(Page* p) {
+  return p->As<BPlusTree::Entry>(kSepOffset);
+}
+const BPlusTree::Entry* Separators(const Page* p) {
+  return p->As<BPlusTree::Entry>(kSepOffset);
+}
+
+void InitLeaf(Page* p) {
+  p->Clear();
+  NodeHeader* h = Header(p);
+  h->is_leaf = 1;
+  h->num_keys = 0;
+  h->next_leaf = kInvalidPageId;
+}
+
+void InitInternal(Page* p) {
+  p->Clear();
+  NodeHeader* h = Header(p);
+  h->is_leaf = 0;
+  h->num_keys = 0;
+  h->next_leaf = kInvalidPageId;
+}
+
+// First position in [0, n) whose entry is >= e.
+uint16_t LowerBound(const BPlusTree::Entry* entries, uint16_t n,
+                    const BPlusTree::Entry& e) {
+  return static_cast<uint16_t>(
+      std::lower_bound(entries, entries + n, e) - entries);
+}
+
+// Child index to follow for pair e: number of separators <= e.
+uint16_t ChildIndex(const Page* p, const BPlusTree::Entry& e) {
+  const NodeHeader* h = Header(p);
+  const BPlusTree::Entry* seps = Separators(p);
+  return static_cast<uint16_t>(
+      std::upper_bound(seps, seps + h->num_keys, e) - seps);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Result<BPlusTree> BPlusTree::Create(BufferPool* pool) {
+  BPlusTree tree(pool);
+  auto guard_or = pool->NewPage();
+  if (!guard_or.ok()) return guard_or.status();
+  InitLeaf(guard_or.value().page());
+  guard_or.value().MarkDirty();
+  tree.root_ = guard_or.value().id();
+  tree.num_pages_ = 1;
+  return tree;
+}
+
+Result<BPlusTree> BPlusTree::BulkLoad(
+    BufferPool* pool, const std::vector<Entry>& sorted_entries) {
+  SETM_DCHECK(std::is_sorted(sorted_entries.begin(), sorted_entries.end()));
+  if (sorted_entries.empty()) return Create(pool);
+
+  BPlusTree tree(pool);
+  // Level 0: pack leaves left to right.
+  struct NodeRef {
+    PageId id;
+    Entry first;  // smallest pair in the subtree
+  };
+  std::vector<NodeRef> level;
+  PageId prev_leaf = kInvalidPageId;
+  size_t pos = 0;
+  while (pos < sorted_entries.size()) {
+    auto guard_or = pool->NewPage();
+    if (!guard_or.ok()) return guard_or.status();
+    PageGuard guard = std::move(guard_or).value();
+    InitLeaf(guard.page());
+    ++tree.num_pages_;
+    const size_t n = std::min(kLeafCap, sorted_entries.size() - pos);
+    std::memcpy(LeafEntries(guard.page()), sorted_entries.data() + pos,
+                n * sizeof(Entry));
+    Header(guard.page())->num_keys = static_cast<uint16_t>(n);
+    guard.MarkDirty();
+    if (prev_leaf != kInvalidPageId) {
+      auto prev_or = pool->FetchPage(prev_leaf);
+      if (!prev_or.ok()) return prev_or.status();
+      Header(prev_or.value().page())->next_leaf = guard.id();
+      prev_or.value().MarkDirty();
+    }
+    level.push_back(NodeRef{guard.id(), sorted_entries[pos]});
+    prev_leaf = guard.id();
+    pos += n;
+  }
+
+  // Build internal levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<NodeRef> next;
+    size_t i = 0;
+    while (i < level.size()) {
+      auto guard_or = pool->NewPage();
+      if (!guard_or.ok()) return guard_or.status();
+      PageGuard guard = std::move(guard_or).value();
+      InitInternal(guard.page());
+      ++tree.num_pages_;
+      // Fan-in: up to kInternalCap+1 children per node, but never leave a
+      // single orphan child for the last node.
+      size_t take = std::min(kInternalCap + 1, level.size() - i);
+      if (level.size() - i - take == 1) --take;  // rebalance the tail
+      NodeHeader* h = Header(guard.page());
+      PageId* children = Children(guard.page());
+      Entry* seps = Separators(guard.page());
+      for (size_t j = 0; j < take; ++j) {
+        children[j] = level[i + j].id;
+        if (j > 0) seps[j - 1] = level[i + j].first;
+      }
+      h->num_keys = static_cast<uint16_t>(take - 1);
+      guard.MarkDirty();
+      next.push_back(NodeRef{guard.id(), level[i].first});
+      i += take;
+    }
+    level = std::move(next);
+    ++tree.height_;
+  }
+  tree.root_ = level[0].id;
+  tree.num_entries_ = sorted_entries.size();
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Insert
+// ---------------------------------------------------------------------------
+
+Status BPlusTree::Insert(uint64_t key, uint64_t value) {
+  auto split_or = InsertRecursive(root_, key, value);
+  if (!split_or.ok()) return split_or.status();
+  const SplitResult& split = split_or.value();
+  if (split.split) {
+    // Grow a new root.
+    auto guard_or = pool_->NewPage();
+    if (!guard_or.ok()) return guard_or.status();
+    PageGuard guard = std::move(guard_or).value();
+    InitInternal(guard.page());
+    ++num_pages_;
+    NodeHeader* h = Header(guard.page());
+    Children(guard.page())[0] = root_;
+    Children(guard.page())[1] = split.right;
+    Separators(guard.page())[0] = Entry{split.sep_key, split.sep_value};
+    h->num_keys = 1;
+    guard.MarkDirty();
+    root_ = guard.id();
+    ++height_;
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+Result<BPlusTree::SplitResult> BPlusTree::InsertRecursive(PageId node,
+                                                          uint64_t key,
+                                                          uint64_t value) {
+  auto guard_or = pool_->FetchPage(node);
+  if (!guard_or.ok()) return guard_or.status();
+  PageGuard guard = std::move(guard_or).value();
+  Page* p = guard.page();
+  NodeHeader* h = Header(p);
+  const Entry e{key, value};
+
+  if (h->is_leaf) {
+    Entry* entries = LeafEntries(p);
+    uint16_t pos = LowerBound(entries, h->num_keys, e);
+    if (pos < h->num_keys && entries[pos] == e) {
+      return Status::AlreadyExists("duplicate index entry");
+    }
+    if (h->num_keys < kLeafCap) {
+      std::memmove(entries + pos + 1, entries + pos,
+                   (h->num_keys - pos) * sizeof(Entry));
+      entries[pos] = e;
+      ++h->num_keys;
+      guard.MarkDirty();
+      return SplitResult{};
+    }
+    // Split the leaf: upper half moves right.
+    auto right_or = pool_->NewPage();
+    if (!right_or.ok()) return right_or.status();
+    PageGuard right = std::move(right_or).value();
+    InitLeaf(right.page());
+    ++num_pages_;
+    NodeHeader* rh = Header(right.page());
+    Entry* rentries = LeafEntries(right.page());
+    const uint16_t mid = static_cast<uint16_t>(kLeafCap / 2);
+    const uint16_t move = static_cast<uint16_t>(kLeafCap - mid);
+    std::memcpy(rentries, entries + mid, move * sizeof(Entry));
+    rh->num_keys = move;
+    h->num_keys = mid;
+    rh->next_leaf = h->next_leaf;
+    h->next_leaf = right.id();
+    // Insert into the proper half.
+    if (e < rentries[0]) {
+      uint16_t ipos = LowerBound(entries, h->num_keys, e);
+      std::memmove(entries + ipos + 1, entries + ipos,
+                   (h->num_keys - ipos) * sizeof(Entry));
+      entries[ipos] = e;
+      ++h->num_keys;
+    } else {
+      uint16_t ipos = LowerBound(rentries, rh->num_keys, e);
+      std::memmove(rentries + ipos + 1, rentries + ipos,
+                   (rh->num_keys - ipos) * sizeof(Entry));
+      rentries[ipos] = e;
+      ++rh->num_keys;
+    }
+    guard.MarkDirty();
+    right.MarkDirty();
+    SplitResult out;
+    out.split = true;
+    out.sep_key = rentries[0].key;
+    out.sep_value = rentries[0].value;
+    out.right = right.id();
+    return out;
+  }
+
+  // Internal node.
+  const uint16_t child_idx = ChildIndex(p, e);
+  const PageId child = Children(p)[child_idx];
+  auto child_split_or = InsertRecursive(child, key, value);
+  if (!child_split_or.ok()) return child_split_or.status();
+  const SplitResult child_split = child_split_or.value();
+  if (!child_split.split) return SplitResult{};
+
+  const Entry sep{child_split.sep_key, child_split.sep_value};
+  Entry* seps = Separators(p);
+  PageId* children = Children(p);
+  uint16_t pos = LowerBound(seps, h->num_keys, sep);
+  if (h->num_keys < kInternalCap) {
+    std::memmove(seps + pos + 1, seps + pos,
+                 (h->num_keys - pos) * sizeof(Entry));
+    std::memmove(children + pos + 2, children + pos + 1,
+                 (h->num_keys - pos) * sizeof(PageId));
+    seps[pos] = sep;
+    children[pos + 1] = child_split.right;
+    ++h->num_keys;
+    guard.MarkDirty();
+    return SplitResult{};
+  }
+
+  // Split this internal node. Assemble the full sequence, then cut at the
+  // middle separator (which is promoted, not retained).
+  std::vector<Entry> all_seps(seps, seps + h->num_keys);
+  std::vector<PageId> all_children(children, children + h->num_keys + 1);
+  all_seps.insert(all_seps.begin() + pos, sep);
+  all_children.insert(all_children.begin() + pos + 1, child_split.right);
+
+  const size_t total = all_seps.size();  // kInternalCap + 1
+  const size_t mid = total / 2;
+  auto right_or = pool_->NewPage();
+  if (!right_or.ok()) return right_or.status();
+  PageGuard right = std::move(right_or).value();
+  InitInternal(right.page());
+  ++num_pages_;
+
+  // Left keeps separators [0, mid) and children [0, mid].
+  h->num_keys = static_cast<uint16_t>(mid);
+  std::memcpy(seps, all_seps.data(), mid * sizeof(Entry));
+  std::memcpy(children, all_children.data(), (mid + 1) * sizeof(PageId));
+
+  // Right takes separators (mid, total) and children [mid+1, total].
+  NodeHeader* rh = Header(right.page());
+  rh->num_keys = static_cast<uint16_t>(total - mid - 1);
+  std::memcpy(Separators(right.page()), all_seps.data() + mid + 1,
+              rh->num_keys * sizeof(Entry));
+  std::memcpy(Children(right.page()), all_children.data() + mid + 1,
+              (rh->num_keys + 1) * sizeof(PageId));
+
+  guard.MarkDirty();
+  right.MarkDirty();
+  SplitResult out;
+  out.split = true;
+  out.sep_key = all_seps[mid].key;
+  out.sep_value = all_seps[mid].value;
+  out.right = right.id();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Point operations
+// ---------------------------------------------------------------------------
+
+Result<PageId> BPlusTree::FindLeaf(uint64_t key, uint64_t value) const {
+  const Entry e{key, value};
+  PageId node = root_;
+  while (true) {
+    auto guard_or = pool_->FetchPage(node);
+    if (!guard_or.ok()) return guard_or.status();
+    const Page* p = guard_or.value().page();
+    if (Header(p)->is_leaf) return node;
+    node = Children(p)[ChildIndex(p, e)];
+  }
+}
+
+Status BPlusTree::Delete(uint64_t key, uint64_t value) {
+  auto leaf_or = FindLeaf(key, value);
+  if (!leaf_or.ok()) return leaf_or.status();
+  auto guard_or = pool_->FetchPage(leaf_or.value());
+  if (!guard_or.ok()) return guard_or.status();
+  PageGuard guard = std::move(guard_or).value();
+  Page* p = guard.page();
+  NodeHeader* h = Header(p);
+  Entry* entries = LeafEntries(p);
+  const Entry e{key, value};
+  uint16_t pos = LowerBound(entries, h->num_keys, e);
+  if (pos >= h->num_keys || !(entries[pos] == e)) {
+    return Status::NotFound("index entry not found");
+  }
+  std::memmove(entries + pos, entries + pos + 1,
+               (h->num_keys - pos - 1) * sizeof(Entry));
+  --h->num_keys;
+  guard.MarkDirty();
+  --num_entries_;
+  return Status::OK();
+}
+
+Result<bool> BPlusTree::Contains(uint64_t key, uint64_t value) const {
+  auto leaf_or = FindLeaf(key, value);
+  if (!leaf_or.ok()) return leaf_or.status();
+  auto guard_or = pool_->FetchPage(leaf_or.value());
+  if (!guard_or.ok()) return guard_or.status();
+  const Page* p = guard_or.value().page();
+  const NodeHeader* h = Header(p);
+  const Entry* entries = LeafEntries(p);
+  const Entry e{key, value};
+  uint16_t pos = LowerBound(entries, h->num_keys, e);
+  return pos < h->num_keys && entries[pos] == e;
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+Status BPlusTree::Iterator::LoadCurrent() {
+  valid_ = false;
+  while (leaf_ != kInvalidPageId) {
+    auto guard_or = tree_->pool_->FetchPage(leaf_);
+    if (!guard_or.ok()) return guard_or.status();
+    const Page* p = guard_or.value().page();
+    const NodeHeader* h = Header(p);
+    if (slot_ < h->num_keys) {
+      entry_ = LeafEntries(p)[slot_];
+      valid_ = true;
+      return Status::OK();
+    }
+    leaf_ = h->next_leaf;  // skip exhausted/empty leaves
+    slot_ = 0;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::Iterator::Next() {
+  SETM_DCHECK(valid_);
+  ++slot_;
+  return LoadCurrent();
+}
+
+Result<BPlusTree::Iterator> BPlusTree::Seek(uint64_t key) const {
+  auto leaf_or = FindLeaf(key, 0);
+  if (!leaf_or.ok()) return leaf_or.status();
+  auto guard_or = pool_->FetchPage(leaf_or.value());
+  if (!guard_or.ok()) return guard_or.status();
+  const Page* p = guard_or.value().page();
+  const NodeHeader* h = Header(p);
+  const Entry e{key, 0};
+  uint16_t pos = LowerBound(LeafEntries(p), h->num_keys, e);
+  Iterator it(this, leaf_or.value(), pos);
+  SETM_RETURN_IF_ERROR(it.LoadCurrent());
+  return it;
+}
+
+Result<BPlusTree::Iterator> BPlusTree::Begin() const { return Seek(0); }
+
+Status BPlusTree::GetAll(uint64_t key, std::vector<uint64_t>* values) const {
+  auto it_or = Seek(key);
+  if (!it_or.ok()) return it_or.status();
+  Iterator it = std::move(it_or).value();
+  while (it.Valid() && it.entry().key == key) {
+    values->push_back(it.entry().value);
+    SETM_RETURN_IF_ERROR(it.Next());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (test hook)
+// ---------------------------------------------------------------------------
+
+namespace {
+struct CheckContext {
+  const BufferPool* pool;
+  uint64_t entries_seen = 0;
+};
+}  // namespace
+
+Status BPlusTree::CheckInvariants() const {
+  // Recursive structural check with (lo, hi) pair bounds.
+  struct Checker {
+    BufferPool* pool;
+    uint64_t leaf_entries = 0;
+
+    Status Check(PageId node, const Entry* lo, const Entry* hi, int depth,
+                 int* leaf_depth) {
+      auto guard_or = pool->FetchPage(node);
+      if (!guard_or.ok()) return guard_or.status();
+      const Page* p = guard_or.value().page();
+      const NodeHeader* h = Header(p);
+      if (h->is_leaf) {
+        if (*leaf_depth == -1) *leaf_depth = depth;
+        if (*leaf_depth != depth) {
+          return Status::Corruption("leaves at differing depths");
+        }
+        const Entry* entries = LeafEntries(p);
+        for (uint16_t i = 0; i < h->num_keys; ++i) {
+          if (i > 0 && !(entries[i - 1] < entries[i])) {
+            return Status::Corruption("leaf entries out of order");
+          }
+          if (lo != nullptr && entries[i] < *lo) {
+            return Status::Corruption("leaf entry below subtree bound");
+          }
+          if (hi != nullptr && !(entries[i] < *hi)) {
+            return Status::Corruption("leaf entry above subtree bound");
+          }
+        }
+        leaf_entries += h->num_keys;
+        return Status::OK();
+      }
+      const Entry* seps = Separators(p);
+      const PageId* children = Children(p);
+      if (h->num_keys == 0) {
+        return Status::Corruption("internal node without separators");
+      }
+      for (uint16_t i = 0; i < h->num_keys; ++i) {
+        if (i > 0 && !(seps[i - 1] < seps[i])) {
+          return Status::Corruption("separators out of order");
+        }
+      }
+      for (uint16_t i = 0; i <= h->num_keys; ++i) {
+        const Entry* child_lo = i == 0 ? lo : &seps[i - 1];
+        const Entry* child_hi = i == h->num_keys ? hi : &seps[i];
+        SETM_RETURN_IF_ERROR(
+            Check(children[i], child_lo, child_hi, depth + 1, leaf_depth));
+      }
+      return Status::OK();
+    }
+  };
+
+  Checker checker{pool_};
+  int leaf_depth = -1;
+  SETM_RETURN_IF_ERROR(
+      checker.Check(root_, nullptr, nullptr, 0, &leaf_depth));
+  if (checker.leaf_entries != num_entries_) {
+    return Status::Corruption("entry count mismatch: tree says " +
+                              std::to_string(num_entries_) + ", found " +
+                              std::to_string(checker.leaf_entries));
+  }
+  return Status::OK();
+}
+
+}  // namespace setm

@@ -1,0 +1,61 @@
+#include "relational/catalog.h"
+
+#include <algorithm>
+
+namespace setm {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
+                                    TableBacking backing) {
+  const std::string key = IdentFold(name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  std::unique_ptr<Table> table;
+  if (backing == TableBacking::kMemory) {
+    table = std::make_unique<MemTable>(key, std::move(schema));
+  } else {
+    if (pool_ == nullptr) {
+      return Status::InvalidArgument(
+          "catalog has no buffer pool; cannot create heap table '" + name +
+          "'");
+    }
+    auto t = HeapTable::Create(key, std::move(schema), pool_);
+    if (!t.ok()) return t.status();
+    table = std::move(t).value();
+  }
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  creation_order_.push_back(key);
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(IdentFold(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(IdentFold(name)) != 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  const std::string key = IdentFold(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  tables_.erase(it);
+  creation_order_.erase(
+      std::remove(creation_order_.begin(), creation_order_.end(), key),
+      creation_order_.end());
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  return creation_order_;
+}
+
+}  // namespace setm

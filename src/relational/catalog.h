@@ -1,0 +1,50 @@
+#ifndef SETM_RELATIONAL_CATALOG_H_
+#define SETM_RELATIONAL_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace setm {
+
+/// Where a newly created table stores its rows.
+enum class TableBacking {
+  kMemory,  ///< MemTable
+  kHeap,    ///< HeapTable behind the database buffer pool
+};
+
+/// Name -> table map. Names are case-insensitive (folded to lower case).
+class Catalog {
+ public:
+  /// `pool` backs heap tables; may be null if only memory tables are used.
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  /// Creates a table; AlreadyExists if the name is taken.
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             TableBacking backing);
+
+  /// Looks a table up; NotFound if absent.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  /// True iff a table with this name exists.
+  bool HasTable(const std::string& name) const;
+
+  /// Drops a table; NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  /// All table names in creation order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  BufferPool* pool_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> creation_order_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_RELATIONAL_CATALOG_H_

@@ -1,0 +1,32 @@
+#include "relational/database.h"
+
+#include "common/logging.h"
+
+namespace setm {
+
+Database::Database(DatabaseOptions options) : options_(options) {
+  if (!options_.file_path.empty()) {
+    auto backend_or = FileBackend::Open(options_.file_path, &stats_);
+    SETM_CHECK(backend_or.ok());
+    backend_ = std::move(backend_or).value();
+  } else {
+    backend_ = std::make_unique<MemoryBackend>(&stats_);
+  }
+  temp_backend_ = std::make_unique<MemoryBackend>(&stats_);
+  pool_ = std::make_unique<BufferPool>(backend_.get(), options_.pool_frames);
+  temp_pool_ =
+      std::make_unique<BufferPool>(temp_backend_.get(), options_.temp_pool_frames);
+  catalog_ = std::make_unique<Catalog>(pool_.get());
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  if (!options.file_path.empty()) {
+    // Validate the path before the unchecked constructor runs.
+    IoStats probe;
+    auto backend_or = FileBackend::Open(options.file_path, &probe);
+    if (!backend_or.ok()) return backend_or.status();
+  }
+  return std::make_unique<Database>(options);
+}
+
+}  // namespace setm

@@ -1,0 +1,68 @@
+#ifndef SETM_RELATIONAL_DATABASE_H_
+#define SETM_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "relational/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/storage_backend.h"
+
+namespace setm {
+
+/// Configuration of a Database instance.
+struct DatabaseOptions {
+  /// Buffer pool frames for base tables (default 256 frames = 1 MiB).
+  size_t pool_frames = 256;
+  /// Buffer pool frames for temporary data (sort runs).
+  size_t temp_pool_frames = 64;
+  /// Memory budget for in-memory sort runs, in bytes. The external sort
+  /// spills once a run exceeds this budget.
+  size_t sort_memory_bytes = 1 << 20;
+  /// If non-empty, base tables live in this file instead of RAM.
+  std::string file_path;
+};
+
+/// Owns the full storage stack of one database instance: the I/O ledger,
+/// the main and temporary page stores, their buffer pools and the catalog.
+///
+/// Typical setup:
+///
+///     Database db;                       // in-memory, default sizes
+///     Table* sales = db.catalog()->CreateTable(
+///         "sales", SalesSchema(), TableBacking::kHeap).value();
+class Database {
+ public:
+  /// Creates the database; aborts the process on unrecoverable setup errors
+  /// only when file creation fails (see OpenResult for a checked variant).
+  explicit Database(DatabaseOptions options = {});
+
+  /// Checked construction for file-backed databases.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* catalog() { return catalog_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  BufferPool* temp_pool() { return temp_pool_.get(); }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// The cumulative I/O ledger for all page traffic (base + temp).
+  IoStats* io_stats() { return &stats_; }
+  const IoStats& io_stats() const { return stats_; }
+
+ private:
+  DatabaseOptions options_;
+  IoStats stats_;
+  std::unique_ptr<StorageBackend> backend_;
+  std::unique_ptr<StorageBackend> temp_backend_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BufferPool> temp_pool_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_RELATIONAL_DATABASE_H_

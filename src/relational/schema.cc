@@ -1,0 +1,60 @@
+#include "relational/schema.h"
+
+#include <cctype>
+
+namespace setm {
+
+bool IdentEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string IdentFold(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (IdentEquals(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Schema::FixedTupleSize() const {
+  size_t total = 0;
+  for (const Column& c : columns_) {
+    switch (c.type) {
+      case ValueType::kInt32:
+        total += 4;
+        break;
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        total += 8;
+        break;
+      case ValueType::kString:
+        return std::nullopt;
+    }
+  }
+  return total;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace setm

@@ -1,0 +1,69 @@
+#ifndef SETM_RELATIONAL_SCHEMA_H_
+#define SETM_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace setm {
+
+/// One column of a schema.
+struct Column {
+  std::string name;
+  ValueType type;
+
+  bool operator==(const Column& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// An ordered list of named, typed columns.
+///
+/// Column names are matched case-insensitively (SQL identifiers are folded
+/// to lower case by the parser); lookups by bare name or "alias.name".
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  /// Number of columns.
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Column metadata by position.
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column whose name equals `name` (case-insensitive),
+  /// or nullopt. If several match (self-join output), returns the first.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Appends a column (used when deriving join/aggregate output schemas).
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Fixed serialized size of a tuple if all columns are fixed-width
+  /// (no strings), else nullopt. Drives the page-size arithmetic used in
+  /// relation-size reporting: INT32 -> 4 bytes, INT64/DOUBLE -> 8 bytes,
+  /// matching the paper's "(i + 1) x 4 bytes" tuple sizes for R_i.
+  std::optional<size_t> FixedTupleSize() const;
+
+  /// "(name TYPE, ...)" rendering for error messages.
+  std::string ToString() const;
+
+  bool operator==(const Schema& o) const { return columns_ == o.columns_; }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Case-insensitive ASCII string equality, the comparison used for all
+/// SQL identifiers in the engine.
+bool IdentEquals(const std::string& a, const std::string& b);
+
+/// Lower-cases ASCII letters in place; identifiers are stored folded.
+std::string IdentFold(std::string s);
+
+}  // namespace setm
+
+#endif  // SETM_RELATIONAL_SCHEMA_H_

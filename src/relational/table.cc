@@ -1,0 +1,104 @@
+#include "relational/table.h"
+
+namespace setm {
+
+namespace {
+
+/// Iterator over a row vector (copies rows out; the table may not mutate
+/// during iteration).
+class MemTableIterator : public TupleIterator {
+ public:
+  MemTableIterator(const std::vector<Tuple>* rows, const Schema* schema)
+      : rows_(rows), schema_(schema) {}
+
+  Result<bool> Next(Tuple* out) override {
+    if (pos_ >= rows_->size()) return false;
+    *out = (*rows_)[pos_++];
+    return true;
+  }
+
+  const Schema& schema() const override { return *schema_; }
+
+ private:
+  const std::vector<Tuple>* rows_;
+  const Schema* schema_;
+  size_t pos_ = 0;
+};
+
+/// Iterator decoding heap records back into tuples.
+class HeapTableIterator : public TupleIterator {
+ public:
+  HeapTableIterator(TableHeap::Iterator it, const Schema* schema)
+      : it_(std::move(it)), schema_(schema) {}
+
+  Result<bool> Next(Tuple* out) override {
+    if (!it_.Valid()) return false;
+    auto tuple_or = Tuple::Deserialize(*schema_, it_.record());
+    if (!tuple_or.ok()) return tuple_or.status();
+    *out = std::move(tuple_or).value();
+    SETM_RETURN_IF_ERROR(it_.Next());
+    return true;
+  }
+
+  const Schema& schema() const override { return *schema_; }
+
+ private:
+  TableHeap::Iterator it_;
+  const Schema* schema_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemTable
+// ---------------------------------------------------------------------------
+
+Status MemTable::Insert(const Tuple& tuple) {
+  SETM_RETURN_IF_ERROR(CheckArity(tuple));
+  size_bytes_ += tuple.SerializedSize(schema());
+  rows_.push_back(tuple);
+  return Status::OK();
+}
+
+std::unique_ptr<TupleIterator> MemTable::Scan() const {
+  return std::make_unique<MemTableIterator>(&rows_, &schema());
+}
+
+// ---------------------------------------------------------------------------
+// HeapTable
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<HeapTable>> HeapTable::Create(std::string name,
+                                                     Schema schema,
+                                                     BufferPool* pool) {
+  auto heap_or = TableHeap::Create(pool);
+  if (!heap_or.ok()) return heap_or.status();
+  return std::unique_ptr<HeapTable>(new HeapTable(
+      std::move(name), std::move(schema), pool, std::move(heap_or).value()));
+}
+
+Status HeapTable::Insert(const Tuple& tuple) {
+  SETM_RETURN_IF_ERROR(CheckArity(tuple));
+  scratch_.clear();
+  tuple.SerializeTo(schema(), &scratch_);
+  auto rid_or = heap_.Insert(scratch_);
+  if (!rid_or.ok()) return rid_or.status();
+  size_bytes_ += scratch_.size();
+  return Status::OK();
+}
+
+std::unique_ptr<TupleIterator> HeapTable::Scan() const {
+  return std::make_unique<HeapTableIterator>(heap_.Begin(), &schema());
+}
+
+Status HeapTable::Truncate() {
+  // Start a fresh chain; old pages are abandoned (no free-list in this
+  // engine — acceptable for mining workloads that drop whole relations).
+  auto heap_or = TableHeap::Create(pool_);
+  if (!heap_or.ok()) return heap_or.status();
+  heap_ = std::move(heap_or).value();
+  size_bytes_ = 0;
+  return Status::OK();
+}
+
+}  // namespace setm

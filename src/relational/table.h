@@ -1,0 +1,124 @@
+#ifndef SETM_RELATIONAL_TABLE_H_
+#define SETM_RELATIONAL_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "storage/table_heap.h"
+
+namespace setm {
+
+/// A named relation. Two physical representations exist:
+///  * MemTable  — a row vector; zero I/O, used for small relations like the
+///                count relations C_k ("small enough to be kept in memory",
+///                Section 4.3) and for tests;
+///  * HeapTable — a slotted-page TableHeap behind a buffer pool, so scans
+///                and inserts show up in the IoStats ledger; used for SALES
+///                and the intermediate relations R_k.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+  virtual ~Table() = default;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a row (validated against the schema arity).
+  virtual Status Insert(const Tuple& tuple) = 0;
+
+  /// Full-scan iterator in storage order.
+  virtual std::unique_ptr<TupleIterator> Scan() const = 0;
+
+  /// Number of live rows.
+  virtual uint64_t num_rows() const = 0;
+
+  /// Total serialized size of the rows in bytes (the "size in Kbytes"
+  /// of Figure 5 is size_bytes() / 1024).
+  virtual uint64_t size_bytes() const = 0;
+
+  /// Pages the relation occupies, ceil(size_bytes / kPageSize) for memory
+  /// tables, the real chain length for heap tables — the paper's ||R||.
+  virtual uint64_t num_pages() const = 0;
+
+  /// Removes all rows.
+  virtual Status Truncate() = 0;
+
+ protected:
+  Status CheckArity(const Tuple& tuple) const {
+    if (tuple.NumValues() != schema_.NumColumns()) {
+      return Status::InvalidArgument(
+          "tuple arity " + std::to_string(tuple.NumValues()) +
+          " does not match schema " + schema_.ToString());
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+};
+
+/// In-memory row-vector table.
+class MemTable : public Table {
+ public:
+  MemTable(std::string name, Schema schema)
+      : Table(std::move(name), std::move(schema)) {}
+
+  Status Insert(const Tuple& tuple) override;
+  std::unique_ptr<TupleIterator> Scan() const override;
+  uint64_t num_rows() const override { return rows_.size(); }
+  uint64_t size_bytes() const override { return size_bytes_; }
+  uint64_t num_pages() const override {
+    return (size_bytes_ + kPageSize - 1) / kPageSize;
+  }
+  Status Truncate() override {
+    rows_.clear();
+    size_bytes_ = 0;
+    return Status::OK();
+  }
+
+  /// Direct row access for in-memory algorithms (sorting C_k, lookups).
+  const std::vector<Tuple>& rows() const { return rows_; }
+  std::vector<Tuple>* mutable_rows() { return &rows_; }
+
+ private:
+  std::vector<Tuple> rows_;
+  uint64_t size_bytes_ = 0;
+};
+
+/// Buffer-pool-backed table over a slotted-page heap.
+class HeapTable : public Table {
+ public:
+  /// Creates an empty heap table in `pool`'s backend.
+  static Result<std::unique_ptr<HeapTable>> Create(std::string name,
+                                                   Schema schema,
+                                                   BufferPool* pool);
+
+  Status Insert(const Tuple& tuple) override;
+  std::unique_ptr<TupleIterator> Scan() const override;
+  uint64_t num_rows() const override { return heap_.live_records(); }
+  uint64_t size_bytes() const override { return size_bytes_; }
+  uint64_t num_pages() const override { return heap_.num_pages(); }
+  Status Truncate() override;
+
+ private:
+  HeapTable(std::string name, Schema schema, BufferPool* pool, TableHeap heap)
+      : Table(std::move(name), std::move(schema)),
+        pool_(pool),
+        heap_(std::move(heap)) {}
+
+  BufferPool* pool_;
+  TableHeap heap_;
+  uint64_t size_bytes_ = 0;
+  mutable std::string scratch_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_RELATIONAL_TABLE_H_

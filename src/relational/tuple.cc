@@ -1,0 +1,133 @@
+#include "relational/tuple.h"
+
+#include <cstring>
+
+namespace setm {
+
+namespace {
+template <typename T>
+void AppendRaw(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view* in, T* out) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(out, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+}  // namespace
+
+size_t Tuple::SerializedSize(const Schema& schema) const {
+  size_t total = 0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    switch (schema.column(i).type) {
+      case ValueType::kInt32:
+        total += 4;
+        break;
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        total += 8;
+        break;
+      case ValueType::kString:
+        total += 2 + values_[i].AsString().size();
+        break;
+    }
+  }
+  return total;
+}
+
+void Tuple::SerializeTo(const Schema& schema, std::string* out) const {
+  SETM_DCHECK(values_.size() == schema.NumColumns());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const Value& v = values_[i];
+    switch (schema.column(i).type) {
+      case ValueType::kInt32:
+        AppendRaw<int32_t>(out, v.AsInt32());
+        break;
+      case ValueType::kInt64:
+        AppendRaw<int64_t>(out, v.AsInt64());
+        break;
+      case ValueType::kDouble:
+        AppendRaw<double>(out, v.AsDouble());
+        break;
+      case ValueType::kString: {
+        const std::string& s = v.AsString();
+        SETM_DCHECK(s.size() <= 0xFFFF);
+        AppendRaw<uint16_t>(out, static_cast<uint16_t>(s.size()));
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+Result<Tuple> Tuple::Deserialize(const Schema& schema,
+                                 std::string_view record) {
+  std::vector<Value> values;
+  values.reserve(schema.NumColumns());
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    switch (schema.column(i).type) {
+      case ValueType::kInt32: {
+        int32_t v;
+        if (!ReadRaw(&record, &v)) {
+          return Status::Corruption("truncated INT32 column");
+        }
+        values.push_back(Value::Int32(v));
+        break;
+      }
+      case ValueType::kInt64: {
+        int64_t v;
+        if (!ReadRaw(&record, &v)) {
+          return Status::Corruption("truncated INT64 column");
+        }
+        values.push_back(Value::Int64(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        double v;
+        if (!ReadRaw(&record, &v)) {
+          return Status::Corruption("truncated DOUBLE column");
+        }
+        values.push_back(Value::Double(v));
+        break;
+      }
+      case ValueType::kString: {
+        uint16_t len;
+        if (!ReadRaw(&record, &len) || record.size() < len) {
+          return Status::Corruption("truncated STRING column");
+        }
+        values.push_back(Value::String(std::string(record.substr(0, len))));
+        record.remove_prefix(len);
+        break;
+      }
+    }
+  }
+  if (!record.empty()) {
+    return Status::Corruption("trailing bytes after last column");
+  }
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ')';
+  return out;
+}
+
+bool Tuple::operator==(const Tuple& o) const {
+  if (values_.size() != o.values_.size()) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] != o.values_[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace setm

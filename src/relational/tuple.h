@@ -1,0 +1,92 @@
+#ifndef SETM_RELATIONAL_TUPLE_H_
+#define SETM_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace setm {
+
+/// A row: an ordered vector of Values conforming to some Schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t NumValues() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& value(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Serialized byte size under the given schema (strings add a 2-byte
+  /// length prefix).
+  size_t SerializedSize(const Schema& schema) const;
+
+  /// Appends the row's serialized form to `*out` in the engine's record
+  /// format: INT32 little-endian 4 bytes, INT64/DOUBLE 8 bytes, STRING
+  /// u16 length + bytes. The schema supplies the per-column types.
+  void SerializeTo(const Schema& schema, std::string* out) const;
+
+  /// Parses a record serialized by SerializeTo. Fails with Corruption on
+  /// truncated input.
+  static Result<Tuple> Deserialize(const Schema& schema,
+                                   std::string_view record);
+
+  /// "(v1, v2, ...)" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Tuple& o) const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Orders tuples by the given column positions (lexicographic over keys,
+/// each ascending). Used by sorts, merge joins and group-by boundaries.
+class TupleComparator {
+ public:
+  explicit TupleComparator(std::vector<size_t> key_columns)
+      : keys_(std::move(key_columns)) {}
+
+  /// Three-way comparison on the key columns.
+  int Compare(const Tuple& a, const Tuple& b) const {
+    for (size_t k : keys_) {
+      int c = a.value(k).Compare(b.value(k));
+      if (c != 0) return c;
+    }
+    return 0;
+  }
+
+  /// Strict-weak-ordering functor for std::sort.
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return Compare(a, b) < 0;
+  }
+
+  const std::vector<size_t>& keys() const { return keys_; }
+
+ private:
+  std::vector<size_t> keys_;
+};
+
+/// Pull-based (Volcano-style) row stream shared by tables and operators.
+class TupleIterator {
+ public:
+  virtual ~TupleIterator() = default;
+
+  /// Produces the next row into `*out`. Returns true while rows remain,
+  /// false at end of stream, or an error Status.
+  virtual Result<bool> Next(Tuple* out) = 0;
+
+  /// Schema of the produced rows.
+  virtual const Schema& schema() const = 0;
+};
+
+}  // namespace setm
+
+#endif  // SETM_RELATIONAL_TUPLE_H_

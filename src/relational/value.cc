@@ -1,0 +1,83 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace setm {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt32:
+      return "INT32";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  const bool a_num = IsNumeric();
+  const bool b_num = other.IsNumeric();
+  if (a_num != b_num) return a_num ? -1 : 1;  // numerics before strings
+  if (!a_num) {
+    int c = string_.compare(other.string_);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Both numeric. Avoid double rounding when both sides are integers.
+  if (type_ != ValueType::kDouble && other.type_ != ValueType::kDouble) {
+    if (int_ < other.int_) return -1;
+    if (int_ > other.int_) return 1;
+    return 0;
+  }
+  const double a = type_ == ValueType::kDouble ? double_
+                                               : static_cast<double>(int_);
+  const double b = other.type_ == ValueType::kDouble
+                       ? other.double_
+                       : static_cast<double>(other.int_);
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kInt32:
+    case ValueType::kInt64:
+      return std::hash<int64_t>{}(int_);
+    case ValueType::kDouble: {
+      // Integral doubles hash like the equal integer, consistent with
+      // Compare() treating 2.0 == 2.
+      double d = double_;
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(string_);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kInt32:
+    case ValueType::kInt64:
+      return std::to_string(int_);
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + string_ + "'";
+  }
+  return "?";
+}
+
+}  // namespace setm

@@ -1,0 +1,110 @@
+#ifndef SETM_RELATIONAL_VALUE_H_
+#define SETM_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace setm {
+
+/// Column types supported by the engine.
+///
+/// kInt32 exists (rather than only a 64-bit integer) because the paper's
+/// page-count analysis assumes 4-byte items and transaction ids; storing
+/// SALES(trans_id INT32, item INT32) reproduces the paper's 8-byte tuples
+/// and hence its ||R|| page arithmetic.
+enum class ValueType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// Returns "INT32", "INT64", "DOUBLE" or "STRING".
+std::string_view ValueTypeName(ValueType t);
+
+/// A single typed cell. Values are immutable after construction; the engine
+/// has no NULLs (association mining never produces them, and the paper's
+/// queries never mention them — documented limitation).
+class Value {
+ public:
+  /// Defaults to INT32 zero (so vectors of Value are cheap to resize).
+  Value() : type_(ValueType::kInt32), int_(0) {}
+
+  static Value Int32(int32_t v) { return Value(ValueType::kInt32, v); }
+  static Value Int64(int64_t v) { return Value(ValueType::kInt64, v); }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.string_ = std::move(v);
+    return out;
+  }
+
+  ValueType type() const { return type_; }
+
+  /// Typed accessors; the type must match (checked in debug builds).
+  int32_t AsInt32() const {
+    SETM_DCHECK(type_ == ValueType::kInt32);
+    return static_cast<int32_t>(int_);
+  }
+  int64_t AsInt64() const {
+    SETM_DCHECK(type_ == ValueType::kInt64);
+    return int_;
+  }
+  double AsDouble() const {
+    SETM_DCHECK(type_ == ValueType::kDouble);
+    return double_;
+  }
+  const std::string& AsString() const {
+    SETM_DCHECK(type_ == ValueType::kString);
+    return string_;
+  }
+
+  /// Numeric value of an INT32/INT64 cell (promoting), for mixed comparisons.
+  int64_t NumericInt() const {
+    SETM_DCHECK(type_ == ValueType::kInt32 || type_ == ValueType::kInt64);
+    return int_;
+  }
+
+  /// True for INT32/INT64/DOUBLE.
+  bool IsNumeric() const { return type_ != ValueType::kString; }
+
+  /// Three-way comparison. Numeric types compare by value across widths
+  /// (INT32 vs INT64 vs DOUBLE); strings compare lexicographically; a
+  /// numeric never equals a string (numerics order before strings).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  /// Stable hash combining type class and value (equal values hash equal
+  /// across integer widths, consistent with Compare()).
+  size_t Hash() const;
+
+  /// Rendering for query results and debugging: 42, 3.5, 'abc'.
+  std::string ToString() const;
+
+ private:
+  Value(ValueType t, int64_t v) : type_(t), int_(v) {}
+
+  ValueType type_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_RELATIONAL_VALUE_H_

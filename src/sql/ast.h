@@ -1,0 +1,141 @@
+#ifndef SETM_SQL_AST_H_
+#define SETM_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/expression.h"
+#include "relational/value.h"
+
+namespace setm::sql {
+
+/// Unresolved scalar expression as parsed (resolution to column indices
+/// happens in the binder).
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct AstExpr {
+  enum class Kind {
+    kColumnRef,  // [qualifier.]name
+    kLiteral,    // integer / float / string
+    kParameter,  // :name
+    kCountStar,  // COUNT(*)
+    kBinary,     // comparison / AND / OR
+  };
+
+  Kind kind;
+
+  // kColumnRef
+  std::string qualifier;  // empty when unqualified
+  std::string column;
+
+  // kLiteral
+  Value literal;
+
+  // kParameter
+  std::string parameter;
+
+  // kBinary
+  BinaryOp op = BinaryOp::kEq;
+  AstExprPtr lhs;
+  AstExprPtr rhs;
+
+  static AstExprPtr ColumnRef(std::string qualifier, std::string column) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = Kind::kColumnRef;
+    e->qualifier = std::move(qualifier);
+    e->column = std::move(column);
+    return e;
+  }
+  static AstExprPtr Literal(Value v) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = Kind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+  static AstExprPtr Parameter(std::string name) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = Kind::kParameter;
+    e->parameter = std::move(name);
+    return e;
+  }
+  static AstExprPtr CountStar() {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = Kind::kCountStar;
+    return e;
+  }
+  static AstExprPtr Binary(BinaryOp op, AstExprPtr l, AstExprPtr r) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = Kind::kBinary;
+    e->op = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+  }
+};
+
+/// One item of the SELECT list.
+struct SelectItem {
+  AstExprPtr expr;
+  std::string alias;  // optional AS alias
+};
+
+/// FROM-clause table reference with optional alias: "SALES r1".
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+
+  const std::string& binding() const { return alias.empty() ? table : alias; }
+};
+
+/// A parsed SELECT statement (also the body of INSERT ... SELECT).
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  AstExprPtr where;                         // null when absent
+  std::vector<AstExprPtr> group_by;         // column refs
+  AstExprPtr having;                        // null when absent
+  std::vector<AstExprPtr> order_by;         // column refs
+  bool distinct = false;
+};
+
+/// CREATE [MEMORY] TABLE name (col type, ...).
+struct CreateTableStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ValueType>> columns;
+  bool memory = false;
+};
+
+/// INSERT INTO name [SELECT ... | VALUES (...), ...].
+struct InsertStatement {
+  std::string table;
+  std::unique_ptr<SelectStatement> select;    // either this ...
+  std::vector<std::vector<AstExprPtr>> rows;  // ... or literal rows
+};
+
+/// DROP TABLE name.
+struct DropTableStatement {
+  std::string table;
+};
+
+/// DELETE FROM name (whole-table truncate; predicates unsupported).
+struct DeleteStatement {
+  std::string table;
+};
+
+/// Any parsed statement.
+struct Statement {
+  enum class Kind { kSelect, kCreateTable, kInsert, kDropTable, kDelete };
+  Kind kind;
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<CreateTableStatement> create_table;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<DropTableStatement> drop_table;
+  std::unique_ptr<DeleteStatement> del;
+};
+
+}  // namespace setm::sql
+
+#endif  // SETM_SQL_AST_H_

@@ -1,0 +1,129 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "relational/schema.h"
+
+namespace setm::sql {
+
+namespace {
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kw = new std::unordered_set<std::string>{
+      "select", "from",   "where",  "group",  "by",     "having", "order",
+      "insert", "into",   "values", "create", "memory", "table",  "drop",
+      "delete", "and",    "or",     "count",  "as",     "int",    "integer",
+      "bigint", "double", "real",   "varchar", "text",  "string", "asc",
+      "desc",   "distinct"};
+  return *kw;
+}
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = IdentFold(sql.substr(start, i - start));
+      const bool is_kw = Keywords().count(word) != 0;
+      tokens.push_back(Token{
+          is_kw ? TokenType::kKeyword : TokenType::kIdentifier, word, start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      tokens.push_back(Token{is_float ? TokenType::kFloat : TokenType::kInteger,
+                             sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n && sql[i] != '\'') text += sql[i++];
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      ++i;  // closing quote
+      tokens.push_back(Token{TokenType::kString, std::move(text), start});
+      continue;
+    }
+    if (c == ':') {
+      ++i;
+      std::string name;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        name += sql[i++];
+      }
+      if (name.empty()) {
+        return Status::InvalidArgument("':' without parameter name at offset " +
+                                       std::to_string(start));
+      }
+      tokens.push_back(
+          Token{TokenType::kParameter, IdentFold(std::move(name)), start});
+      continue;
+    }
+    // Multi-character operators first.
+    if (c == '<') {
+      if (i + 1 < n && (sql[i + 1] == '>' || sql[i + 1] == '=')) {
+        tokens.push_back(Token{TokenType::kSymbol, sql.substr(i, 2), start});
+        i += 2;
+      } else {
+        tokens.push_back(Token{TokenType::kSymbol, "<", start});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && sql[i + 1] == '=') {
+        tokens.push_back(Token{TokenType::kSymbol, ">=", start});
+        i += 2;
+      } else {
+        tokens.push_back(Token{TokenType::kSymbol, ">", start});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      tokens.push_back(Token{TokenType::kSymbol, "<>", start});
+      i += 2;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '.' || c == '*' || c == ';' ||
+        c == '=') {
+      tokens.push_back(Token{TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(start));
+  }
+  tokens.push_back(Token{TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace setm::sql

@@ -1,0 +1,46 @@
+#ifndef SETM_SQL_LEXER_H_
+#define SETM_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace setm::sql {
+
+/// Token kinds produced by the lexer. Keywords are recognized case-
+/// insensitively and carry their folded text.
+enum class TokenType {
+  kIdentifier,   // sales, r1, item
+  kKeyword,      // SELECT, FROM, ... (folded to lower case in text)
+  kInteger,      // 42
+  kFloat,        // 0.5
+  kString,       // 'abc'
+  kParameter,    // :minsupport (text excludes the colon)
+  kSymbol,       // ( ) , . * ; = <> < <= > >=
+  kEnd,
+};
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenType type;
+  std::string text;  // folded for keywords/identifiers; verbatim otherwise
+  size_t offset;
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// Splits `sql` into tokens. Identifiers may contain letters, digits and
+/// underscores and are folded to lower case; SQL keywords become kKeyword
+/// tokens. Fails with InvalidArgument on stray characters or unterminated
+/// strings.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace setm::sql
+
+#endif  // SETM_SQL_LEXER_H_

@@ -1,0 +1,385 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+namespace setm::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (Peek().IsKeyword("select")) {
+      auto sel = ParseSelectStmt();
+      if (!sel.ok()) return sel.status();
+      stmt.kind = Statement::Kind::kSelect;
+      stmt.select = std::move(sel).value();
+    } else if (Peek().IsKeyword("create")) {
+      auto create = ParseCreate();
+      if (!create.ok()) return create.status();
+      stmt.kind = Statement::Kind::kCreateTable;
+      stmt.create_table = std::move(create).value();
+    } else if (Peek().IsKeyword("insert")) {
+      auto insert = ParseInsert();
+      if (!insert.ok()) return insert.status();
+      stmt.kind = Statement::Kind::kInsert;
+      stmt.insert = std::move(insert).value();
+    } else if (Peek().IsKeyword("drop")) {
+      Advance();
+      SETM_RETURN_IF_ERROR(ExpectKeyword("table"));
+      auto name = ExpectIdentifier("table name");
+      if (!name.ok()) return name.status();
+      stmt.kind = Statement::Kind::kDropTable;
+      stmt.drop_table = std::make_unique<DropTableStatement>();
+      stmt.drop_table->table = std::move(name).value();
+    } else if (Peek().IsKeyword("delete")) {
+      Advance();
+      SETM_RETURN_IF_ERROR(ExpectKeyword("from"));
+      auto name = ExpectIdentifier("table name");
+      if (!name.ok()) return name.status();
+      stmt.kind = Statement::Kind::kDelete;
+      stmt.del = std::make_unique<DeleteStatement>();
+      stmt.del->table = std::move(name).value();
+    } else {
+      return ErrorHere("expected a statement keyword (SELECT/INSERT/...)");
+    }
+    MatchSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return ErrorHere("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  // Token helpers ----------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(std::string_view s) {
+    if (Peek().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::InvalidArgument("expected '" + std::string(kw) +
+                                     "' near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view s) {
+    if (!MatchSymbol(s)) {
+      return Status::InvalidArgument("expected '" + std::string(s) +
+                                     "' near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected " + std::string(what) +
+                                     " near offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+  Status ErrorHere(std::string message) {
+    return Status::InvalidArgument(std::move(message) + " near offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  // Statements --------------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelectStmt() {
+    SETM_RETURN_IF_ERROR(ExpectKeyword("select"));
+    auto stmt = std::make_unique<SelectStatement>();
+    stmt->distinct = MatchKeyword("distinct");
+
+    // Select list.
+    do {
+      SelectItem item;
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      item.expr = std::move(expr).value();
+      if (MatchKeyword("as")) {
+        auto alias = ExpectIdentifier("alias");
+        if (!alias.ok()) return alias.status();
+        item.alias = std::move(alias).value();
+      }
+      stmt->items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+
+    SETM_RETURN_IF_ERROR(ExpectKeyword("from"));
+    do {
+      TableRef ref;
+      auto name = ExpectIdentifier("table name");
+      if (!name.ok()) return name.status();
+      ref.table = std::move(name).value();
+      if (Peek().type == TokenType::kIdentifier) {
+        ref.alias = Advance().text;
+      }
+      stmt->from.push_back(std::move(ref));
+    } while (MatchSymbol(","));
+
+    if (MatchKeyword("where")) {
+      auto where = ParseExpr();
+      if (!where.ok()) return where.status();
+      stmt->where = std::move(where).value();
+    }
+    if (MatchKeyword("group")) {
+      SETM_RETURN_IF_ERROR(ExpectKeyword("by"));
+      do {
+        auto col = ParseExpr();
+        if (!col.ok()) return col.status();
+        if (col.value()->kind != AstExpr::Kind::kColumnRef) {
+          return ErrorHere("GROUP BY supports column references only");
+        }
+        stmt->group_by.push_back(std::move(col).value());
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("having")) {
+      auto having = ParseExpr();
+      if (!having.ok()) return having.status();
+      stmt->having = std::move(having).value();
+    }
+    if (MatchKeyword("order")) {
+      SETM_RETURN_IF_ERROR(ExpectKeyword("by"));
+      do {
+        auto col = ParseExpr();
+        if (!col.ok()) return col.status();
+        if (col.value()->kind != AstExpr::Kind::kColumnRef &&
+            col.value()->kind != AstExpr::Kind::kCountStar) {
+          return ErrorHere(
+              "ORDER BY supports column references and COUNT(*) only");
+        }
+        if (MatchKeyword("desc")) {
+          return Status::NotSupported("ORDER BY ... DESC is not supported");
+        }
+        MatchKeyword("asc");
+        stmt->order_by.push_back(std::move(col).value());
+      } while (MatchSymbol(","));
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<CreateTableStatement>> ParseCreate() {
+    SETM_RETURN_IF_ERROR(ExpectKeyword("create"));
+    auto stmt = std::make_unique<CreateTableStatement>();
+    stmt->memory = MatchKeyword("memory");
+    SETM_RETURN_IF_ERROR(ExpectKeyword("table"));
+    auto name = ExpectIdentifier("table name");
+    if (!name.ok()) return name.status();
+    stmt->table = std::move(name).value();
+    SETM_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      auto col = ExpectIdentifier("column name");
+      if (!col.ok()) return col.status();
+      auto type = ParseType();
+      if (!type.ok()) return type.status();
+      stmt->columns.emplace_back(std::move(col).value(), type.value());
+    } while (MatchSymbol(","));
+    SETM_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  Result<ValueType> ParseType() {
+    const Token& tok = Peek();
+    if (tok.type != TokenType::kKeyword && tok.type != TokenType::kIdentifier) {
+      return ErrorHere("expected a type name");
+    }
+    const std::string name = Advance().text;
+    ValueType out;
+    if (name == "int" || name == "integer") {
+      out = ValueType::kInt32;
+    } else if (name == "bigint") {
+      out = ValueType::kInt64;
+    } else if (name == "double" || name == "real") {
+      out = ValueType::kDouble;
+    } else if (name == "varchar" || name == "text" || name == "string") {
+      out = ValueType::kString;
+      // Optional length: VARCHAR(30) — accepted and ignored.
+      if (MatchSymbol("(")) {
+        if (Peek().type != TokenType::kInteger) {
+          return ErrorHere("expected a length after VARCHAR(");
+        }
+        Advance();
+        SETM_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+    } else {
+      return Status::InvalidArgument("unknown type '" + name + "'");
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<InsertStatement>> ParseInsert() {
+    SETM_RETURN_IF_ERROR(ExpectKeyword("insert"));
+    SETM_RETURN_IF_ERROR(ExpectKeyword("into"));
+    auto stmt = std::make_unique<InsertStatement>();
+    auto name = ExpectIdentifier("table name");
+    if (!name.ok()) return name.status();
+    stmt->table = std::move(name).value();
+    if (Peek().IsKeyword("select")) {
+      auto sel = ParseSelectStmt();
+      if (!sel.ok()) return sel.status();
+      stmt->select = std::move(sel).value();
+      return stmt;
+    }
+    SETM_RETURN_IF_ERROR(ExpectKeyword("values"));
+    do {
+      SETM_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<AstExprPtr> row;
+      do {
+        auto expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        row.push_back(std::move(expr).value());
+      } while (MatchSymbol(","));
+      SETM_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt->rows.push_back(std::move(row));
+    } while (MatchSymbol(","));
+    return stmt;
+  }
+
+  // Expressions -------------------------------------------------------------
+  // Precedence: OR < AND < comparison < primary.
+
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    AstExprPtr out = std::move(lhs).value();
+    while (MatchKeyword("or")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      out = AstExpr::Binary(BinaryOp::kOr, std::move(out),
+                            std::move(rhs).value());
+    }
+    return out;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    auto lhs = ParseComparison();
+    if (!lhs.ok()) return lhs;
+    AstExprPtr out = std::move(lhs).value();
+    while (MatchKeyword("and")) {
+      auto rhs = ParseComparison();
+      if (!rhs.ok()) return rhs;
+      out = AstExpr::Binary(BinaryOp::kAnd, std::move(out),
+                            std::move(rhs).value());
+    }
+    return out;
+  }
+
+  Result<AstExprPtr> ParseComparison() {
+    auto lhs = ParsePrimary();
+    if (!lhs.ok()) return lhs;
+    AstExprPtr out = std::move(lhs).value();
+    while (Peek().type == TokenType::kSymbol) {
+      BinaryOp op;
+      if (Peek().IsSymbol("=")) {
+        op = BinaryOp::kEq;
+      } else if (Peek().IsSymbol("<>")) {
+        op = BinaryOp::kNe;
+      } else if (Peek().IsSymbol("<")) {
+        op = BinaryOp::kLt;
+      } else if (Peek().IsSymbol("<=")) {
+        op = BinaryOp::kLe;
+      } else if (Peek().IsSymbol(">")) {
+        op = BinaryOp::kGt;
+      } else if (Peek().IsSymbol(">=")) {
+        op = BinaryOp::kGe;
+      } else {
+        break;
+      }
+      Advance();
+      auto rhs = ParsePrimary();
+      if (!rhs.ok()) return rhs;
+      out = AstExpr::Binary(op, std::move(out), std::move(rhs).value());
+    }
+    return out;
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (MatchSymbol("(")) {
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      SETM_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (tok.IsKeyword("count")) {
+      Advance();
+      SETM_RETURN_IF_ERROR(ExpectSymbol("("));
+      SETM_RETURN_IF_ERROR(ExpectSymbol("*"));
+      SETM_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return AstExpr::CountStar();
+    }
+    if (tok.type == TokenType::kInteger) {
+      Advance();
+      return AstExpr::Literal(
+          Value::Int64(std::strtoll(tok.text.c_str(), nullptr, 10)));
+    }
+    if (tok.type == TokenType::kFloat) {
+      Advance();
+      return AstExpr::Literal(
+          Value::Double(std::strtod(tok.text.c_str(), nullptr)));
+    }
+    if (tok.type == TokenType::kString) {
+      Advance();
+      return AstExpr::Literal(Value::String(tok.text));
+    }
+    if (tok.type == TokenType::kParameter) {
+      Advance();
+      return AstExpr::Parameter(tok.text);
+    }
+    if (tok.type == TokenType::kIdentifier) {
+      std::string first = Advance().text;
+      if (MatchSymbol(".")) {
+        auto second = ExpectIdentifier("column name after '.'");
+        if (!second.ok()) return second.status();
+        return AstExpr::ColumnRef(std::move(first), std::move(second).value());
+      }
+      return AstExpr::ColumnRef("", std::move(first));
+    }
+    return ErrorHere("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& sql) {
+  auto tokens = Lex(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseStatement();
+}
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  auto stmt = Parse(sql);
+  if (!stmt.ok()) return stmt.status();
+  if (stmt.value().kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("statement is not a SELECT");
+  }
+  return std::move(*stmt.value().select);
+}
+
+}  // namespace setm::sql

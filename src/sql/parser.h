@@ -1,0 +1,35 @@
+#ifndef SETM_SQL_PARSER_H_
+#define SETM_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace setm::sql {
+
+/// Recursive-descent parser for the engine's SQL subset — the statements
+/// used by the paper's two mining formulations plus enough DDL/DML to set
+/// experiments up:
+///
+///   SELECT [DISTINCT] items FROM t1 [a1], t2 [a2], ...
+///     [WHERE boolean-expression]
+///     [GROUP BY columns] [HAVING expression]
+///     [ORDER BY columns [ASC|DESC is parsed, only ASC supported]]
+///   INSERT INTO t SELECT ... | INSERT INTO t VALUES (...), (...)
+///   CREATE [MEMORY] TABLE t (col TYPE, ...)
+///   DROP TABLE t
+///   DELETE FROM t            -- whole-table truncate
+///
+/// Expressions: column refs (qualified or not), integer/float/string
+/// literals, named parameters (:minsupport), COUNT(*), comparisons
+/// (= <> < <= > >=), AND/OR and parentheses.
+Result<Statement> Parse(const std::string& sql);
+
+/// Parses a statement expected to be a SELECT; convenience for tests.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace setm::sql
+
+#endif  // SETM_SQL_PARSER_H_

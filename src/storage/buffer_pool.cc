@@ -1,0 +1,161 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace setm {
+
+// ---------------------------------------------------------------------------
+// PageGuard
+// ---------------------------------------------------------------------------
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_index_ = other.frame_index_;
+    id_ = other.id_;
+    page_ = other.page_;
+    other.pool_ = nullptr;
+    other.page_ = nullptr;
+    other.id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+void PageGuard::MarkDirty() {
+  SETM_DCHECK(valid());
+  pool_->MarkDirty(frame_index_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    pool_->Unpin(frame_index_);
+  }
+  pool_ = nullptr;
+  page_ = nullptr;
+  id_ = kInvalidPageId;
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+BufferPool::BufferPool(StorageBackend* backend, size_t capacity)
+    : backend_(backend), frames_(capacity == 0 ? 1 : capacity) {
+  free_frames_.reserve(frames_.size());
+  for (size_t i = frames_.size(); i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() {
+  Status s = FlushAll();
+  if (!s.ok()) {
+    SETM_LOG(kError) << "buffer pool flush on destruction failed: "
+                     << s.ToString();
+  }
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Frame& f = frames_[it->second];
+    if (f.pin_count == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageGuard(this, it->second, id, &f.page);
+  }
+
+  ++misses_;
+  auto victim = GetVictimFrame();
+  if (!victim.ok()) return victim.status();
+  const size_t idx = victim.value();
+  Frame& f = frames_[idx];
+  SETM_RETURN_IF_ERROR(backend_->ReadPage(id, &f.page));
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  page_table_[id] = idx;
+  return PageGuard(this, idx, id, &f.page);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  auto id_or = backend_->AllocatePage();
+  if (!id_or.ok()) return id_or.status();
+  const PageId id = id_or.value();
+  auto victim = GetVictimFrame();
+  if (!victim.ok()) return victim.status();
+  const size_t idx = victim.value();
+  Frame& f = frames_[idx];
+  f.page.Clear();
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // a new page must reach the backend eventually
+  f.in_lru = false;
+  page_table_[id] = idx;
+  return PageGuard(this, idx, id, &f.page);
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame& f = frames_[it->second];
+  if (f.dirty) {
+    SETM_RETURN_IF_ERROR(backend_->WritePage(f.id, f.page));
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.dirty) {
+      SETM_RETURN_IF_ERROR(backend_->WritePage(f.id, f.page));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& f = frames_[frame_index];
+  SETM_CHECK(f.pin_count > 0);
+  if (--f.pin_count == 0) {
+    lru_.push_front(frame_index);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirty(size_t frame_index) {
+  frames_[frame_index].dirty = true;
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all frames pinned");
+  }
+  // Evict the least recently unpinned frame (back of the list).
+  size_t idx = lru_.back();
+  lru_.pop_back();
+  Frame& f = frames_[idx];
+  f.in_lru = false;
+  SETM_CHECK(f.pin_count == 0);
+  if (f.dirty) {
+    SETM_RETURN_IF_ERROR(backend_->WritePage(f.id, f.page));
+    f.dirty = false;
+  }
+  page_table_.erase(f.id);
+  f.id = kInvalidPageId;
+  return idx;
+}
+
+}  // namespace setm

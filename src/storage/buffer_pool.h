@@ -1,0 +1,122 @@
+#ifndef SETM_STORAGE_BUFFER_POOL_H_
+#define SETM_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/storage_backend.h"
+
+namespace setm {
+
+class BufferPool;
+
+/// RAII handle to a pinned buffer frame.
+///
+/// The frame stays pinned (ineligible for eviction) while at least one guard
+/// references it. Call `MarkDirty()` after mutating the page so the pool
+/// writes it back on eviction/flush. Guards are movable but not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame_index, PageId id, Page* page)
+      : pool_(pool), frame_index_(frame_index), id_(id), page_(page) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  /// True when the guard references a frame.
+  bool valid() const { return page_ != nullptr; }
+
+  /// The buffered page contents (mutable; pair writes with MarkDirty()).
+  Page* page() const { return page_; }
+
+  /// Page id of the pinned page.
+  PageId id() const { return id_; }
+
+  /// Flags the page for write-back on eviction or flush.
+  void MarkDirty();
+
+  /// Unpins early (idempotent); the guard becomes invalid.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_index_ = 0;
+  PageId id_ = kInvalidPageId;
+  Page* page_ = nullptr;
+};
+
+/// Fixed-capacity page cache over a StorageBackend with LRU replacement.
+///
+/// All page traffic of the engine flows through a pool, so the backend's
+/// IoStats ledger reflects misses only — exactly the "page accesses" the
+/// paper counts. Pool capacity is the knob for the buffer-size ablation.
+class BufferPool {
+ public:
+  /// `capacity` is in frames (pages). The backend must outlive the pool.
+  BufferPool(StorageBackend* backend, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the given page, reading it from the backend on a miss.
+  Result<PageGuard> FetchPage(PageId id);
+
+  /// Allocates a fresh zeroed page in the backend and pins it (dirty).
+  Result<PageGuard> NewPage();
+
+  /// Writes back one page if cached and dirty.
+  Status FlushPage(PageId id);
+
+  /// Writes back every dirty frame (pages stay cached).
+  Status FlushAll();
+
+  /// Number of frames.
+  size_t capacity() const { return frames_.size(); }
+
+  /// Cache statistics.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  /// The underlying backend (for direct allocation checks in tests).
+  StorageBackend* backend() const { return backend_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    PageId id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when pin_count == 0 and the frame holds a page.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame_index);
+  void MarkDirty(size_t frame_index);
+  /// Finds a frame to (re)use: a free frame, else the LRU unpinned victim.
+  Result<size_t> GetVictimFrame();
+
+  StorageBackend* backend_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  // front = most recently unpinned
+  std::unordered_map<PageId, size_t> page_table_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace setm
+
+#endif  // SETM_STORAGE_BUFFER_POOL_H_

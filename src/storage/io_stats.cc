@@ -1,0 +1,23 @@
+#include "storage/io_stats.h"
+
+#include <cstdio>
+
+namespace setm {
+
+std::string IoStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "reads=%llu (seq=%llu rand=%llu) writes=%llu (seq=%llu "
+                "rand=%llu) alloc=%llu model_time=%.1fs",
+                static_cast<unsigned long long>(page_reads),
+                static_cast<unsigned long long>(sequential_reads),
+                static_cast<unsigned long long>(random_reads),
+                static_cast<unsigned long long>(page_writes),
+                static_cast<unsigned long long>(sequential_writes),
+                static_cast<unsigned long long>(random_writes),
+                static_cast<unsigned long long>(pages_allocated),
+                ModelSeconds());
+  return buf;
+}
+
+}  // namespace setm

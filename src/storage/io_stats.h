@@ -1,0 +1,59 @@
+#ifndef SETM_STORAGE_IO_STATS_H_
+#define SETM_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace setm {
+
+/// Counters for page-level I/O, split into sequential and random accesses.
+///
+/// The paper analyzes its two mining strategies in page accesses and converts
+/// them to time with a simple disk model: a random page access costs ~20 ms,
+/// a sequential one ~10 ms (Sections 3.2 and 4.3). Every storage backend
+/// accumulates into one of these structs so experiments can report measured
+/// page counts and model-derived times next to wall-clock time.
+struct IoStats {
+  uint64_t page_reads = 0;        ///< total pages read from the backend
+  uint64_t page_writes = 0;       ///< total pages written to the backend
+  uint64_t sequential_reads = 0;  ///< reads at last accessed page + 1 (or same)
+  uint64_t random_reads = 0;      ///< all other reads
+  uint64_t sequential_writes = 0;
+  uint64_t random_writes = 0;
+  uint64_t pages_allocated = 0;   ///< fresh pages handed out
+
+  /// Total page accesses (reads + writes), the unit of the paper's formulas.
+  uint64_t TotalAccesses() const { return page_reads + page_writes; }
+
+  /// Time in seconds under the paper's disk model.
+  /// Defaults: 20 ms per random access, 10 ms per sequential access.
+  double ModelSeconds(double random_ms = 20.0, double sequential_ms = 10.0) const {
+    const double rand_ops =
+        static_cast<double>(random_reads + random_writes);
+    const double seq_ops =
+        static_cast<double>(sequential_reads + sequential_writes);
+    return (rand_ops * random_ms + seq_ops * sequential_ms) / 1000.0;
+  }
+
+  /// Resets all counters to zero.
+  void Reset() { *this = IoStats{}; }
+
+  /// Element-wise accumulation.
+  IoStats& operator+=(const IoStats& other) {
+    page_reads += other.page_reads;
+    page_writes += other.page_writes;
+    sequential_reads += other.sequential_reads;
+    random_reads += other.random_reads;
+    sequential_writes += other.sequential_writes;
+    random_writes += other.random_writes;
+    pages_allocated += other.pages_allocated;
+    return *this;
+  }
+
+  /// One-line human-readable rendering for bench output.
+  std::string ToString() const;
+};
+
+}  // namespace setm
+
+#endif  // SETM_STORAGE_IO_STATS_H_

@@ -1,0 +1,43 @@
+#ifndef SETM_STORAGE_PAGE_H_
+#define SETM_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace setm {
+
+/// Page size used throughout the engine. The paper's analysis (Sections 3.2
+/// and 4.3) assumes 4 Kbyte pages; we keep the same constant so measured page
+/// counts are directly comparable with the analytical model.
+inline constexpr size_t kPageSize = 4096;
+
+/// Identifier of a page within a storage backend.
+using PageId = uint32_t;
+
+/// Sentinel for "no page" (end of page chains, unset links).
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// A fixed-size block of bytes as stored on disk. Pages carry no inherent
+/// structure; table heaps and B+-tree nodes overlay their own layouts.
+struct alignas(8) Page {
+  char data[kPageSize];
+
+  /// Zeroes the page contents.
+  void Clear() { std::memset(data, 0, kPageSize); }
+
+  /// Typed view of the page contents at byte offset `off`.
+  template <typename T>
+  T* As(size_t off = 0) {
+    return reinterpret_cast<T*>(data + off);
+  }
+  template <typename T>
+  const T* As(size_t off = 0) const {
+    return reinterpret_cast<const T*>(data + off);
+  }
+};
+
+static_assert(sizeof(Page) == kPageSize, "Page must be exactly one page");
+
+}  // namespace setm
+
+#endif  // SETM_STORAGE_PAGE_H_

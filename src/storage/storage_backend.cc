@@ -1,0 +1,153 @@
+#include "storage/storage_backend.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace setm {
+
+bool StorageBackend::ClassifySequential(PageId id) {
+  for (PageId& head : heads_) {
+    if (head != kInvalidPageId && (id == head || id == head + 1)) {
+      head = id;
+      return true;
+    }
+  }
+  // New stream: evict the round-robin victim slot.
+  heads_[next_head_] = id;
+  next_head_ = (next_head_ + 1) % kStreamHeads;
+  return false;
+}
+
+void StorageBackend::AccountRead(PageId id) {
+  if (stats_ == nullptr) return;
+  ++stats_->page_reads;
+  if (ClassifySequential(id)) {
+    ++stats_->sequential_reads;
+  } else {
+    ++stats_->random_reads;
+  }
+}
+
+void StorageBackend::AccountWrite(PageId id) {
+  if (stats_ == nullptr) return;
+  ++stats_->page_writes;
+  if (ClassifySequential(id)) {
+    ++stats_->sequential_writes;
+  } else {
+    ++stats_->random_writes;
+  }
+}
+
+void StorageBackend::AccountAllocation() {
+  if (stats_ != nullptr) ++stats_->pages_allocated;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBackend
+// ---------------------------------------------------------------------------
+
+Result<PageId> MemoryBackend::AllocatePage() {
+  if (pages_.size() >= static_cast<size_t>(kInvalidPageId)) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  auto page = std::make_unique<Page>();
+  page->Clear();
+  pages_.push_back(std::move(page));
+  AccountAllocation();
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemoryBackend::ReadPage(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::InvalidArgument("read of unallocated page " +
+                                   std::to_string(id));
+  }
+  std::memcpy(out->data, pages_[id]->data, kPageSize);
+  AccountRead(id);
+  return Status::OK();
+}
+
+Status MemoryBackend::WritePage(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::InvalidArgument("write of unallocated page " +
+                                   std::to_string(id));
+  }
+  std::memcpy(pages_[id]->data, page.data, kPageSize);
+  AccountWrite(id);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<FileBackend>> FileBackend::Open(const std::string& path,
+                                                       IoStats* stats,
+                                                       bool truncate) {
+  int flags = O_RDWR | O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError("lseek(" + path + "): " + std::strerror(errno));
+  }
+  uint64_t num_pages = static_cast<uint64_t>(size) / kPageSize;
+  return std::unique_ptr<FileBackend>(
+      new FileBackend(path, fd, num_pages, stats));
+}
+
+FileBackend::~FileBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<PageId> FileBackend::AllocatePage() {
+  if (num_pages_ >= static_cast<uint64_t>(kInvalidPageId)) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  Page zero;
+  zero.Clear();
+  const off_t off = static_cast<off_t>(num_pages_) * kPageSize;
+  ssize_t n = ::pwrite(fd_, zero.data, kPageSize, off);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
+  }
+  AccountAllocation();
+  return static_cast<PageId>(num_pages_++);
+}
+
+Status FileBackend::ReadPage(PageId id, Page* out) {
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("read of unallocated page " +
+                                   std::to_string(id));
+  }
+  const off_t off = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pread(fd_, out->data, kPageSize, off);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pread(" + path_ + "): " + std::strerror(errno));
+  }
+  AccountRead(id);
+  return Status::OK();
+}
+
+Status FileBackend::WritePage(PageId id, const Page& page) {
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("write of unallocated page " +
+                                   std::to_string(id));
+  }
+  const off_t off = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, page.data, kPageSize, off);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
+  }
+  AccountWrite(id);
+  return Status::OK();
+}
+
+}  // namespace setm

@@ -1,0 +1,123 @@
+#ifndef SETM_STORAGE_STORAGE_BACKEND_H_
+#define SETM_STORAGE_STORAGE_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace setm {
+
+/// Abstract page store: a flat, growable array of 4 KiB pages.
+///
+/// Implementations classify each access as sequential or random, mirroring
+/// the cost model the paper uses in its analysis. Classification tracks a
+/// small set of recent access positions ("stream heads", the way OS
+/// readahead detects concurrent sequential streams): an access that
+/// continues any tracked stream (same page or the next one) is sequential;
+/// anything else is random and starts a new tracked stream. This keeps a
+/// merge-scan join reading two tables alternately — perfectly sequential
+/// per table — classified as sequential, as the paper's analysis assumes.
+/// All accesses are accumulated into an IoStats owned by the caller, so
+/// independent backends (base tables, sort run files) can share one ledger.
+class StorageBackend {
+ public:
+  /// `stats` may be null (accounting disabled); otherwise must outlive this.
+  explicit StorageBackend(IoStats* stats) : stats_(stats) {}
+  virtual ~StorageBackend() = default;
+
+  StorageBackend(const StorageBackend&) = delete;
+  StorageBackend& operator=(const StorageBackend&) = delete;
+
+  /// Appends a zeroed page and returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Reads page `id` into `*out`. Fails with InvalidArgument for ids that
+  /// were never allocated.
+  virtual Status ReadPage(PageId id, Page* out) = 0;
+
+  /// Writes `page` at `id`. Fails for ids that were never allocated.
+  virtual Status WritePage(PageId id, const Page& page) = 0;
+
+  /// Number of pages allocated so far.
+  virtual uint64_t NumPages() const = 0;
+
+  /// The shared I/O ledger (may be null).
+  IoStats* stats() const { return stats_; }
+
+ protected:
+  /// Classifies and records a read of `id` in the ledger.
+  void AccountRead(PageId id);
+  /// Classifies and records a write of `id` in the ledger.
+  void AccountWrite(PageId id);
+  /// Records a fresh allocation in the ledger.
+  void AccountAllocation();
+
+ private:
+  /// True (and the matching head advanced) if `id` continues a tracked
+  /// sequential stream.
+  bool ClassifySequential(PageId id);
+
+  IoStats* stats_;
+  /// Recently observed stream positions; kInvalidPageId marks empty slots.
+  static constexpr size_t kStreamHeads = 8;
+  PageId heads_[kStreamHeads] = {kInvalidPageId, kInvalidPageId,
+                                 kInvalidPageId, kInvalidPageId,
+                                 kInvalidPageId, kInvalidPageId,
+                                 kInvalidPageId, kInvalidPageId};
+  size_t next_head_ = 0;  // round-robin victim for new streams
+};
+
+/// Heap-backed page store. I/O costs are virtual (only counted), which keeps
+/// experiments deterministic and fast while preserving the paper's unit of
+/// measure; see FileBackend for a real-file implementation.
+class MemoryBackend : public StorageBackend {
+ public:
+  explicit MemoryBackend(IoStats* stats = nullptr) : StorageBackend(stats) {}
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  uint64_t NumPages() const override { return pages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+/// File-backed page store using POSIX pread/pwrite on a single file.
+class FileBackend : public StorageBackend {
+ public:
+  /// Opens (creating if needed, truncating by default) the backing file.
+  /// Check `status()` after construction.
+  static Result<std::unique_ptr<FileBackend>> Open(const std::string& path,
+                                                   IoStats* stats = nullptr,
+                                                   bool truncate = true);
+
+  ~FileBackend() override;
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  uint64_t NumPages() const override { return num_pages_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileBackend(std::string path, int fd, uint64_t num_pages, IoStats* stats)
+      : StorageBackend(stats),
+        path_(std::move(path)),
+        fd_(fd),
+        num_pages_(num_pages) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t num_pages_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_STORAGE_STORAGE_BACKEND_H_

@@ -1,0 +1,203 @@
+#include "storage/table_heap.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace setm {
+
+namespace {
+
+// On-page layout ------------------------------------------------------------
+
+struct HeapPageHeader {
+  PageId next_page;         // kInvalidPageId at the tail
+  uint16_t num_slots;       // slots ever created on this page
+  uint16_t free_space_end;  // records occupy [free_space_end, kPageSize)
+};
+
+struct Slot {
+  uint16_t offset;  // byte offset of the record within the page
+  uint16_t length;  // record length; kTombstone marks deletion
+};
+
+constexpr uint16_t kTombstone = 0xFFFF;
+constexpr size_t kHeaderSize = sizeof(HeapPageHeader);
+constexpr size_t kSlotSize = sizeof(Slot);
+
+HeapPageHeader* Header(Page* p) { return p->As<HeapPageHeader>(); }
+const HeapPageHeader* Header(const Page* p) {
+  return p->As<HeapPageHeader>();
+}
+
+Slot* SlotAt(Page* p, uint16_t i) {
+  return p->As<Slot>(kHeaderSize + i * kSlotSize);
+}
+const Slot* SlotAt(const Page* p, uint16_t i) {
+  return p->As<Slot>(kHeaderSize + i * kSlotSize);
+}
+
+// Free bytes available for one more record + its slot entry.
+size_t FreeSpace(const Page* p) {
+  const HeapPageHeader* h = Header(p);
+  const size_t slots_end = kHeaderSize + h->num_slots * kSlotSize;
+  SETM_DCHECK(h->free_space_end >= slots_end);
+  return h->free_space_end - slots_end;
+}
+
+void InitHeapPage(Page* p) {
+  p->Clear();
+  HeapPageHeader* h = Header(p);
+  h->next_page = kInvalidPageId;
+  h->num_slots = 0;
+  h->free_space_end = static_cast<uint16_t>(kPageSize);
+}
+
+}  // namespace
+
+/// Largest record a single heap page can hold.
+static constexpr size_t kMaxRecordSize = kPageSize - kHeaderSize - kSlotSize;
+
+Result<TableHeap> TableHeap::Create(BufferPool* pool) {
+  auto guard_or = pool->NewPage();
+  if (!guard_or.ok()) return guard_or.status();
+  PageGuard& guard = guard_or.value();
+  InitHeapPage(guard.page());
+  guard.MarkDirty();
+  return TableHeap(pool, guard.id(), guard.id(), /*pages=*/1);
+}
+
+Result<TableHeap> TableHeap::Open(BufferPool* pool, PageId first_page) {
+  PageId last = first_page;
+  uint64_t pages = 0;
+  uint64_t live = 0;
+  PageId cur = first_page;
+  while (cur != kInvalidPageId) {
+    auto guard_or = pool->FetchPage(cur);
+    if (!guard_or.ok()) return guard_or.status();
+    const Page* p = guard_or.value().page();
+    const HeapPageHeader* h = Header(p);
+    for (uint16_t i = 0; i < h->num_slots; ++i) {
+      if (SlotAt(p, i)->length != kTombstone) ++live;
+    }
+    ++pages;
+    last = cur;
+    cur = h->next_page;
+  }
+  TableHeap heap(pool, first_page, last, pages);
+  heap.live_records_ = live;
+  return heap;
+}
+
+Result<Rid> TableHeap::Insert(std::string_view record) {
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record of " +
+                                   std::to_string(record.size()) +
+                                   " bytes exceeds page capacity");
+  }
+  auto guard_or = pool_->FetchPage(last_page_);
+  if (!guard_or.ok()) return guard_or.status();
+  PageGuard guard = std::move(guard_or).value();
+
+  if (FreeSpace(guard.page()) < record.size() + kSlotSize) {
+    // Tail page is full: chain a fresh page.
+    auto new_or = pool_->NewPage();
+    if (!new_or.ok()) return new_or.status();
+    PageGuard new_guard = std::move(new_or).value();
+    InitHeapPage(new_guard.page());
+    Header(guard.page())->next_page = new_guard.id();
+    guard.MarkDirty();
+    new_guard.MarkDirty();
+    last_page_ = new_guard.id();
+    ++num_pages_;
+    guard = std::move(new_guard);
+  }
+
+  Page* p = guard.page();
+  HeapPageHeader* h = Header(p);
+  const uint16_t slot_index = h->num_slots;
+  h->free_space_end = static_cast<uint16_t>(h->free_space_end - record.size());
+  Slot* slot = SlotAt(p, slot_index);
+  slot->offset = h->free_space_end;
+  slot->length = static_cast<uint16_t>(record.size());
+  std::memcpy(p->data + slot->offset, record.data(), record.size());
+  ++h->num_slots;
+  guard.MarkDirty();
+  ++live_records_;
+  return Rid{guard.id(), slot_index};
+}
+
+Status TableHeap::Get(const Rid& rid, std::string* out) const {
+  auto guard_or = pool_->FetchPage(rid.page_id);
+  if (!guard_or.ok()) return guard_or.status();
+  const Page* p = guard_or.value().page();
+  const HeapPageHeader* h = Header(p);
+  if (rid.slot >= h->num_slots) {
+    return Status::NotFound("no slot " + std::to_string(rid.slot));
+  }
+  const Slot* slot = SlotAt(p, rid.slot);
+  if (slot->length == kTombstone) {
+    return Status::NotFound("record was deleted");
+  }
+  out->assign(p->data + slot->offset, slot->length);
+  return Status::OK();
+}
+
+Status TableHeap::Delete(const Rid& rid) {
+  auto guard_or = pool_->FetchPage(rid.page_id);
+  if (!guard_or.ok()) return guard_or.status();
+  PageGuard guard = std::move(guard_or).value();
+  Page* p = guard.page();
+  HeapPageHeader* h = Header(p);
+  if (rid.slot >= h->num_slots) {
+    return Status::NotFound("no slot " + std::to_string(rid.slot));
+  }
+  Slot* slot = SlotAt(p, rid.slot);
+  if (slot->length != kTombstone) {
+    slot->length = kTombstone;
+    guard.MarkDirty();
+    SETM_DCHECK(live_records_ > 0);
+    --live_records_;
+  }
+  return Status::OK();
+}
+
+TableHeap::Iterator TableHeap::Begin() const {
+  Iterator it(this, first_page_, 0);
+  Status s = it.SeekForward();
+  if (!s.ok()) {
+    SETM_LOG(kError) << "TableHeap iteration failed: " << s.ToString();
+    it.valid_ = false;
+  }
+  return it;
+}
+
+Status TableHeap::Iterator::SeekForward() {
+  valid_ = false;
+  while (rid_.page_id != kInvalidPageId) {
+    auto guard_or = heap_->pool_->FetchPage(rid_.page_id);
+    if (!guard_or.ok()) return guard_or.status();
+    const Page* p = guard_or.value().page();
+    const HeapPageHeader* h = Header(p);
+    while (rid_.slot < h->num_slots) {
+      const Slot* slot = SlotAt(p, rid_.slot);
+      if (slot->length != kTombstone) {
+        record_.assign(p->data + slot->offset, slot->length);
+        valid_ = true;
+        return Status::OK();
+      }
+      ++rid_.slot;
+    }
+    rid_.page_id = h->next_page;
+    rid_.slot = 0;
+  }
+  return Status::OK();
+}
+
+Status TableHeap::Iterator::Next() {
+  SETM_DCHECK(valid_);
+  ++rid_.slot;
+  return SeekForward();
+}
+
+}  // namespace setm

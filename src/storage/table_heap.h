@@ -1,0 +1,112 @@
+#ifndef SETM_STORAGE_TABLE_HEAP_H_
+#define SETM_STORAGE_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace setm {
+
+/// Physical address of a record in a table heap.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid& other) const {
+    return page_id == other.page_id && slot == other.slot;
+  }
+};
+
+/// An unordered collection of variable-length records stored in a chain of
+/// slotted pages, in the classic textbook layout:
+///
+///   [header | slot 0 | slot 1 | ... | free space ... | rec 1 | rec 0]
+///
+/// Records are addressed by Rid and never move within their page; deletion
+/// tombstones the slot. Inserts append to the tail page and allocate a new
+/// page when the record does not fit — exactly the sequential write pattern
+/// SETM's intermediate relations R_k rely on.
+class TableHeap {
+ public:
+  /// Creates a fresh heap with one empty page.
+  static Result<TableHeap> Create(BufferPool* pool);
+
+  /// Re-opens an existing heap rooted at `first_page`. The tail is located
+  /// by walking the chain (O(pages), done once at open).
+  static Result<TableHeap> Open(BufferPool* pool, PageId first_page);
+
+  TableHeap(TableHeap&&) = default;
+  TableHeap& operator=(TableHeap&&) = default;
+
+  /// Appends a record; fails with InvalidArgument if it can never fit in a
+  /// page, IOError/ResourceExhausted on storage trouble.
+  Result<Rid> Insert(std::string_view record);
+
+  /// Reads the record at `rid` into `*out`. NotFound for tombstoned slots.
+  Status Get(const Rid& rid, std::string* out) const;
+
+  /// Tombstones the record at `rid` (idempotent).
+  Status Delete(const Rid& rid);
+
+  /// Number of live (non-deleted) records.
+  uint64_t live_records() const { return live_records_; }
+
+  /// First page of the chain (persist this to re-open the heap).
+  PageId first_page() const { return first_page_; }
+
+  /// Number of pages in the chain — the ||R|| of the paper's formulas.
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// Forward iterator over live records in storage order.
+  ///
+  ///     for (auto it = heap.Begin(); it.Valid(); ) {
+  ///       use(it.record());
+  ///       if (!it.Next().ok()) break;
+  ///     }
+  class Iterator {
+   public:
+    /// True when positioned on a live record.
+    bool Valid() const { return valid_; }
+    /// The current record bytes (owned copy, stable until Next()).
+    const std::string& record() const { return record_; }
+    /// The current record's address.
+    const Rid& rid() const { return rid_; }
+    /// Advances to the next live record; Valid() turns false at the end.
+    Status Next();
+
+   private:
+    friend class TableHeap;
+    Iterator(const TableHeap* heap, PageId page, uint16_t slot)
+        : heap_(heap), rid_{page, slot} {}
+    /// Positions on the first live record at or after rid_.
+    Status SeekForward();
+
+    const TableHeap* heap_ = nullptr;
+    Rid rid_;
+    std::string record_;
+    bool valid_ = false;
+  };
+
+  /// Iterator positioned at the first live record.
+  /// On I/O error the iterator is invalid (treated as empty).
+  Iterator Begin() const;
+
+ private:
+  TableHeap(BufferPool* pool, PageId first, PageId last, uint64_t pages)
+      : pool_(pool), first_page_(first), last_page_(last), num_pages_(pages) {}
+
+  BufferPool* pool_;
+  PageId first_page_;
+  PageId last_page_;
+  uint64_t num_pages_;
+  uint64_t live_records_ = 0;
+};
+
+}  // namespace setm
+
+#endif  // SETM_STORAGE_TABLE_HEAP_H_

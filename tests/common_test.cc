@@ -1,0 +1,241 @@
+// Unit tests for src/common: Status, Result, Rng, ZipfSampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace setm {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kCorruption,
+        StatusCode::kIOError, StatusCode::kNotSupported,
+        StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
+        StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeName(code).empty());
+    EXPECT_NE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::Corruption("x"));
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Status::Corruption("bad page"); };
+  auto wrapper = [&]() -> Status {
+    SETM_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsCorruption());
+}
+
+// --------------------------------------------------------------------------
+// Result
+// --------------------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r = 3;
+  EXPECT_EQ(r.ValueOr(-1), 3);
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(11);
+  std::map<uint64_t, int> seen;
+  for (int i = 0; i < 6000; ++i) ++seen[rng.Uniform(6)];
+  ASSERT_EQ(seen.size(), 6u);
+  for (const auto& [v, n] : seen) EXPECT_GT(n, 700) << "value " << v;
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, PoissonMeanIsClose) {
+  Rng rng(17);
+  for (double mean : {0.5, 2.0, 10.0, 40.0}) {
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) sum += rng.Poisson(mean);
+    EXPECT_NEAR(sum / 20000.0, mean, mean * 0.05 + 0.05) << "mean " << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, ExponentialMeanIsClose) {
+  Rng rng(23);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Exponential(3.0);
+  EXPECT_NEAR(sum / 20000.0, 3.0, 0.15);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// --------------------------------------------------------------------------
+// ZipfSampler
+// --------------------------------------------------------------------------
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(31);
+  ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 100u);
+  }
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  Rng rng(37);
+  ZipfSampler zipf(50, 1.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  // Rank 0 should dominate rank 10 and rank 40.
+  EXPECT_GT(counts[0], counts[10] * 2);
+  EXPECT_GT(counts[0], (counts[40] + 1) * 5);
+}
+
+TEST(ZipfTest, MatchesTheoreticalHeadProbability) {
+  // For s=1, n=100: P(rank 0) = 1 / H_100 ~ 1/5.187 ~ 0.1928.
+  Rng rng(41);
+  ZipfSampler zipf(100, 1.0);
+  int head = 0;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) head += zipf.Sample(&rng) == 0;
+  EXPECT_NEAR(head / static_cast<double>(trials), 0.1928, 0.01);
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  Rng rng(43);
+  ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Logging
+// --------------------------------------------------------------------------
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace setm

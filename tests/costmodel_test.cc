@@ -1,0 +1,95 @@
+// Tests pinning the analytical cost model to the paper's Sections 3.2/4.3
+// arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "costmodel/analysis.h"
+
+namespace setm {
+namespace {
+
+TEST(BTreeEstimateTest, PaperItemTidIndexNumbers) {
+  // 2,000,000 entries, 500 per leaf, 333 per non-leaf: 4,000 leaves,
+  // "(1 + 4,000/333) = 14" non-leaf pages (root + 13), 3 levels.
+  BTreeEstimate e = EstimateBTree(2000000, 500, 333);
+  EXPECT_EQ(e.leaf_pages, 4000u);
+  EXPECT_EQ(e.nonleaf_pages, 14u);  // 13 level-2 pages + 1 root
+  EXPECT_EQ(e.levels, 3u);
+}
+
+TEST(BTreeEstimateTest, SinglePageTree) {
+  BTreeEstimate e = EstimateBTree(100, 500, 333);
+  EXPECT_EQ(e.leaf_pages, 1u);
+  EXPECT_EQ(e.nonleaf_pages, 0u);
+  EXPECT_EQ(e.levels, 1u);
+}
+
+TEST(NestedLoopAnalysisTest, ReproducesSection32) {
+  HypotheticalDb db;  // paper defaults
+  NestedLoopAnalysis a = AnalyzeNestedLoop(db);
+  // |C1| = 1000 items; ~40 leaf fetches + ~2000 tid-index fetches per item.
+  EXPECT_EQ(a.c1_size, 1000u);
+  EXPECT_NEAR(a.leaf_fetches_per_item, 40.0, 1.0);
+  EXPECT_NEAR(a.matching_tids_per_item, 2000.0, 1.0);
+  // "about 1000 x (40 + 2000) ~ 2,000,000 page fetches"
+  EXPECT_NEAR(static_cast<double>(a.total_page_fetches), 2040000.0, 50000.0);
+  // "~ 40,000 seconds, which is more than 11 hours"
+  EXPECT_GT(a.estimated_seconds, 11 * 3600.0);
+  EXPECT_LT(a.estimated_seconds, 13 * 3600.0);
+}
+
+TEST(SortMergeAnalysisTest, ReproducesSection43) {
+  HypotheticalDb db;
+  SortMergeAnalysis a = AnalyzeSortMerge(db, /*max_pattern_length=*/2);
+  // ||R1|| = 2M tuples x 8 bytes / 4096 ~ 3,907 (paper rounds to 4,000).
+  EXPECT_NEAR(static_cast<double>(a.r1_pages), 4000.0, 100.0);
+  // ||R'_2|| = C(10,2) x 200,000 x 12 bytes / 4096 ~ 26,367 (paper: 27,000).
+  ASSERT_EQ(a.r_prime_pages.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(a.r_prime_pages[0]), 27000.0, 700.0);
+  // 3 x 4,000 + 4 x 27,000 = 120,000 page accesses.
+  EXPECT_NEAR(static_cast<double>(a.total_page_accesses), 120000.0, 3000.0);
+  // "1200 seconds or 10 minutes".
+  EXPECT_NEAR(a.estimated_seconds, 1200.0, 30.0);
+}
+
+TEST(AnalysisComparisonTest, NestedLoopLosesByOrdersOfMagnitude) {
+  HypotheticalDb db;
+  NestedLoopAnalysis nl = AnalyzeNestedLoop(db);
+  SortMergeAnalysis sm = AnalyzeSortMerge(db, 2);
+  // The paper's headline: >11 hours vs ~10 minutes, a ~30x+ time gap and
+  // ~17x page-access gap.
+  EXPECT_GT(nl.estimated_seconds / sm.estimated_seconds, 25.0);
+  EXPECT_GT(static_cast<double>(nl.total_page_fetches) /
+                static_cast<double>(sm.total_page_accesses),
+            10.0);
+  const std::string table = RenderAnalysisTable(nl, sm);
+  EXPECT_NE(table.find("nested-loop"), std::string::npos);
+  EXPECT_NE(table.find("sort-merge"), std::string::npos);
+}
+
+TEST(AnalysisScalingTest, SortMergeScalesWithTransactionSize) {
+  HypotheticalDb db;
+  db.avg_transaction_size = 5.0;
+  SortMergeAnalysis small = AnalyzeSortMerge(db, 2);
+  db.avg_transaction_size = 20.0;
+  SortMergeAnalysis large = AnalyzeSortMerge(db, 2);
+  // |R'_2| grows quadratically with basket size.
+  EXPECT_GT(large.r_prime_pages[0], small.r_prime_pages[0] * 10);
+}
+
+TEST(AnalysisScalingTest, DeeperIterationsAddPasses) {
+  HypotheticalDb db;
+  SortMergeAnalysis two = AnalyzeSortMerge(db, 2);
+  SortMergeAnalysis three = AnalyzeSortMerge(db, 3);
+  EXPECT_GT(three.total_page_accesses, two.total_page_accesses);
+  EXPECT_EQ(three.r_prime_pages.size(), 2u);
+}
+
+TEST(HypotheticalDbTest, DerivedQuantities) {
+  HypotheticalDb db;
+  EXPECT_EQ(db.SalesTuples(), 2000000u);
+  EXPECT_DOUBLE_EQ(db.ItemProbability(), 0.01);
+}
+
+}  // namespace
+}  // namespace setm

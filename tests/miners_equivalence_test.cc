@@ -1,0 +1,196 @@
+// Cross-miner integration tests: SETM (direct), SETM-via-SQL, the nested-
+// loop strategy, Apriori and AIS must all find exactly the same frequent
+// itemsets as the brute-force oracle.
+
+#include <gtest/gtest.h>
+
+#include "baselines/ais.h"
+#include "baselines/apriori.h"
+#include "baselines/brute_force.h"
+#include "core/nested_loop_miner.h"
+#include "core/paper_example.h"
+#include "core/setm.h"
+#include "core/setm_sql.h"
+#include "datagen/quest_generator.h"
+
+namespace setm {
+namespace {
+
+struct Case {
+  uint64_t seed;
+  double min_support;
+  uint32_t num_transactions;
+  double avg_size;
+  uint32_t num_items;
+};
+
+class AllMinersTest : public testing::TestWithParam<Case> {
+ protected:
+  TransactionDb MakeDb() const {
+    QuestOptions gen;
+    gen.seed = GetParam().seed;
+    gen.num_transactions = GetParam().num_transactions;
+    gen.avg_transaction_size = GetParam().avg_size;
+    gen.num_items = GetParam().num_items;
+    gen.num_patterns = 15;
+    return QuestGenerator(gen).Generate();
+  }
+  MiningOptions Options() const {
+    MiningOptions options;
+    options.min_support = GetParam().min_support;
+    return options;
+  }
+};
+
+TEST_P(AllMinersTest, SetmSqlMatchesOracle) {
+  TransactionDb txns = MakeDb();
+  BruteForceMiner oracle;
+  auto expected = oracle.Mine(txns, Options());
+  ASSERT_TRUE(expected.ok());
+
+  Database db;
+  auto sales = LoadSalesTable(&db, "sales", txns, TableBacking::kHeap);
+  ASSERT_TRUE(sales.ok());
+  SetmSqlMiner miner(&db, "sales");
+  auto result = miner.MineTable(Options());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
+  EXPECT_EQ(result.value().itemsets.num_transactions, txns.size());
+}
+
+TEST_P(AllMinersTest, NestedLoopMatchesOracle) {
+  TransactionDb txns = MakeDb();
+  BruteForceMiner oracle;
+  auto expected = oracle.Mine(txns, Options());
+  ASSERT_TRUE(expected.ok());
+
+  Database db;
+  NestedLoopMiner miner(&db);
+  auto result = miner.Mine(txns, Options());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
+}
+
+TEST_P(AllMinersTest, AprioriMatchesOracle) {
+  TransactionDb txns = MakeDb();
+  BruteForceMiner oracle;
+  auto expected = oracle.Mine(txns, Options());
+  ASSERT_TRUE(expected.ok());
+  AprioriMiner miner;
+  auto result = miner.Mine(txns, Options());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
+}
+
+TEST_P(AllMinersTest, AisMatchesOracle) {
+  TransactionDb txns = MakeDb();
+  BruteForceMiner oracle;
+  auto expected = oracle.Mine(txns, Options());
+  ASSERT_TRUE(expected.ok());
+  AisMiner miner;
+  auto result = miner.Mine(txns, Options());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllMinersTest,
+    testing::Values(Case{11, 0.05, 150, 4, 15}, Case{12, 0.10, 120, 5, 12},
+                    Case{13, 0.02, 300, 3, 25}, Case{14, 0.20, 80, 6, 8},
+                    Case{15, 0.04, 200, 5, 18}));
+
+// --------------------------------------------------------------------------
+// SETM-via-SQL specifics.
+// --------------------------------------------------------------------------
+
+TEST(SetmSqlTest, PaperExampleThroughSql) {
+  Database db;
+  auto sales = LoadSalesTable(&db, "sales", PaperExampleTransactions(),
+                              TableBacking::kMemory);
+  ASSERT_TRUE(sales.ok());
+  SetmSqlMiner miner(&db, "sales");
+  auto result = miner.MineTable(PaperExampleOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().itemsets.OfSize(1).size(), 6u);
+  EXPECT_EQ(result.value().itemsets.OfSize(2).size(), 6u);
+  EXPECT_EQ(result.value().itemsets.OfSize(3).size(), 1u);
+  EXPECT_EQ(result.value().itemsets.CountOf({3, 4, 5}), 3);  // DEF
+}
+
+TEST(SetmSqlTest, ExecutedStatementsFollowSection41) {
+  Database db;
+  auto sales = LoadSalesTable(&db, "sales", PaperExampleTransactions(),
+                              TableBacking::kMemory);
+  ASSERT_TRUE(sales.ok());
+  SetmSqlMiner miner(&db, "sales");
+  ASSERT_TRUE(miner.MineTable(PaperExampleOptions()).ok());
+  const auto& stmts = miner.executed_statements();
+  ASSERT_FALSE(stmts.empty());
+  // The three statement shapes of Section 4.1 must all appear.
+  auto contains = [&](const std::string& needle) {
+    for (const auto& s : stmts) {
+      if (s.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("WHERE q.trans_id = p.trans_id AND q.item > p.item1"));
+  EXPECT_TRUE(contains("GROUP BY p.item1, p.item2 "
+                       "HAVING COUNT(*) >= :minsupport"));
+  EXPECT_TRUE(contains("ORDER BY p.trans_id, p.item1, p.item2"));
+}
+
+TEST(SetmSqlTest, RerunAfterDroppedScratchTables) {
+  Database db;
+  auto sales = LoadSalesTable(&db, "sales", PaperExampleTransactions(),
+                              TableBacking::kMemory);
+  ASSERT_TRUE(sales.ok());
+  SetmSqlMiner miner(&db, "sales");
+  ASSERT_TRUE(miner.MineTable(PaperExampleOptions()).ok());
+  // A second run must clean up its own scratch tables and succeed.
+  auto again = miner.MineTable(PaperExampleOptions());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().itemsets.OfSize(2).size(), 6u);
+}
+
+TEST(SetmSqlTest, MissingSalesTableFails) {
+  Database db;
+  SetmSqlMiner miner(&db, "no_such_table");
+  EXPECT_FALSE(miner.MineTable(MiningOptions{}).ok());
+}
+
+// --------------------------------------------------------------------------
+// Nested-loop miner specifics.
+// --------------------------------------------------------------------------
+
+TEST(NestedLoopTest, PaperExample) {
+  Database db;
+  NestedLoopMiner miner(&db);
+  auto result = miner.Mine(PaperExampleTransactions(), PaperExampleOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().itemsets.OfSize(2).size(), 6u);
+  EXPECT_EQ(result.value().itemsets.OfSize(3).size(), 1u);
+}
+
+TEST(NestedLoopTest, SmallPoolForcesRealIo) {
+  QuestOptions gen;
+  gen.num_transactions = 2000;
+  gen.avg_transaction_size = 6;
+  gen.num_items = 60;
+  gen.seed = 404;
+  TransactionDb txns = QuestGenerator(gen).Generate();
+
+  DatabaseOptions small;
+  small.pool_frames = 8;  // far smaller than the indexes
+  Database db(small);
+  NestedLoopMiner miner(&db);
+  MiningOptions options;
+  options.min_support = 0.02;
+  auto result = miner.Mine(txns, options);
+  ASSERT_TRUE(result.ok());
+  // The strategy's probes must show up as (mostly random) page reads.
+  EXPECT_GT(result.value().io.page_reads, 1000u);
+  EXPECT_GT(result.value().io.random_reads, result.value().io.sequential_reads / 4);
+}
+
+}  // namespace
+}  // namespace setm

@@ -1,0 +1,131 @@
+// Tests for the Section 3.1 SQL formulation: the k-way self-join queries,
+// executed literally, must produce the same count relations as every other
+// miner.
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "core/nested_loop_sql.h"
+#include "core/paper_example.h"
+#include "core/rules.h"
+#include "core/setm.h"
+#include "datagen/quest_generator.h"
+
+namespace setm {
+namespace {
+
+TEST(NestedLoopSqlTest, PaperExample) {
+  Database db;
+  auto sales = LoadSalesTable(&db, "sales", PaperExampleTransactions(),
+                              TableBacking::kMemory);
+  ASSERT_TRUE(sales.ok());
+  NestedLoopSqlMiner miner(&db, "sales");
+  auto result = miner.MineTable(PaperExampleOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().itemsets.OfSize(1).size(), 6u);
+  EXPECT_EQ(result.value().itemsets.OfSize(2).size(), 6u);
+  EXPECT_EQ(result.value().itemsets.OfSize(3).size(), 1u);
+  EXPECT_EQ(result.value().itemsets.CountOf({3, 4, 5}), 3);
+}
+
+TEST(NestedLoopSqlTest, GeneratedSqlMatchesSection31Shape) {
+  Database db;
+  auto sales = LoadSalesTable(&db, "sales", PaperExampleTransactions(),
+                              TableBacking::kMemory);
+  ASSERT_TRUE(sales.ok());
+  NestedLoopSqlMiner miner(&db, "sales");
+  ASSERT_TRUE(miner.MineTable(PaperExampleOptions()).ok());
+  bool found_c2 = false;
+  for (const std::string& s : miner.executed_statements()) {
+    if (s.find("FROM nl_c1 c, sales r1, sales r2") != std::string::npos) {
+      // The Section 3.1 conditions, verbatim modulo identifiers.
+      EXPECT_NE(s.find("r1.trans_id = r2.trans_id"), std::string::npos);
+      EXPECT_NE(s.find("r1.item = c.item1"), std::string::npos);
+      EXPECT_NE(s.find("r2.item > r1.item"), std::string::npos);
+      EXPECT_NE(s.find("HAVING COUNT(*) >= :minsupport"), std::string::npos);
+      found_c2 = true;
+    }
+  }
+  EXPECT_TRUE(found_c2);
+}
+
+class NestedLoopSqlSweepTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(NestedLoopSqlSweepTest, MatchesOracle) {
+  QuestOptions gen;
+  gen.seed = GetParam();
+  gen.num_transactions = 80;  // the k-way join is O(|SALES|^k): keep small
+  gen.avg_transaction_size = 4;
+  gen.num_items = 12;
+  TransactionDb txns = QuestGenerator(gen).Generate();
+  MiningOptions options;
+  options.min_support = 0.08;
+
+  BruteForceMiner oracle;
+  auto expected = oracle.Mine(txns, options);
+  ASSERT_TRUE(expected.ok());
+
+  Database db;
+  auto sales = LoadSalesTable(&db, "sales", txns, TableBacking::kMemory);
+  ASSERT_TRUE(sales.ok());
+  NestedLoopSqlMiner miner(&db, "sales");
+  auto result = miner.MineTable(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets)
+      << "SQL NL found " << result.value().itemsets.TotalPatterns()
+      << " vs oracle " << expected.value().itemsets.TotalPatterns();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NestedLoopSqlSweepTest,
+                         testing::Values(61, 62, 63));
+
+TEST(NestedLoopSqlTest, RespectsMaxPatternLength) {
+  Database db;
+  auto sales = LoadSalesTable(&db, "sales", PaperExampleTransactions(),
+                              TableBacking::kMemory);
+  ASSERT_TRUE(sales.ok());
+  NestedLoopSqlMiner miner(&db, "sales");
+  MiningOptions options = PaperExampleOptions();
+  options.max_pattern_length = 2;
+  auto result = miner.MineTable(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().itemsets.MaxSize(), 2u);
+}
+
+TEST(NestedLoopSqlTest, MissingTableFails) {
+  Database db;
+  NestedLoopSqlMiner miner(&db, "ghost");
+  EXPECT_FALSE(miner.MineTable(MiningOptions{}).ok());
+}
+
+// Lift metric sanity (computed during rule generation).
+TEST(RuleLiftTest, LiftMatchesDefinition) {
+  BruteForceMiner miner;
+  auto result =
+      miner.Mine(PaperExampleTransactions(), PaperExampleOptions());
+  ASSERT_TRUE(result.ok());
+  MiningOptions options = PaperExampleOptions();
+  auto rules = GenerateRules(result.value().itemsets, options);
+  ASSERT_FALSE(rules.empty());
+  const double n =
+      static_cast<double>(result.value().itemsets.num_transactions);
+  for (const auto& r : rules) {
+    const int64_t consequent_count =
+        result.value().itemsets.CountOf(r.consequent);
+    ASSERT_GT(consequent_count, 0);
+    const double expected =
+        r.confidence / (static_cast<double>(consequent_count) / n);
+    EXPECT_NEAR(r.lift, expected, 1e-12);
+    EXPECT_GT(r.lift, 0.0);
+  }
+  // F ==> D has confidence 1.0 and |D| = 6/10: lift = 1 / 0.6.
+  for (const auto& r : rules) {
+    if (r.antecedent == std::vector<ItemId>{5} &&
+        r.consequent == std::vector<ItemId>{3}) {
+      EXPECT_NEAR(r.lift, 1.0 / 0.6, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace setm

@@ -1,0 +1,280 @@
+// Unit tests for src/relational: Value, Schema, Tuple serialization,
+// tables, catalog and the Database facade.
+
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace setm {
+namespace {
+
+Schema TwoIntSchema() {
+  return Schema({Column{"a", ValueType::kInt32}, Column{"b", ValueType::kInt32}});
+}
+
+// --------------------------------------------------------------------------
+// Value
+// --------------------------------------------------------------------------
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int32(-5).AsInt32(), -5);
+  EXPECT_EQ(Value::Int64(1LL << 40).AsInt64(), 1LL << 40);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, CrossWidthIntegerEquality) {
+  EXPECT_EQ(Value::Int32(7), Value::Int64(7));
+  EXPECT_EQ(Value::Int32(7).Hash(), Value::Int64(7).Hash());
+  EXPECT_NE(Value::Int32(7), Value::Int64(8));
+}
+
+TEST(ValueTest, NumericDoubleComparison) {
+  EXPECT_EQ(Value::Int32(2), Value::Double(2.0));
+  EXPECT_LT(Value::Double(1.5).Compare(Value::Int32(2)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int32(2)), 0);
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // Would be equal under double rounding.
+  const int64_t a = (1LL << 60) + 1;
+  const int64_t b = 1LL << 60;
+  EXPECT_GT(Value::Int64(a).Compare(Value::Int64(b)), 0);
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+  // Numerics order before strings, never equal.
+  EXPECT_LT(Value::Int32(999).Compare(Value::String("0")), 0);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int32(42).ToString(), "42");
+  EXPECT_EQ(Value::String("ab").ToString(), "'ab'");
+}
+
+// --------------------------------------------------------------------------
+// Schema
+// --------------------------------------------------------------------------
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s({Column{"trans_id", ValueType::kInt32},
+            Column{"Item", ValueType::kInt32}});
+  EXPECT_EQ(s.FindColumn("TRANS_ID"), std::optional<size_t>(0));
+  EXPECT_EQ(s.FindColumn("item"), std::optional<size_t>(1));
+  EXPECT_FALSE(s.FindColumn("missing").has_value());
+}
+
+TEST(SchemaTest, FixedTupleSizeMatchesPaperArithmetic) {
+  // R_2 tuples: (trans_id, item1, item2) = 3 x 4 bytes.
+  Schema r2({Column{"trans_id", ValueType::kInt32},
+             Column{"item1", ValueType::kInt32},
+             Column{"item2", ValueType::kInt32}});
+  EXPECT_EQ(r2.FixedTupleSize(), std::optional<size_t>(12));
+  Schema with_string({Column{"s", ValueType::kString}});
+  EXPECT_FALSE(with_string.FixedTupleSize().has_value());
+}
+
+TEST(SchemaTest, IdentFoldLowercases) {
+  EXPECT_EQ(IdentFold("SaLeS"), "sales");
+  EXPECT_TRUE(IdentEquals("Sales", "SALES"));
+  EXPECT_FALSE(IdentEquals("sales", "sale"));
+}
+
+// --------------------------------------------------------------------------
+// Tuple serialization
+// --------------------------------------------------------------------------
+
+TEST(TupleTest, SerializeRoundTripAllTypes) {
+  Schema schema({Column{"i", ValueType::kInt32},
+                 Column{"l", ValueType::kInt64},
+                 Column{"d", ValueType::kDouble},
+                 Column{"s", ValueType::kString}});
+  Tuple in({Value::Int32(-7), Value::Int64(1LL << 50), Value::Double(0.25),
+            Value::String("hello")});
+  std::string bytes;
+  in.SerializeTo(schema, &bytes);
+  EXPECT_EQ(bytes.size(), in.SerializedSize(schema));
+  auto out = Tuple::Deserialize(schema, bytes);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), in);
+}
+
+TEST(TupleTest, DeserializeTruncatedFails) {
+  Schema schema = TwoIntSchema();
+  Tuple in({Value::Int32(1), Value::Int32(2)});
+  std::string bytes;
+  in.SerializeTo(schema, &bytes);
+  auto out = Tuple::Deserialize(schema, std::string_view(bytes).substr(0, 5));
+  EXPECT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsCorruption());
+}
+
+TEST(TupleTest, DeserializeTrailingBytesFails) {
+  Schema schema = TwoIntSchema();
+  Tuple in({Value::Int32(1), Value::Int32(2)});
+  std::string bytes;
+  in.SerializeTo(schema, &bytes);
+  bytes += "junk";
+  EXPECT_TRUE(Tuple::Deserialize(schema, bytes).status().IsCorruption());
+}
+
+TEST(TupleTest, ComparatorOrdersByKeys) {
+  TupleComparator cmp({1, 0});
+  Tuple a({Value::Int32(1), Value::Int32(5)});
+  Tuple b({Value::Int32(2), Value::Int32(5)});
+  Tuple c({Value::Int32(0), Value::Int32(6)});
+  EXPECT_LT(cmp.Compare(a, b), 0);  // equal col1, col0 decides
+  EXPECT_LT(cmp.Compare(b, c), 0);  // col1 decides
+  EXPECT_EQ(cmp.Compare(a, a), 0);
+  EXPECT_TRUE(cmp(a, c));
+}
+
+// --------------------------------------------------------------------------
+// Tables
+// --------------------------------------------------------------------------
+
+TEST(MemTableTest, InsertScanAndSizes) {
+  MemTable t("t", TwoIntSchema());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Insert(Tuple({Value::Int32(i), Value::Int32(i * 2)})).ok());
+  }
+  EXPECT_EQ(t.num_rows(), 100u);
+  EXPECT_EQ(t.size_bytes(), 800u);  // 100 rows x 8 bytes
+  EXPECT_EQ(t.num_pages(), 1u);
+  auto it = t.Scan();
+  Tuple row;
+  int n = 0;
+  while (true) {
+    auto more = it->Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    EXPECT_EQ(row.value(1).AsInt32(), row.value(0).AsInt32() * 2);
+    ++n;
+  }
+  EXPECT_EQ(n, 100);
+}
+
+TEST(MemTableTest, ArityMismatchRejected) {
+  MemTable t("t", TwoIntSchema());
+  EXPECT_TRUE(t.Insert(Tuple({Value::Int32(1)})).IsInvalidArgument());
+}
+
+TEST(MemTableTest, TruncateClears) {
+  MemTable t("t", TwoIntSchema());
+  ASSERT_TRUE(t.Insert(Tuple({Value::Int32(1), Value::Int32(2)})).ok());
+  ASSERT_TRUE(t.Truncate().ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.size_bytes(), 0u);
+}
+
+TEST(HeapTableTest, InsertScanRoundTrip) {
+  IoStats stats;
+  MemoryBackend backend(&stats);
+  BufferPool pool(&backend, 16);
+  auto t = HeapTable::Create("h", TwoIntSchema(), &pool);
+  ASSERT_TRUE(t.ok());
+  const int n = 2000;  // spans several pages (8-byte records)
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        (*t)->Insert(Tuple({Value::Int32(i), Value::Int32(-i)})).ok());
+  }
+  EXPECT_EQ((*t)->num_rows(), static_cast<uint64_t>(n));
+  EXPECT_GT((*t)->num_pages(), 1u);
+  auto it = (*t)->Scan();
+  Tuple row;
+  int i = 0;
+  while (true) {
+    auto more = it->Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    EXPECT_EQ(row.value(0).AsInt32(), i);
+    EXPECT_EQ(row.value(1).AsInt32(), -i);
+    ++i;
+  }
+  EXPECT_EQ(i, n);
+}
+
+TEST(HeapTableTest, PagesMatchSerializedVolume) {
+  IoStats stats;
+  MemoryBackend backend(&stats);
+  BufferPool pool(&backend, 16);
+  auto t = HeapTable::Create("h", TwoIntSchema(), &pool);
+  ASSERT_TRUE(t.ok());
+  // 8-byte records + 4-byte slots: ~340 records per 4 KiB page.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE((*t)->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+  }
+  EXPECT_EQ((*t)->size_bytes(), 8000u);
+  EXPECT_GE((*t)->num_pages(), 3u);
+  EXPECT_LE((*t)->num_pages(), 4u);
+}
+
+// --------------------------------------------------------------------------
+// Catalog & Database
+// --------------------------------------------------------------------------
+
+TEST(CatalogTest, CreateGetDrop) {
+  Database db;
+  Catalog* catalog = db.catalog();
+  ASSERT_TRUE(
+      catalog->CreateTable("t1", TwoIntSchema(), TableBacking::kMemory).ok());
+  ASSERT_TRUE(
+      catalog->CreateTable("t2", TwoIntSchema(), TableBacking::kHeap).ok());
+  EXPECT_TRUE(catalog->HasTable("T1"));  // case-insensitive
+  auto t = catalog->GetTable("t1");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->name(), "t1");
+  EXPECT_EQ(catalog->TableNames(),
+            (std::vector<std::string>{"t1", "t2"}));
+  ASSERT_TRUE(catalog->DropTable("t1").ok());
+  EXPECT_FALSE(catalog->HasTable("t1"));
+  EXPECT_TRUE(catalog->GetTable("t1").status().IsNotFound());
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Database db;
+  ASSERT_TRUE(db.catalog()
+                  ->CreateTable("t", TwoIntSchema(), TableBacking::kMemory)
+                  .ok());
+  auto dup =
+      db.catalog()->CreateTable("T", TwoIntSchema(), TableBacking::kMemory);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, HeapTableIoShowsUpInLedger) {
+  Database db;
+  auto t = db.catalog()->CreateTable("t", TwoIntSchema(), TableBacking::kHeap);
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(
+        t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+  }
+  EXPECT_GT(db.io_stats()->pages_allocated, 5u);
+}
+
+TEST(DatabaseTest, FileBackedDatabase) {
+  DatabaseOptions options;
+  options.file_path = testing::TempDir() + "/setm_db_test.db";
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto t = (*db)->catalog()->CreateTable("t", TwoIntSchema(),
+                                         TableBacking::kHeap);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t.value()->Insert(Tuple({Value::Int32(1), Value::Int32(2)})).ok());
+  EXPECT_EQ(t.value()->num_rows(), 1u);
+  std::remove(options.file_path.c_str());
+}
+
+TEST(DatabaseTest, OpenBadPathFails) {
+  DatabaseOptions options;
+  options.file_path = "/nonexistent-dir-xyz/db.bin";
+  EXPECT_FALSE(Database::Open(options).ok());
+}
+
+}  // namespace
+}  // namespace setm

@@ -1,0 +1,201 @@
+// Tests for rule generation (Section 5) and the FrequentItemsets container.
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "core/paper_example.h"
+#include "core/rules.h"
+#include "datagen/quest_generator.h"
+
+namespace setm {
+namespace {
+
+FrequentItemsets MineExample() {
+  BruteForceMiner miner;
+  auto result =
+      miner.Mine(PaperExampleTransactions(), PaperExampleOptions());
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value().itemsets;
+}
+
+// --------------------------------------------------------------------------
+// FrequentItemsets container
+// --------------------------------------------------------------------------
+
+TEST(FrequentItemsetsTest, AddAndLookup) {
+  FrequentItemsets sets;
+  sets.Add({1, 2}, 10);
+  sets.Add({3}, 20);
+  EXPECT_EQ(sets.CountOf({1, 2}), 10);
+  EXPECT_EQ(sets.CountOf({3}), 20);
+  EXPECT_EQ(sets.CountOf({9}), 0);
+  EXPECT_EQ(sets.MaxSize(), 2u);
+  EXPECT_EQ(sets.TotalPatterns(), 2u);
+  EXPECT_EQ(sets.OfSize(1).size(), 1u);
+  EXPECT_EQ(sets.OfSize(5).size(), 0u);
+  EXPECT_EQ(sets.OfSize(0).size(), 0u);
+}
+
+TEST(FrequentItemsetsTest, NormalizeSortsAndTrims) {
+  FrequentItemsets a, b;
+  a.Add({2}, 1);
+  a.Add({1}, 1);
+  b.Add({1}, 1);
+  b.Add({2}, 1);
+  a.Normalize();
+  b.Normalize();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FrequentItemsetsTest, ItemsetKeyDistinguishesSets) {
+  EXPECT_NE(ItemsetKey({1, 2}), ItemsetKey({2, 1}));
+  EXPECT_NE(ItemsetKey({1}), ItemsetKey({1, 0}));
+  EXPECT_EQ(ItemsetKey({5, 7}), ItemsetKey({5, 7}));
+}
+
+TEST(ResolveMinSupportTest, FractionRoundsUp) {
+  MiningOptions options;
+  options.min_support = 0.30;
+  EXPECT_EQ(ResolveMinSupportCount(options, 10), 3);
+  options.min_support = 0.25;
+  EXPECT_EQ(ResolveMinSupportCount(options, 10), 3);  // ceil(2.5)
+  options.min_support = 0.0;
+  EXPECT_EQ(ResolveMinSupportCount(options, 10), 1);  // floor of 1
+  options.min_support = 0.001;
+  EXPECT_EQ(ResolveMinSupportCount(options, 46873), 47);
+}
+
+TEST(ResolveMinSupportTest, AbsoluteCountWins) {
+  MiningOptions options;
+  options.min_support = 0.9;
+  options.min_support_count = 5;
+  EXPECT_EQ(ResolveMinSupportCount(options, 1000), 5);
+}
+
+// --------------------------------------------------------------------------
+// Rule generation
+// --------------------------------------------------------------------------
+
+TEST(RulesTest, EveryRuleMeetsConfidenceAndSupport) {
+  FrequentItemsets sets = MineExample();
+  MiningOptions options = PaperExampleOptions();
+  auto rules = GenerateRules(sets, options);
+  ASSERT_FALSE(rules.empty());
+  for (const auto& r : rules) {
+    EXPECT_GE(r.confidence + 1e-12, options.min_confidence);
+    EXPECT_GE(r.support + 1e-12, options.min_support);
+    // Confidence recomputes from the count relations.
+    std::vector<ItemId> full = r.antecedent;
+    full.insert(full.end(), r.consequent.begin(), r.consequent.end());
+    std::sort(full.begin(), full.end());
+    const double expect = static_cast<double>(sets.CountOf(full)) /
+                          static_cast<double>(sets.CountOf(r.antecedent));
+    EXPECT_NEAR(r.confidence, expect, 1e-12);
+  }
+}
+
+TEST(RulesTest, ZeroConfidenceKeepsAllSubsetRules) {
+  FrequentItemsets sets = MineExample();
+  MiningOptions options = PaperExampleOptions();
+  options.min_confidence = 0.0;
+  auto rules = GenerateRules(sets, options);
+  // Every frequent k-pattern (k>=2) yields k single-consequent rules:
+  // 6 pairs x 2 + 1 triple x 3 = 15.
+  EXPECT_EQ(rules.size(), 15u);
+}
+
+TEST(RulesTest, AnySubsetModeIncludesLargerConsequents) {
+  FrequentItemsets sets = MineExample();
+  MiningOptions options = PaperExampleOptions();
+  options.min_confidence = 0.0;
+  auto rules = GenerateRules(sets, options, RuleMode::kAnySubset);
+  // Pairs: 2 each (antecedent size 1). Triple: C(3,1)+C(3,2) = 6.
+  EXPECT_EQ(rules.size(), 6u * 2 + 6);
+  bool found_wide = false;
+  for (const auto& r : rules) {
+    if (r.antecedent.size() == 1 && r.consequent.size() == 2) {
+      found_wide = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_wide);
+}
+
+TEST(RulesTest, RulesAreSortedAndDeterministic) {
+  FrequentItemsets sets = MineExample();
+  auto a = GenerateRules(sets, PaperExampleOptions());
+  auto b = GenerateRules(sets, PaperExampleOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+  for (size_t i = 1; i < a.size(); ++i) {
+    const size_t prev = a[i - 1].antecedent.size() + a[i - 1].consequent.size();
+    const size_t cur = a[i].antecedent.size() + a[i].consequent.size();
+    EXPECT_LE(prev, cur);
+  }
+}
+
+TEST(RulesTest, EmptyItemsetsYieldNoRules) {
+  FrequentItemsets sets;
+  sets.num_transactions = 10;
+  EXPECT_TRUE(GenerateRules(sets, MiningOptions{}).empty());
+}
+
+TEST(RulesTest, SingletonsOnlyYieldNoRules) {
+  FrequentItemsets sets;
+  sets.num_transactions = 10;
+  sets.Add({1}, 5);
+  sets.Add({2}, 6);
+  EXPECT_TRUE(GenerateRules(sets, MiningOptions{}).empty());
+}
+
+TEST(RulesTest, ConfidenceOneHundredPercentFormatting) {
+  AssociationRule rule;
+  rule.antecedent = {3, 4};
+  rule.consequent = {5};
+  rule.confidence = 1.0;
+  rule.support = 0.30;
+  EXPECT_EQ(FormatRule(rule, PaperItemName), "D E ==> F, [100.0%, 30.0%]");
+  // Default formatter prints numeric ids.
+  EXPECT_EQ(FormatRule(rule), "3 4 ==> 5, [100.0%, 30.0%]");
+}
+
+// Property sweep: on random data, rules from any-subset mode are a superset
+// of single-consequent mode, and all metrics check out.
+class RulesPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RulesPropertyTest, ModesAreConsistent) {
+  QuestOptions gen;
+  gen.seed = GetParam();
+  gen.num_transactions = 200;
+  gen.avg_transaction_size = 5;
+  gen.num_items = 12;
+  TransactionDb txns = QuestGenerator(gen).Generate();
+  MiningOptions options;
+  options.min_support = 0.05;
+  options.min_confidence = 0.6;
+  BruteForceMiner miner;
+  auto result = miner.Mine(txns, options);
+  ASSERT_TRUE(result.ok());
+
+  auto narrow = GenerateRules(result.value().itemsets, options);
+  auto wide =
+      GenerateRules(result.value().itemsets, options, RuleMode::kAnySubset);
+  EXPECT_GE(wide.size(), narrow.size());
+  // Every single-consequent rule also appears in any-subset mode.
+  for (const auto& r : narrow) {
+    bool found = false;
+    for (const auto& w : wide) {
+      if (w == r) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RulesPropertyTest,
+                         testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace setm

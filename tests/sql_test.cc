@@ -1,0 +1,352 @@
+// Tests for the SQL layer: lexer, parser and end-to-end statement execution,
+// including the paper's literal query shapes.
+
+#include <gtest/gtest.h>
+
+#include "sql/engine.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace setm::sql {
+namespace {
+
+// --------------------------------------------------------------------------
+// Lexer
+// --------------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto tokens = Lex("SELECT r1.item, COUNT(*) FROM sales r1");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  EXPECT_TRUE(t[0].IsKeyword("select"));
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[1].text, "r1");
+  EXPECT_TRUE(t[2].IsSymbol("."));
+  EXPECT_EQ(t[3].text, "item");
+  EXPECT_TRUE(t[4].IsSymbol(","));
+  EXPECT_TRUE(t[5].IsKeyword("count"));
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, OperatorsAndParameters) {
+  auto tokens = Lex("a >= 1 AND b <> 2 AND c >= :minsupport");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> symbols;
+  for (const auto& t : tokens.value()) {
+    if (t.type == TokenType::kSymbol) symbols.push_back(t.text);
+    if (t.type == TokenType::kParameter) symbols.push_back(":" + t.text);
+  }
+  EXPECT_EQ(symbols,
+            (std::vector<std::string>{">=", "<>", ">=", ":minsupport"}));
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Lex("0.5 42 'hello world'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].type, TokenType::kFloat);
+  EXPECT_EQ(tokens.value()[1].type, TokenType::kInteger);
+  EXPECT_EQ(tokens.value()[2].type, TokenType::kString);
+  EXPECT_EQ(tokens.value()[2].text, "hello world");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("SELECT a -- comment here\nFROM t");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens.value().size(), 4u);
+  EXPECT_TRUE(tokens.value()[2].IsKeyword("from"));
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+  EXPECT_FALSE(Lex("x : y").ok());
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+TEST(ParserTest, ParsesPaperRkPrimeQuery) {
+  // The R'_k generator of Section 4.1.
+  auto stmt = Parse(
+      "INSERT INTO r2p SELECT p.trans_id, p.item1, q.item "
+      "FROM r1 p, sales q "
+      "WHERE q.trans_id = p.trans_id AND q.item > p.item1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt.value().kind, Statement::Kind::kInsert);
+  const auto& ins = *stmt.value().insert;
+  EXPECT_EQ(ins.table, "r2p");
+  ASSERT_NE(ins.select, nullptr);
+  EXPECT_EQ(ins.select->items.size(), 3u);
+  EXPECT_EQ(ins.select->from.size(), 2u);
+  EXPECT_EQ(ins.select->from[0].binding(), "p");
+  ASSERT_NE(ins.select->where, nullptr);
+  EXPECT_EQ(ins.select->where->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ParsesGroupByHavingParameter) {
+  auto stmt = ParseSelect(
+      "SELECT p.item1, COUNT(*) FROM r2p p GROUP BY p.item1 "
+      "HAVING COUNT(*) >= :minsupport");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value().group_by.size(), 1u);
+  ASSERT_NE(stmt.value().having, nullptr);
+  EXPECT_EQ(stmt.value().having->op, BinaryOp::kGe);
+  EXPECT_EQ(stmt.value().having->lhs->kind, AstExpr::Kind::kCountStar);
+  EXPECT_EQ(stmt.value().having->rhs->kind, AstExpr::Kind::kParameter);
+  EXPECT_EQ(stmt.value().having->rhs->parameter, "minsupport");
+}
+
+TEST(ParserTest, ParsesOrderByAndDistinct) {
+  auto stmt = ParseSelect(
+      "SELECT DISTINCT a, b FROM t ORDER BY a ASC, b");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt.value().distinct);
+  EXPECT_EQ(stmt.value().order_by.size(), 2u);
+}
+
+TEST(ParserTest, DescendingRejected) {
+  auto stmt = Parse("SELECT a FROM t ORDER BY a DESC");
+  EXPECT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(ParserTest, ParsesCreateTableTypes) {
+  auto stmt = Parse(
+      "CREATE TABLE t (a INT, b BIGINT, c DOUBLE, d VARCHAR(30))");
+  ASSERT_TRUE(stmt.ok());
+  const auto& ct = *stmt.value().create_table;
+  EXPECT_FALSE(ct.memory);
+  ASSERT_EQ(ct.columns.size(), 4u);
+  EXPECT_EQ(ct.columns[0].second, ValueType::kInt32);
+  EXPECT_EQ(ct.columns[1].second, ValueType::kInt64);
+  EXPECT_EQ(ct.columns[2].second, ValueType::kDouble);
+  EXPECT_EQ(ct.columns[3].second, ValueType::kString);
+}
+
+TEST(ParserTest, ParsesMemoryTable) {
+  auto stmt = Parse("CREATE MEMORY TABLE c1 (item INT, cnt BIGINT)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt.value().create_table->memory);
+}
+
+TEST(ParserTest, ParsesInsertValues) {
+  auto stmt = Parse("INSERT INTO t VALUES (1, 2), (3, 4)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt.value().insert->rows.size(), 2u);
+}
+
+TEST(ParserTest, ParsesDropAndDelete) {
+  auto drop = Parse("DROP TABLE t;");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_EQ(drop.value().kind, Statement::Kind::kDropTable);
+  auto del = Parse("DELETE FROM t");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del.value().kind, Statement::Kind::kDelete);
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a t").ok());
+  EXPECT_FALSE(Parse("INSERT t VALUES (1)").ok());
+  EXPECT_FALSE(Parse("CREATE TABLE t (a UNKNOWNTYPE)").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t extra garbage").ok());
+}
+
+TEST(ParserTest, ParenthesizedBooleanExpressions) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE (a = 1 OR a = 2) AND b > 3");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_NE(stmt.value().where, nullptr);
+  EXPECT_EQ(stmt.value().where->op, BinaryOp::kAnd);
+  EXPECT_EQ(stmt.value().where->lhs->op, BinaryOp::kOr);
+}
+
+// --------------------------------------------------------------------------
+// Engine end-to-end
+// --------------------------------------------------------------------------
+
+class SqlEngineTest : public testing::Test {
+ protected:
+  SqlEngineTest() : engine_(&db_) {}
+
+  QueryResult MustRun(const std::string& sql, const Params& params = {}) {
+    auto r = engine_.Execute(sql, params);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  Database db_;
+  SqlEngine engine_;
+};
+
+TEST_F(SqlEngineTest, CreateInsertSelect) {
+  MustRun("CREATE TABLE t (a INT, b INT)");
+  auto ins = MustRun("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  EXPECT_EQ(ins.rows_affected, 3u);
+  auto sel = MustRun("SELECT a, b FROM t WHERE b >= 20 ORDER BY a");
+  ASSERT_EQ(sel.rows.size(), 2u);
+  EXPECT_EQ(sel.rows[0].value(0).AsInt32(), 2);
+  EXPECT_EQ(sel.rows[1].value(1).AsInt32(), 30);
+  EXPECT_EQ(sel.schema.column(0).name, "a");
+}
+
+TEST_F(SqlEngineTest, SelectUnknownTableFails) {
+  EXPECT_TRUE(engine_.Execute("SELECT a FROM nope").status().IsNotFound());
+}
+
+TEST_F(SqlEngineTest, UnknownColumnFails) {
+  MustRun("CREATE TABLE t (a INT)");
+  EXPECT_FALSE(engine_.Execute("SELECT zzz FROM t").ok());
+}
+
+TEST_F(SqlEngineTest, AmbiguousColumnRequiresQualifier) {
+  MustRun("CREATE TABLE t1 (a INT)");
+  MustRun("CREATE TABLE t2 (a INT)");
+  auto r = engine_.Execute("SELECT a FROM t1, t2");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(SqlEngineTest, SelfJoinWithAliases) {
+  MustRun("CREATE TABLE sales (trans_id INT, item INT)");
+  MustRun(
+      "INSERT INTO sales VALUES (10, 1), (10, 2), (10, 3), (20, 1), (20, 2)");
+  // All ordered pairs per transaction (the Section 2 pattern query).
+  auto r = MustRun(
+      "SELECT r1.trans_id, r1.item, r2.item FROM sales r1, sales r2 "
+      "WHERE r1.trans_id = r2.trans_id AND r2.item > r1.item "
+      "ORDER BY r1.trans_id, r1.item, r2.item");
+  ASSERT_EQ(r.rows.size(), 4u);  // (1,2),(1,3),(2,3) in t10; (1,2) in t20
+  EXPECT_EQ(r.rows[0].value(1).AsInt32(), 1);
+  EXPECT_EQ(r.rows[0].value(2).AsInt32(), 2);
+  EXPECT_EQ(r.rows[3].value(0).AsInt32(), 20);
+}
+
+TEST_F(SqlEngineTest, GroupByHavingWithParameter) {
+  MustRun("CREATE TABLE sales (trans_id INT, item INT)");
+  MustRun(
+      "INSERT INTO sales VALUES (1, 7), (2, 7), (3, 7), (1, 8), (2, 8), "
+      "(1, 9)");
+  auto r = MustRun(
+      "SELECT item, COUNT(*) FROM sales GROUP BY item "
+      "HAVING COUNT(*) >= :minsupport ORDER BY item",
+      {{"minsupport", Value::Int64(2)}});
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt32(), 7);
+  EXPECT_EQ(r.rows[0].value(1).AsInt64(), 3);
+  EXPECT_EQ(r.rows[1].value(0).AsInt32(), 8);
+  EXPECT_EQ(r.rows[1].value(1).AsInt64(), 2);
+}
+
+TEST_F(SqlEngineTest, UnboundParameterFails) {
+  MustRun("CREATE TABLE t (a INT)");
+  auto r = engine_.Execute("SELECT a FROM t WHERE a > :missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("missing"), std::string::npos);
+}
+
+TEST_F(SqlEngineTest, InsertSelectWithCoercion) {
+  MustRun("CREATE TABLE src (a INT)");
+  MustRun("INSERT INTO src VALUES (1), (1), (2)");
+  MustRun("CREATE MEMORY TABLE counts (a INT, cnt BIGINT)");
+  MustRun(
+      "INSERT INTO counts SELECT a, COUNT(*) FROM src GROUP BY a");
+  auto r = MustRun("SELECT a, cnt FROM counts ORDER BY a");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].value(1).AsInt64(), 2);
+}
+
+TEST_F(SqlEngineTest, CoercionRejectsOverflow) {
+  MustRun("CREATE TABLE t (a INT)");
+  auto r = engine_.Execute("INSERT INTO t VALUES (99999999999)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlEngineTest, DistinctRemovesDuplicates) {
+  MustRun("CREATE TABLE t (a INT)");
+  MustRun("INSERT INTO t VALUES (2), (1), (2), (1), (3)");
+  auto r = MustRun("SELECT DISTINCT a FROM t");
+  ASSERT_EQ(r.rows.size(), 3u);  // sorted by the distinct pass
+  EXPECT_EQ(r.rows[0].value(0).AsInt32(), 1);
+  EXPECT_EQ(r.rows[2].value(0).AsInt32(), 3);
+}
+
+TEST_F(SqlEngineTest, DeleteTruncatesAndDropRemoves) {
+  MustRun("CREATE TABLE t (a INT)");
+  MustRun("INSERT INTO t VALUES (1), (2)");
+  auto del = MustRun("DELETE FROM t");
+  EXPECT_EQ(del.rows_affected, 2u);
+  auto sel = MustRun("SELECT a FROM t");
+  EXPECT_TRUE(sel.rows.empty());
+  MustRun("DROP TABLE t");
+  EXPECT_FALSE(engine_.Execute("SELECT a FROM t").ok());
+}
+
+TEST_F(SqlEngineTest, ThreeWayJoin) {
+  MustRun("CREATE TABLE a (x INT, y INT)");
+  MustRun("CREATE TABLE b (y INT, z INT)");
+  MustRun("CREATE TABLE c (z INT, w INT)");
+  MustRun("INSERT INTO a VALUES (1, 10), (2, 20)");
+  MustRun("INSERT INTO b VALUES (10, 100), (20, 200)");
+  MustRun("INSERT INTO c VALUES (100, 7), (999, 8)");
+  auto r = MustRun(
+      "SELECT a.x, c.w FROM a, b, c "
+      "WHERE a.y = b.y AND b.z = c.z");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt32(), 1);
+  EXPECT_EQ(r.rows[0].value(1).AsInt32(), 7);
+}
+
+TEST_F(SqlEngineTest, CrossJoinWithoutEquiPredicate) {
+  MustRun("CREATE TABLE l (a INT)");
+  MustRun("CREATE TABLE r (b INT)");
+  MustRun("INSERT INTO l VALUES (1), (2)");
+  MustRun("INSERT INTO r VALUES (10), (20)");
+  auto r = MustRun("SELECT l.a, r.b FROM l, r WHERE r.b > 15 ORDER BY l.a");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].value(1).AsInt32(), 20);
+}
+
+TEST_F(SqlEngineTest, OrPredicate) {
+  MustRun("CREATE TABLE t (a INT)");
+  MustRun("INSERT INTO t VALUES (1), (2), (3), (4)");
+  auto r = MustRun("SELECT a FROM t WHERE a = 1 OR a >= 4 ORDER BY a");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[1].value(0).AsInt32(), 4);
+}
+
+TEST_F(SqlEngineTest, GroupByColumnNotInGroupRejected) {
+  MustRun("CREATE TABLE t (a INT, b INT)");
+  MustRun("INSERT INTO t VALUES (1, 2)");
+  auto r = engine_.Execute("SELECT b, COUNT(*) FROM t GROUP BY a");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlEngineTest, CountWithoutGroupByRejected) {
+  MustRun("CREATE TABLE t (a INT)");
+  // COUNT(*) over the whole table without GROUP BY is outside the subset.
+  auto r = engine_.Execute("SELECT a, COUNT(*) FROM t");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlEngineTest, StringColumnsWork) {
+  MustRun("CREATE TABLE items (id INT, name VARCHAR(20))");
+  MustRun("INSERT INTO items VALUES (1, 'bread'), (2, 'butter')");
+  auto r = MustRun("SELECT name FROM items WHERE id = 2");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsString(), "butter");
+}
+
+TEST_F(SqlEngineTest, DuplicateAliasRejected) {
+  MustRun("CREATE TABLE t (a INT)");
+  EXPECT_FALSE(engine_.Execute("SELECT p.a FROM t p, t p").ok());
+}
+
+TEST_F(SqlEngineTest, CountStarInWhereRejected) {
+  MustRun("CREATE TABLE t (a INT)");
+  EXPECT_FALSE(engine_.Execute("SELECT a FROM t WHERE COUNT(*) > 1").ok());
+}
+
+}  // namespace
+}  // namespace setm::sql

@@ -1,0 +1,388 @@
+// Unit tests for src/storage: backends, IoStats classification, buffer pool
+// and the slotted-page table heap.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/storage_backend.h"
+#include "storage/table_heap.h"
+
+namespace setm {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// --------------------------------------------------------------------------
+// MemoryBackend
+// --------------------------------------------------------------------------
+
+TEST(MemoryBackendTest, AllocateReadWriteRoundTrip) {
+  IoStats stats;
+  MemoryBackend backend(&stats);
+  auto id = backend.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  Page page;
+  page.Clear();
+  page.data[0] = 'x';
+  page.data[kPageSize - 1] = 'y';
+  ASSERT_TRUE(backend.WritePage(id.value(), page).ok());
+  Page out;
+  ASSERT_TRUE(backend.ReadPage(id.value(), &out).ok());
+  EXPECT_EQ(out.data[0], 'x');
+  EXPECT_EQ(out.data[kPageSize - 1], 'y');
+}
+
+TEST(MemoryBackendTest, FreshPageIsZeroed) {
+  MemoryBackend backend(nullptr);
+  auto id = backend.AllocatePage();
+  ASSERT_TRUE(id.ok());
+  Page out;
+  ASSERT_TRUE(backend.ReadPage(id.value(), &out).ok());
+  for (size_t i = 0; i < kPageSize; i += 512) EXPECT_EQ(out.data[i], 0);
+}
+
+TEST(MemoryBackendTest, UnallocatedAccessFails) {
+  MemoryBackend backend(nullptr);
+  Page page;
+  EXPECT_TRUE(backend.ReadPage(3, &page).IsInvalidArgument());
+  EXPECT_TRUE(backend.WritePage(3, page).IsInvalidArgument());
+}
+
+TEST(MemoryBackendTest, SequentialVsRandomClassification) {
+  IoStats stats;
+  MemoryBackend backend(&stats);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(backend.AllocatePage().ok());
+  Page page;
+  // Sequential walk 0..9: first read has no predecessor -> random.
+  for (PageId i = 0; i < 10; ++i) ASSERT_TRUE(backend.ReadPage(i, &page).ok());
+  EXPECT_EQ(stats.page_reads, 10u);
+  EXPECT_EQ(stats.sequential_reads, 9u);
+  EXPECT_EQ(stats.random_reads, 1u);
+  // Jump back to page 0: random. Re-read same page: sequential (cached arm).
+  ASSERT_TRUE(backend.ReadPage(0, &page).ok());
+  ASSERT_TRUE(backend.ReadPage(0, &page).ok());
+  EXPECT_EQ(stats.random_reads, 2u);
+  EXPECT_EQ(stats.sequential_reads, 10u);
+}
+
+TEST(IoStatsTest, ModelSecondsUsesPaperCosts) {
+  IoStats stats;
+  stats.random_reads = 100;   // 100 x 20ms = 2s
+  stats.sequential_writes = 300;  // 300 x 10ms = 3s
+  stats.page_reads = 100;
+  stats.page_writes = 300;
+  EXPECT_DOUBLE_EQ(stats.ModelSeconds(), 5.0);
+  EXPECT_EQ(stats.TotalAccesses(), 400u);
+}
+
+TEST(IoStatsTest, AccumulateAndReset) {
+  IoStats a, b;
+  a.page_reads = 5;
+  b.page_reads = 7;
+  b.random_writes = 2;
+  a += b;
+  EXPECT_EQ(a.page_reads, 12u);
+  EXPECT_EQ(a.random_writes, 2u);
+  a.Reset();
+  EXPECT_EQ(a.page_reads, 0u);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+// --------------------------------------------------------------------------
+// FileBackend
+// --------------------------------------------------------------------------
+
+TEST(FileBackendTest, RoundTripAndPersistence) {
+  const std::string path = TempPath("file_backend_test.db");
+  IoStats stats;
+  {
+    auto backend = FileBackend::Open(path, &stats);
+    ASSERT_TRUE(backend.ok());
+    auto id = (*backend)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    Page page;
+    page.Clear();
+    std::snprintf(page.data, kPageSize, "persisted");
+    ASSERT_TRUE((*backend)->WritePage(id.value(), page).ok());
+  }
+  {
+    // Re-open without truncation: the page must still be there.
+    auto backend = FileBackend::Open(path, &stats, /*truncate=*/false);
+    ASSERT_TRUE(backend.ok());
+    EXPECT_EQ((*backend)->NumPages(), 1u);
+    Page out;
+    ASSERT_TRUE((*backend)->ReadPage(0, &out).ok());
+    EXPECT_STREQ(out.data, "persisted");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileBackendTest, TruncateDiscardsContent) {
+  const std::string path = TempPath("file_backend_trunc.db");
+  {
+    auto backend = FileBackend::Open(path, nullptr);
+    ASSERT_TRUE(backend.ok());
+    ASSERT_TRUE((*backend)->AllocatePage().ok());
+  }
+  auto backend = FileBackend::Open(path, nullptr, /*truncate=*/true);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ((*backend)->NumPages(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FileBackendTest, OpenInvalidPathFails) {
+  auto backend = FileBackend::Open("/nonexistent-dir-xyz/f.db", nullptr);
+  EXPECT_FALSE(backend.ok());
+  EXPECT_TRUE(backend.status().IsIOError());
+}
+
+// --------------------------------------------------------------------------
+// BufferPool
+// --------------------------------------------------------------------------
+
+TEST(BufferPoolTest, NewPageIsPinnedAndWritable) {
+  MemoryBackend backend(nullptr);
+  BufferPool pool(&backend, 4);
+  auto guard = pool.NewPage();
+  ASSERT_TRUE(guard.ok());
+  guard.value().page()->data[0] = 'a';
+  guard.value().MarkDirty();
+  EXPECT_TRUE(guard.value().valid());
+}
+
+TEST(BufferPoolTest, FetchHitsCache) {
+  MemoryBackend backend(nullptr);
+  BufferPool pool(&backend, 4);
+  PageId id;
+  {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    id = guard.value().id();
+  }
+  ASSERT_TRUE(pool.FetchPage(id).ok());
+  ASSERT_TRUE(pool.FetchPage(id).ok());
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.misses(), 0u);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  IoStats stats;
+  MemoryBackend backend(&stats);
+  BufferPool pool(&backend, 2);
+  PageId first;
+  {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    first = guard.value().id();
+    guard.value().page()->data[0] = 'Z';
+    guard.value().MarkDirty();
+  }
+  // Fill the pool with two more pages, evicting the first.
+  for (int i = 0; i < 2; ++i) {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+  }
+  // Re-fetch: content must have survived the eviction round trip.
+  auto again = pool.FetchPage(first);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().page()->data[0], 'Z');
+}
+
+TEST(BufferPoolTest, AllPinnedExhaustsPool) {
+  MemoryBackend backend(nullptr);
+  BufferPool pool(&backend, 2);
+  auto g1 = pool.NewPage();
+  auto g2 = pool.NewPage();
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  auto g3 = pool.NewPage();
+  EXPECT_FALSE(g3.ok());
+  EXPECT_EQ(g3.status().code(), StatusCode::kResourceExhausted);
+  // Releasing a pin frees a frame.
+  g1.value().Release();
+  EXPECT_TRUE(pool.NewPage().ok());
+}
+
+TEST(BufferPoolTest, LruEvictsLeastRecentlyUnpinned) {
+  IoStats stats;
+  MemoryBackend backend(&stats);
+  BufferPool pool(&backend, 2);
+  PageId a, b;
+  {
+    auto g = pool.NewPage();
+    ASSERT_TRUE(g.ok());
+    a = g.value().id();
+  }
+  {
+    auto g = pool.NewPage();
+    ASSERT_TRUE(g.ok());
+    b = g.value().id();
+  }
+  // Touch a so b becomes LRU.
+  ASSERT_TRUE(pool.FetchPage(a).ok());
+  const uint64_t misses_before = pool.misses();
+  // New page evicts b (LRU), so fetching b misses but a still hits.
+  ASSERT_TRUE(pool.NewPage().ok());
+  ASSERT_TRUE(pool.FetchPage(a).ok());
+  EXPECT_EQ(pool.misses(), misses_before);
+  ASSERT_TRUE(pool.FetchPage(b).ok());
+  EXPECT_EQ(pool.misses(), misses_before + 1);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsDirtyFrames) {
+  IoStats stats;
+  MemoryBackend backend(&stats);
+  BufferPool pool(&backend, 4);
+  PageId id;
+  {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    id = guard.value().id();
+    guard.value().page()->data[7] = 42;
+    guard.value().MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page raw;
+  ASSERT_TRUE(backend.ReadPage(id, &raw).ok());
+  EXPECT_EQ(raw.data[7], 42);
+}
+
+TEST(BufferPoolTest, MoveGuardTransfersPin) {
+  MemoryBackend backend(nullptr);
+  BufferPool pool(&backend, 1);
+  auto g1 = pool.NewPage();
+  ASSERT_TRUE(g1.ok());
+  PageGuard moved = std::move(g1).value();
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  // Frame is free again.
+  EXPECT_TRUE(pool.NewPage().ok());
+}
+
+// --------------------------------------------------------------------------
+// TableHeap
+// --------------------------------------------------------------------------
+
+class TableHeapTest : public testing::Test {
+ protected:
+  TableHeapTest() : backend_(&stats_), pool_(&backend_, 16) {}
+  IoStats stats_;
+  MemoryBackend backend_;
+  BufferPool pool_;
+};
+
+TEST_F(TableHeapTest, InsertGetRoundTrip) {
+  auto heap = TableHeap::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  auto rid = heap->Insert("hello world");
+  ASSERT_TRUE(rid.ok());
+  std::string out;
+  ASSERT_TRUE(heap->Get(rid.value(), &out).ok());
+  EXPECT_EQ(out, "hello world");
+  EXPECT_EQ(heap->live_records(), 1u);
+}
+
+TEST_F(TableHeapTest, EmptyRecordAllowed) {
+  auto heap = TableHeap::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  auto rid = heap->Insert("");
+  ASSERT_TRUE(rid.ok());
+  std::string out = "sentinel";
+  ASSERT_TRUE(heap->Get(rid.value(), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(TableHeapTest, OversizedRecordRejected) {
+  auto heap = TableHeap::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  std::string big(kPageSize, 'x');
+  EXPECT_TRUE(heap->Insert(big).status().IsInvalidArgument());
+}
+
+TEST_F(TableHeapTest, SpansMultiplePages) {
+  auto heap = TableHeap::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  const std::string record(100, 'r');
+  const int n = 200;  // 200 x ~104 bytes > 4 KiB
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(heap->Insert(record).ok());
+  EXPECT_GT(heap->num_pages(), 1u);
+  EXPECT_EQ(heap->live_records(), static_cast<uint64_t>(n));
+  // All records iterable, in order.
+  int count = 0;
+  for (auto it = heap->Begin(); it.Valid();) {
+    EXPECT_EQ(it.record(), record);
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST_F(TableHeapTest, DeleteTombstonesRecord) {
+  auto heap = TableHeap::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  auto r1 = heap->Insert("one");
+  auto r2 = heap->Insert("two");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(heap->Delete(r1.value()).ok());
+  std::string out;
+  EXPECT_TRUE(heap->Get(r1.value(), &out).IsNotFound());
+  ASSERT_TRUE(heap->Get(r2.value(), &out).ok());
+  EXPECT_EQ(out, "two");
+  EXPECT_EQ(heap->live_records(), 1u);
+  // Deleting again is a no-op.
+  ASSERT_TRUE(heap->Delete(r1.value()).ok());
+  EXPECT_EQ(heap->live_records(), 1u);
+}
+
+TEST_F(TableHeapTest, IteratorSkipsDeleted) {
+  auto heap = TableHeap::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  std::vector<Rid> rids;
+  for (int i = 0; i < 10; ++i) {
+    auto rid = heap->Insert("rec" + std::to_string(i));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(rid.value());
+  }
+  for (int i = 0; i < 10; i += 2) ASSERT_TRUE(heap->Delete(rids[i]).ok());
+  std::vector<std::string> seen;
+  for (auto it = heap->Begin(); it.Valid();) {
+    seen.push_back(it.record());
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"rec1", "rec3", "rec5", "rec7",
+                                            "rec9"}));
+}
+
+TEST_F(TableHeapTest, ReopenFindsRecordsAndTail) {
+  PageId first;
+  {
+    auto heap = TableHeap::Create(&pool_);
+    ASSERT_TRUE(heap.ok());
+    first = heap->first_page();
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(heap->Insert(std::string(50, 'a' + (i % 26))).ok());
+    }
+  }
+  auto reopened = TableHeap::Open(&pool_, first);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->live_records(), 300u);
+  // Appends after reopen land on the tail page, not a fresh chain.
+  ASSERT_TRUE(reopened->Insert("tail").ok());
+  EXPECT_EQ(reopened->live_records(), 301u);
+}
+
+TEST_F(TableHeapTest, GetInvalidSlotFails) {
+  auto heap = TableHeap::Create(&pool_);
+  ASSERT_TRUE(heap.ok());
+  std::string out;
+  EXPECT_TRUE(heap->Get(Rid{heap->first_page(), 5}, &out).IsNotFound());
+}
+
+}  // namespace
+}  // namespace setm

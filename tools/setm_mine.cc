@@ -1,0 +1,204 @@
+// setm_mine — command-line association-rule miner.
+//
+//   setm_mine --input sales.csv [--minsup 1.0] [--minconf 50]
+//             [--algorithm setm|setm-sql|nested-loop|apriori|ais]
+//             [--storage memory|heap] [--rules single|subsets]
+//             [--max-k N] [--stats] [--format text|csv]
+//
+// Reads a (trans_id,item) CSV, mines frequent itemsets with the chosen
+// algorithm, and prints rules. With --format csv the rules come out as
+// machine-readable rows; --stats adds per-iteration and I/O accounting.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/ais.h"
+#include "baselines/apriori.h"
+#include "core/nested_loop_miner.h"
+#include "core/rules.h"
+#include "core/setm.h"
+#include "core/setm_sql.h"
+#include "datagen/transaction_io.h"
+
+namespace {
+
+using namespace setm;
+
+struct Args {
+  std::string input;
+  double minsup_pct = 1.0;
+  double minconf_pct = 50.0;
+  std::string algorithm = "setm";
+  std::string storage = "memory";
+  std::string rules = "single";
+  std::string format = "text";
+  size_t max_k = 0;
+  bool stats = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --input FILE.csv [--minsup PCT] [--minconf PCT]\n"
+      "          [--algorithm setm|setm-sql|nested-loop|apriori|ais]\n"
+      "          [--storage memory|heap] [--rules single|subsets]\n"
+      "          [--max-k N] [--stats] [--format text|csv]\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--input") == 0) {
+      const char* v = need_value("--input");
+      if (v == nullptr) return false;
+      out->input = v;
+    } else if (std::strcmp(argv[i], "--minsup") == 0) {
+      const char* v = need_value("--minsup");
+      if (v == nullptr) return false;
+      out->minsup_pct = std::atof(v);
+    } else if (std::strcmp(argv[i], "--minconf") == 0) {
+      const char* v = need_value("--minconf");
+      if (v == nullptr) return false;
+      out->minconf_pct = std::atof(v);
+    } else if (std::strcmp(argv[i], "--algorithm") == 0) {
+      const char* v = need_value("--algorithm");
+      if (v == nullptr) return false;
+      out->algorithm = v;
+    } else if (std::strcmp(argv[i], "--storage") == 0) {
+      const char* v = need_value("--storage");
+      if (v == nullptr) return false;
+      out->storage = v;
+    } else if (std::strcmp(argv[i], "--rules") == 0) {
+      const char* v = need_value("--rules");
+      if (v == nullptr) return false;
+      out->rules = v;
+    } else if (std::strcmp(argv[i], "--max-k") == 0) {
+      const char* v = need_value("--max-k");
+      if (v == nullptr) return false;
+      out->max_k = static_cast<size_t>(std::atol(v));
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      out->stats = true;
+    } else if (std::strcmp(argv[i], "--format") == 0) {
+      const char* v = need_value("--format");
+      if (v == nullptr) return false;
+      out->format = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  if (out->input.empty()) {
+    std::fprintf(stderr, "--input is required\n");
+    return false;
+  }
+  return true;
+}
+
+Result<MiningResult> RunAlgorithm(const Args& args, Database* db,
+                                  const TransactionDb& txns,
+                                  const MiningOptions& options) {
+  const TableBacking backing = args.storage == "heap" ? TableBacking::kHeap
+                                                      : TableBacking::kMemory;
+  if (args.algorithm == "setm") {
+    SetmOptions setm_options;
+    setm_options.storage = backing;
+    return SetmMiner(db, setm_options).Mine(txns, options);
+  }
+  if (args.algorithm == "setm-sql") {
+    auto sales = LoadSalesTable(db, "sales", txns, backing);
+    if (!sales.ok()) return sales.status();
+    return SetmSqlMiner(db, "sales", backing).MineTable(options);
+  }
+  if (args.algorithm == "nested-loop") {
+    return NestedLoopMiner(db).Mine(txns, options);
+  }
+  if (args.algorithm == "apriori") return AprioriMiner().Mine(txns, options);
+  if (args.algorithm == "ais") return AisMiner().Mine(txns, options);
+  return Status::InvalidArgument("unknown algorithm '" + args.algorithm + "'");
+}
+
+std::string JoinItems(const std::vector<ItemId>& items, char sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += std::to_string(items[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto txns = LoadTransactionsCsv(args.input);
+  if (!txns.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", args.input.c_str(),
+                 txns.status().ToString().c_str());
+    return 1;
+  }
+
+  MiningOptions options;
+  options.min_support = args.minsup_pct / 100.0;
+  options.min_confidence = args.minconf_pct / 100.0;
+  options.max_pattern_length = args.max_k;
+
+  Database db;
+  auto result = RunAlgorithm(args, &db, txns.value(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  const RuleMode mode = args.rules == "subsets" ? RuleMode::kAnySubset
+                                                : RuleMode::kSingleConsequent;
+  auto rules = GenerateRules(result.value().itemsets, options, mode);
+
+  if (args.format == "csv") {
+    std::printf("antecedent,consequent,confidence,support,lift\n");
+    for (const AssociationRule& r : rules) {
+      std::printf("%s,%s,%.6f,%.6f,%.6f\n",
+                  JoinItems(r.antecedent, ' ').c_str(),
+                  JoinItems(r.consequent, ' ').c_str(), r.confidence,
+                  r.support, r.lift);
+    }
+  } else {
+    std::printf("%zu transactions, %zu frequent patterns, %zu rules "
+                "(%s, minsup %.2f%%, minconf %.0f%%)\n",
+                txns.value().size(),
+                result.value().itemsets.TotalPatterns(), rules.size(),
+                args.algorithm.c_str(), args.minsup_pct, args.minconf_pct);
+    for (const AssociationRule& r : rules) {
+      std::printf("%s  (lift %.2f)\n", FormatRule(r).c_str(), r.lift);
+    }
+  }
+
+  if (args.stats) {
+    std::fprintf(stderr, "\niterations:\n");
+    for (const IterationStats& it : result.value().iterations) {
+      std::fprintf(stderr,
+                   "  k=%zu |R'|=%llu |R|=%llu |C|=%llu  %.3f ms\n", it.k,
+                   static_cast<unsigned long long>(it.r_prime_rows),
+                   static_cast<unsigned long long>(it.r_rows),
+                   static_cast<unsigned long long>(it.c_size),
+                   it.seconds * 1000.0);
+    }
+    std::fprintf(stderr, "io: %s\n", result.value().io.ToString().c_str());
+    std::fprintf(stderr, "total: %.3f s\n", result.value().total_seconds);
+  }
+  return 0;
+}
