@@ -22,13 +22,12 @@ inline const std::vector<double>& PaperMinSupSweep() {
 }
 
 /// One shared instance of the calibrated retail database (46,873
-/// transactions). Generated once per process.
+/// transactions). Generated once per process; a function-local static value
+/// (not a leaked pointer) so it is destroyed at exit and stays clean under
+/// LeakSanitizer.
 inline const TransactionDb& RetailDb() {
-  static const TransactionDb* db = [] {
-    auto* out = new TransactionDb(RetailGenerator(RetailOptions{}).Generate());
-    return out;
-  }();
-  return *db;
+  static const TransactionDb db = RetailGenerator(RetailOptions{}).Generate();
+  return db;
 }
 
 /// Prints a banner identifying the experiment.

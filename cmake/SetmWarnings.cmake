@@ -1,0 +1,24 @@
+# Warning profile shared by every target in the repo. Exposed as the list
+# SETM_WARNING_FLAGS and applied with PRIVATE visibility per target so the
+# flags never leak into GoogleTest or other fetched dependencies.
+#
+# Controlled by:
+#   SETM_WERROR (default ON) — promote the profile to errors.
+
+set(SETM_WARNING_FLAGS "")
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  list(APPEND SETM_WARNING_FLAGS
+    -Wall
+    -Wextra
+    -Wpedantic
+    -Wshadow
+    -Wnon-virtual-dtor)
+  if(SETM_WERROR)
+    list(APPEND SETM_WARNING_FLAGS -Werror)
+  endif()
+elseif(MSVC)
+  list(APPEND SETM_WARNING_FLAGS /W4)
+  if(SETM_WERROR)
+    list(APPEND SETM_WARNING_FLAGS /WX)
+  endif()
+endif()

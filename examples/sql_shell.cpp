@@ -9,6 +9,14 @@
 //
 // Also accepts SQL piped on stdin (one statement per line or ';'-separated).
 
+#ifdef _WIN32
+#include <io.h>
+#define isatty _isatty
+#define fileno _fileno
+#else
+#include <unistd.h>
+#endif
+
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -92,8 +100,14 @@ int main() {
         PrintResult(result.value());
       }
     }
+    // A buffer left holding only whitespace (e.g. after "stmt; ") would
+    // otherwise keep the shell in continuation mode and block meta commands.
+    if (buffer.find_first_not_of(" \t\r\n") == std::string::npos) {
+      buffer.clear();
+    }
     // In pipe mode, a line without ';' is also treated as one statement.
-    if (!interactive && buffer.find_first_not_of(" \t\r\n") != std::string::npos &&
+    // (The buffer is non-whitespace whenever non-empty after the clear above.)
+    if (!interactive && !buffer.empty() &&
         line.find(';') == std::string::npos && !line.empty()) {
       auto result = engine.Execute(buffer);
       if (!result.ok()) {

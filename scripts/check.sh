@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-command configure + build + test.
+#
+#   scripts/check.sh            # release preset, full suite
+#   scripts/check.sh debug      # debug preset
+#   scripts/check.sh asan       # ASan+UBSan preset
+#   scripts/check.sh release tier1   # only the fast tier-1 label
+set -euo pipefail
+
+preset="${1:-release}"
+label="${2:-}"
+
+cd "$(dirname "$0")/.."
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j
+ctest --preset "$preset" ${label:+-L "$label"}

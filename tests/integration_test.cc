@@ -115,12 +115,12 @@ TEST(IntegrationTest, SqlEngineSurvivesMiningScratchReuse) {
   // Interleave ad-hoc SQL with repeated mining runs over the same catalog.
   Database db;
   sql::SqlEngine engine(&db);
-  auto sales = LoadSalesTable(&db, "sales", QuestGenerator(QuestOptions{
-                                                .num_transactions = 100,
-                                                .avg_transaction_size = 4,
-                                                .num_items = 10,
-                                                .seed = 5})
-                                   .Generate(),
+  QuestOptions gen;
+  gen.num_transactions = 100;
+  gen.avg_transaction_size = 4;
+  gen.num_items = 10;
+  gen.seed = 5;
+  auto sales = LoadSalesTable(&db, "sales", QuestGenerator(gen).Generate(),
                               TableBacking::kMemory);
   ASSERT_TRUE(sales.ok());
   SetmSqlMiner miner(&db, "sales");

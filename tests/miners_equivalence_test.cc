@@ -100,6 +100,51 @@ INSTANTIATE_TEST_SUITE_P(
                     Case{15, 0.04, 200, 5, 18}));
 
 // --------------------------------------------------------------------------
+// Deterministic-seed smoke test: the direct SETM miner vs. the brute-force
+// oracle on fixed Quest seeds, across both TableBacking modes and both
+// CountMethods (2 x 2 physical configurations per seed).
+// --------------------------------------------------------------------------
+
+class SetmSmokeTest : public testing::TestWithParam<
+                          std::tuple<uint64_t, TableBacking, CountMethod>> {};
+
+TEST_P(SetmSmokeTest, MatchesOracleOnFixedSeed) {
+  QuestOptions gen;
+  gen.seed = std::get<0>(GetParam());
+  gen.num_transactions = 180;
+  gen.avg_transaction_size = 5;
+  gen.num_items = 20;
+  gen.num_patterns = 15;
+  TransactionDb txns = QuestGenerator(gen).Generate();
+
+  MiningOptions options;
+  options.min_support = 0.05;
+
+  BruteForceMiner oracle;
+  auto expected = oracle.Mine(txns, options);
+  ASSERT_TRUE(expected.ok());
+
+  SetmOptions setm_options;
+  setm_options.storage = std::get<1>(GetParam());
+  setm_options.count_method = std::get<2>(GetParam());
+  Database db;
+  SetmMiner miner(&db, setm_options);
+  auto result = miner.Mine(txns, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
+  EXPECT_EQ(result.value().itemsets.num_transactions, txns.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FixedSeeds, SetmSmokeTest,
+    testing::Combine(testing::Values(uint64_t{101}, uint64_t{202},
+                                     uint64_t{303}),
+                     testing::Values(TableBacking::kMemory,
+                                     TableBacking::kHeap),
+                     testing::Values(CountMethod::kSortMerge,
+                                     CountMethod::kHash)));
+
+// --------------------------------------------------------------------------
 // SETM-via-SQL specifics.
 // --------------------------------------------------------------------------
 
