@@ -9,22 +9,6 @@
 
 namespace setm {
 
-namespace {
-
-IoStats DiffIo(const IoStats& after, const IoStats& before) {
-  IoStats d;
-  d.page_reads = after.page_reads - before.page_reads;
-  d.page_writes = after.page_writes - before.page_writes;
-  d.sequential_reads = after.sequential_reads - before.sequential_reads;
-  d.random_reads = after.random_reads - before.random_reads;
-  d.sequential_writes = after.sequential_writes - before.sequential_writes;
-  d.random_writes = after.random_writes - before.random_writes;
-  d.pages_allocated = after.pages_allocated - before.pages_allocated;
-  return d;
-}
-
-}  // namespace
-
 Result<MiningResult> NestedLoopMiner::Mine(const TransactionDb& transactions,
                                            const MiningOptions& options) {
   SETM_RETURN_IF_ERROR(ValidateTransactions(transactions));
@@ -174,7 +158,7 @@ Result<MiningResult> NestedLoopMiner::Mine(const TransactionDb& transactions,
 
   result.itemsets.Normalize();
   result.total_seconds = total_timer.ElapsedSeconds();
-  result.io = DiffIo(*db_->io_stats(), io_before);
+  result.io = Diff(*db_->io_stats(), io_before);
   return result;
 }
 

@@ -1,0 +1,401 @@
+#include "core/parallel_setm.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "exec/exec_context.h"
+#include "exec/external_sort.h"
+#include "exec/operators.h"
+#include "exec/worker_pool.h"
+
+namespace setm {
+
+namespace {
+
+/// One SALES row; the unit the partitioner distributes.
+struct SalesRow {
+  TransactionId tid = 0;
+  ItemId item = 0;
+};
+
+/// A candidate pattern with its partition-local support contribution.
+struct LocalPattern {
+  std::vector<ItemId> items;
+  int64_t count = 0;
+};
+
+/// Partial counts keyed by ItemsetKey.
+using CountMap = std::unordered_map<std::string, LocalPattern>;
+
+/// Everything one trans_id range owns. Worker tasks mutate only their own
+/// partition; the shared buffer pools and IoStats ledger are thread-safe.
+struct Partition {
+  std::vector<SalesRow> rows;       ///< SALES slice, sorted on (tid, item)
+  std::unique_ptr<Table> r1;        ///< R_1 slice (filtered when requested)
+  std::unique_ptr<Table> r_prev;    ///< R_{k-1}; null means use r1
+  std::unique_ptr<Table> rk_prime;  ///< R'_k of the current iteration
+  std::unique_ptr<Table> rk;        ///< R_k of the current iteration
+  CountMap counts;  ///< per-iteration partial candidate counts
+};
+
+Result<std::unique_ptr<Table>> NewRelation(Database* db, TableBacking backing,
+                                           const std::string& name,
+                                           Schema schema) {
+  if (backing == TableBacking::kMemory) {
+    return std::unique_ptr<Table>(
+        std::make_unique<MemTable>(name, std::move(schema)));
+  }
+  auto t = HeapTable::Create(name, std::move(schema), db->pool());
+  if (!t.ok()) return t.status();
+  return std::unique_ptr<Table>(std::move(t).value());
+}
+
+/// Phase k=1: materialize the partition's R_1 slice (already sorted) and
+/// count single items locally.
+Status BuildR1(Database* db, const SetmOptions& so, size_t index,
+               Partition* p) {
+  auto r1_or = NewRelation(db, so.storage, "p" + std::to_string(index) + "_r1",
+                           SetmMiner::RkSchema(1));
+  if (!r1_or.ok()) return r1_or.status();
+  p->r1 = std::move(r1_or).value();
+  p->counts.clear();
+  for (const SalesRow& row : p->rows) {
+    SETM_RETURN_IF_ERROR(
+        p->r1->Insert(Tuple({Value::Int32(row.tid), Value::Int32(row.item)})));
+    LocalPattern& lp = p->counts[ItemsetKey({row.item})];
+    if (lp.count == 0) lp.items = {row.item};
+    ++lp.count;
+  }
+  p->rows.clear();
+  p->rows.shrink_to_fit();
+  return Status::OK();
+}
+
+/// Optional ablation: drop rows of non-frequent items from the R_1 slice.
+Status FilterR1(Database* db, const SetmOptions& so, size_t index,
+                const std::unordered_set<std::string>* frequent_keys,
+                Partition* p) {
+  auto filtered_or =
+      NewRelation(db, so.storage, "p" + std::to_string(index) + "_r1f",
+                  SetmMiner::RkSchema(1));
+  if (!filtered_or.ok()) return filtered_or.status();
+  std::unique_ptr<Table> filtered = std::move(filtered_or).value();
+  auto it = p->r1->Scan();
+  Tuple row;
+  while (true) {
+    auto more = it->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    if (frequent_keys->count(ItemsetKey({row.value(1).AsInt32()})) != 0) {
+      SETM_RETURN_IF_ERROR(filtered->Insert(row));
+    }
+  }
+  p->r1 = std::move(filtered);
+  return Status::OK();
+}
+
+/// Phase A of iteration k: R'_k slice via merge-scan join plus local
+/// candidate counts (full counts — minsupport is applied globally after the
+/// merge, because support is a property of the whole database).
+Status JoinAndCount(Database* db, const SetmOptions& so, size_t index,
+                    size_t k, Partition* p) {
+  const Table* left = p->r_prev != nullptr ? p->r_prev.get() : p->r1.get();
+  auto rkp_or = NewRelation(db, so.storage,
+                            "p" + std::to_string(index) + "_r" +
+                                std::to_string(k) + "p",
+                            SetmMiner::RkSchema(k));
+  if (!rkp_or.ok()) return rkp_or.status();
+  p->rk_prime = std::move(rkp_or).value();
+  p->counts.clear();
+
+  // Combined row: (trans_id, item_1..item_{k-1}, trans_id, item).
+  const size_t last_left_item = k - 1;  // index of item_{k-1}
+  const size_t right_item = k + 1;
+  ExprPtr residual = Binary(BinaryOp::kGt, Col(right_item, "q.item"),
+                            Col(last_left_item, "p.item_last"));
+  MergeJoinIterator join(left->Scan(), p->r1->Scan(), {0}, {0},
+                         std::move(residual));
+  Tuple row;
+  std::vector<Value> values;
+  std::vector<ItemId> items(k);
+  while (true) {
+    auto more = join.Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    values.clear();
+    for (size_t i = 0; i < k; ++i) values.push_back(row.value(i));
+    values.push_back(row.value(right_item));
+    Tuple out(values);
+    for (size_t i = 0; i < k; ++i) items[i] = out.value(i + 1).AsInt32();
+    SETM_RETURN_IF_ERROR(p->rk_prime->Insert(out));
+    LocalPattern& lp = p->counts[ItemsetKey(items)];
+    if (lp.count == 0) lp.items = items;
+    ++lp.count;
+  }
+  return Status::OK();
+}
+
+/// Phase B of iteration k: R_k slice = R'_k filtered by the global C_k,
+/// sorted back on (trans_id, items).
+Status FilterAndSort(Database* db, const SetmOptions& so, ExecContext ctx,
+                     size_t index, size_t k,
+                     const std::unordered_set<std::string>* ck_keys,
+                     Partition* p) {
+  auto rk_or = NewRelation(
+      db, so.storage,
+      "p" + std::to_string(index) + "_r" + std::to_string(k),
+      SetmMiner::RkSchema(k));
+  if (!rk_or.ok()) return rk_or.status();
+  p->rk = std::move(rk_or).value();
+  if (ck_keys->empty()) return Status::OK();
+
+  ExternalSort sort(ctx, SetmMiner::RkSchema(k),
+                    TupleComparator(SetmMiner::TidItemColumns(k)));
+  auto it = p->rk_prime->Scan();
+  Tuple row;
+  std::vector<ItemId> items(k);
+  while (true) {
+    auto more = it->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    for (size_t i = 0; i < k; ++i) items[i] = row.value(i + 1).AsInt32();
+    if (ck_keys->count(ItemsetKey(items)) != 0) {
+      SETM_RETURN_IF_ERROR(sort.Add(row));
+    }
+  }
+  auto sorted_or = sort.Finish();
+  if (!sorted_or.ok()) return sorted_or.status();
+  return MaterializeInto(sorted_or.value().get(), p->rk.get());
+}
+
+/// Sums partial counts into `merged`, stealing the item vectors.
+void MergeCounts(std::vector<Partition>* parts, CountMap* merged) {
+  for (Partition& p : *parts) {
+    for (auto& entry : p.counts) {
+      LocalPattern& g = (*merged)[entry.first];
+      if (g.count == 0) g.items = std::move(entry.second.items);
+      g.count += entry.second.count;
+    }
+    p.counts.clear();
+  }
+}
+
+/// The partitioned pipeline over pre-extracted SALES rows.
+Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
+                                    std::vector<SalesRow> rows,
+                                    const MiningOptions& options) {
+  WallTimer total_timer;
+  const IoStats io_before = *db->io_stats();
+  MiningResult result;
+
+  // Global sort on (trans_id, item) — the same order the serial pipeline
+  // establishes for R_1, here done once up front so partitions are
+  // contiguous trans_id ranges.
+  std::sort(rows.begin(), rows.end(), [](const SalesRow& a, const SalesRow& b) {
+    return a.tid != b.tid ? a.tid < b.tid : a.item < b.item;
+  });
+  uint64_t num_transactions = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i == 0 || rows[i].tid != rows[i - 1].tid) ++num_transactions;
+  }
+
+  // Row-balanced range partitioning that never splits a transaction.
+  const size_t want = std::max<size_t>(1, so.num_threads);
+  const size_t num_parts = static_cast<size_t>(std::min<uint64_t>(
+      want, std::max<uint64_t>(1, num_transactions)));
+  std::vector<Partition> parts(num_parts);
+  const size_t target = (rows.size() + num_parts - 1) / num_parts;
+  size_t pi = 0;
+  for (size_t i = 0; i < rows.size();) {
+    size_t j = i;
+    while (j < rows.size() && rows[j].tid == rows[i].tid) ++j;
+    if (parts[pi].rows.size() >= target && pi + 1 < num_parts) ++pi;
+    parts[pi].rows.insert(parts[pi].rows.end(), rows.begin() + i,
+                          rows.begin() + j);
+    i = j;
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  WorkerPool* pool = db->worker_pool();
+  std::unique_ptr<WorkerPool> owned_pool;
+  if (pool == nullptr && so.num_threads > 1) {
+    // No point spawning more workers than partitions to occupy them.
+    owned_pool = std::make_unique<WorkerPool>(
+        std::min(so.num_threads, parts.size()));
+    pool = owned_pool.get();
+  }
+  // Workers must not re-enter the pool: partition tasks run *on* it, so the
+  // per-partition sorts get a context without workers.
+  ExecContext worker_ctx;
+  worker_ctx.temp_pool = db->temp_pool();
+  worker_ctx.sort_memory_bytes = db->options().sort_memory_bytes;
+  worker_ctx.workers = nullptr;
+
+  // --- R_1 and C_1. -------------------------------------------------------
+  WallTimer iter1_timer;
+  {
+    TaskGroup group(pool);
+    for (size_t i = 0; i < parts.size(); ++i) {
+      Partition* p = &parts[i];
+      group.Submit([db, &so, i, p] { return BuildR1(db, so, i, p); });
+    }
+    SETM_RETURN_IF_ERROR(group.Wait());
+  }
+  result.itemsets.num_transactions = num_transactions;
+  const int64_t minsup = ResolveMinSupportCount(options, num_transactions);
+
+  std::unordered_set<std::string> frequent_keys;
+  {
+    CountMap merged;
+    MergeCounts(&parts, &merged);
+    IterationStats stats;
+    stats.k = 1;
+    for (const Partition& p : parts) {
+      stats.r_prime_rows += p.r1->num_rows();
+      stats.r_bytes += p.r1->size_bytes();
+      stats.r_pages += p.r1->num_pages();
+    }
+    stats.r_rows = stats.r_prime_rows;
+    for (auto& entry : merged) {
+      if (entry.second.count >= minsup) {
+        frequent_keys.insert(entry.first);
+        result.itemsets.Add(std::move(entry.second.items),
+                            entry.second.count);
+        ++stats.c_size;
+      }
+    }
+    stats.seconds = iter1_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+  }
+
+  if (options.filter_r1) {
+    TaskGroup group(pool);
+    for (size_t i = 0; i < parts.size(); ++i) {
+      Partition* p = &parts[i];
+      group.Submit([db, &so, i, p, &frequent_keys] {
+        return FilterR1(db, so, i, &frequent_keys, p);
+      });
+    }
+    SETM_RETURN_IF_ERROR(group.Wait());
+  }
+
+  // --- Main loop (Figure 4, partitioned). ---------------------------------
+  for (size_t k = 2;; ++k) {
+    if (options.max_pattern_length != 0 && k > options.max_pattern_length) {
+      break;
+    }
+    uint64_t left_rows = 0;
+    for (const Partition& p : parts) {
+      left_rows += (p.r_prev != nullptr ? p.r_prev : p.r1)->num_rows();
+    }
+    if (left_rows == 0) break;
+    WallTimer iter_timer;
+
+    // Phase A: per-partition R'_k join + local candidate counts.
+    {
+      TaskGroup group(pool);
+      for (size_t i = 0; i < parts.size(); ++i) {
+        Partition* p = &parts[i];
+        group.Submit(
+            [db, &so, i, k, p] { return JoinAndCount(db, so, i, k, p); });
+      }
+      SETM_RETURN_IF_ERROR(group.Wait());
+    }
+
+    // Merge partial counts; the minsupport filter sees global counts only.
+    std::unordered_set<std::string> ck_keys;
+    std::vector<PatternCount> ck_rows;
+    {
+      CountMap merged;
+      MergeCounts(&parts, &merged);
+      for (auto& entry : merged) {
+        if (entry.second.count >= minsup) {
+          ck_keys.insert(entry.first);
+          ck_rows.push_back(PatternCount{std::move(entry.second.items),
+                                         entry.second.count});
+        }
+      }
+    }
+
+    // Phase B: per-partition support filter + sort back to (tid, items).
+    {
+      TaskGroup group(pool);
+      for (size_t i = 0; i < parts.size(); ++i) {
+        Partition* p = &parts[i];
+        group.Submit([db, &so, worker_ctx, i, k, p, &ck_keys] {
+          return FilterAndSort(db, so, worker_ctx, i, k, &ck_keys, p);
+        });
+      }
+      SETM_RETURN_IF_ERROR(group.Wait());
+    }
+
+    IterationStats stats;
+    stats.k = k;
+    for (const Partition& p : parts) {
+      stats.r_prime_rows += p.rk_prime->num_rows();
+      stats.r_rows += p.rk->num_rows();
+      stats.r_bytes += p.rk->size_bytes();
+      stats.r_pages += p.rk->num_pages();
+    }
+    stats.c_size = ck_rows.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+
+    for (PatternCount& pc : ck_rows) {
+      result.itemsets.Add(std::move(pc.items), pc.count);
+    }
+    const uint64_t rk_rows = stats.r_rows;
+    for (Partition& p : parts) {
+      p.r_prev = std::move(p.rk);
+      p.rk_prime.reset();
+    }
+    if (rk_rows == 0) break;
+  }
+
+  result.itemsets.Normalize();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  result.io = Diff(*db->io_stats(), io_before);
+  return result;
+}
+
+}  // namespace
+
+Result<MiningResult> ParallelSetmMiner::Mine(const TransactionDb& transactions,
+                                             const MiningOptions& options) {
+  SETM_RETURN_IF_ERROR(ValidateTransactions(transactions));
+  std::vector<SalesRow> rows;
+  size_t total = 0;
+  for (const Transaction& t : transactions) total += t.items.size();
+  rows.reserve(total);
+  for (const Transaction& t : transactions) {
+    for (ItemId item : t.items) rows.push_back(SalesRow{t.id, item});
+  }
+  return RunPartitioned(db_, setm_options_, std::move(rows), options);
+}
+
+Result<MiningResult> ParallelSetmMiner::MineTable(const Table& sales,
+                                                  const MiningOptions& options) {
+  if (sales.schema().NumColumns() != 2) {
+    return Status::InvalidArgument("SALES must have schema (trans_id, item)");
+  }
+  std::vector<SalesRow> rows;
+  rows.reserve(sales.num_rows());
+  auto it = sales.Scan();
+  Tuple row;
+  while (true) {
+    auto more = it->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    rows.push_back(SalesRow{row.value(0).AsInt32(), row.value(1).AsInt32()});
+  }
+  return RunPartitioned(db_, setm_options_, std::move(rows), options);
+}
+
+}  // namespace setm

@@ -1,0 +1,64 @@
+#ifndef SETM_CORE_PARALLEL_SETM_H_
+#define SETM_CORE_PARALLEL_SETM_H_
+
+#include "core/setm.h"
+#include "core/types.h"
+#include "relational/database.h"
+
+namespace setm {
+
+/// Partition-parallel executor for Algorithm SETM.
+///
+/// SETM reduces mining to external sort and merge-scan join, and both
+/// primitives distribute naturally over disjoint trans_id ranges: the R'_k
+/// join matches rows of one transaction only, and support counts are plain
+/// sums. The executor exploits exactly that:
+///
+///   1. SALES is range-partitioned on trans_id into roughly row-balanced
+///      partitions (never splitting a transaction);
+///   2. per iteration k, every partition independently computes its
+///      R'_k = merge-scan(R_{k-1}, R_1) and aggregates *local* candidate
+///      counts on a worker pool — no minsupport filter yet, because support
+///      is a global property;
+///   3. the coordinator merges the partial counts, applies the global
+///      minsupport filter to form C_k, and hands the surviving keys back so
+///      each partition can build its sorted R_k slice.
+///
+/// The output is identical to the single-threaded SetmMiner for any thread
+/// count (asserted by miners_equivalence_test): partitions are disjoint and
+/// exhaustive, so merged counts equal global counts, and the final
+/// Normalize() makes ordering canonical.
+///
+/// Shared state is limited to the database's buffer pools and IoStats
+/// ledger, which are thread-safe; every relation, sort and scratch map is
+/// partition-private.
+///
+///     Database db;
+///     SetmOptions o;
+///     o.num_threads = 4;
+///     ParallelSetmMiner miner(&db, o);       // or SetmMiner(&db, o)
+///     MiningResult r = miner.Mine(transactions, options).value();
+class ParallelSetmMiner {
+ public:
+  /// Uses the database's shared worker pool when it has one, otherwise
+  /// spins up a private pool of `setm_options.num_threads` workers per
+  /// Mine call.
+  explicit ParallelSetmMiner(Database* db, SetmOptions setm_options = {})
+      : db_(db), setm_options_(setm_options) {}
+
+  /// Mines a transaction database (same contract as SetmMiner::Mine).
+  Result<MiningResult> Mine(const TransactionDb& transactions,
+                            const MiningOptions& options);
+
+  /// Mines an existing relation with schema (trans_id INT32, item INT32).
+  Result<MiningResult> MineTable(const Table& sales,
+                                 const MiningOptions& options);
+
+ private:
+  Database* db_;
+  SetmOptions setm_options_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_CORE_PARALLEL_SETM_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "core/parallel_setm.h"
 #include "exec/exec_context.h"
 #include "exec/external_sort.h"
 #include "exec/hash_operators.h"
@@ -13,32 +14,11 @@ namespace setm {
 
 namespace {
 
-/// Subtracts two IoStats snapshots.
-IoStats DiffIo(const IoStats& after, const IoStats& before) {
-  IoStats d;
-  d.page_reads = after.page_reads - before.page_reads;
-  d.page_writes = after.page_writes - before.page_writes;
-  d.sequential_reads = after.sequential_reads - before.sequential_reads;
-  d.random_reads = after.random_reads - before.random_reads;
-  d.sequential_writes = after.sequential_writes - before.sequential_writes;
-  d.random_writes = after.random_writes - before.random_writes;
-  d.pages_allocated = after.pages_allocated - before.pages_allocated;
-  return d;
-}
-
 /// Key columns (item_1 .. item_k) of an R_k row.
 std::vector<size_t> ItemColumns(size_t k) {
   std::vector<size_t> cols;
   cols.reserve(k);
   for (size_t i = 1; i <= k; ++i) cols.push_back(i);
-  return cols;
-}
-
-/// Key columns (trans_id, item_1 .. item_k) of an R_k row.
-std::vector<size_t> TidItemColumns(size_t k) {
-  std::vector<size_t> cols;
-  cols.reserve(k + 1);
-  for (size_t i = 0; i <= k; ++i) cols.push_back(i);
   return cols;
 }
 
@@ -73,6 +53,13 @@ Schema SetmMiner::RkSchema(size_t k) {
   return schema;
 }
 
+std::vector<size_t> SetmMiner::TidItemColumns(size_t k) {
+  std::vector<size_t> cols;
+  cols.reserve(k + 1);
+  for (size_t i = 0; i <= k; ++i) cols.push_back(i);
+  return cols;
+}
+
 Result<std::unique_ptr<Table>> SetmMiner::NewRelation(const std::string& name,
                                                       Schema schema) {
   if (setm_options_.storage == TableBacking::kMemory) {
@@ -103,6 +90,11 @@ Result<Table*> LoadSalesTable(Database* db, const std::string& name,
 
 Result<MiningResult> SetmMiner::Mine(const TransactionDb& transactions,
                                      const MiningOptions& options) {
+  if (setm_options_.num_threads > 1) {
+    // Route before materializing SALES: the partitioned executor builds its
+    // row slices straight from the transaction database.
+    return ParallelSetmMiner(db_, setm_options_).Mine(transactions, options);
+  }
   SETM_RETURN_IF_ERROR(ValidateTransactions(transactions));
   auto sales_or = NewRelation("sales", SalesSchema());
   if (!sales_or.ok()) return sales_or.status();
@@ -120,6 +112,9 @@ Result<MiningResult> SetmMiner::MineTable(const Table& sales,
                                           const MiningOptions& options) {
   if (sales.schema().NumColumns() != 2) {
     return Status::InvalidArgument("SALES must have schema (trans_id, item)");
+  }
+  if (setm_options_.num_threads > 1) {
+    return ParallelSetmMiner(db_, setm_options_).MineTable(sales, options);
   }
   WallTimer total_timer;
   const IoStats io_before = *db_->io_stats();
@@ -301,7 +296,7 @@ Result<MiningResult> SetmMiner::MineTable(const Table& sales,
 
   result.itemsets.Normalize();
   result.total_seconds = total_timer.ElapsedSeconds();
-  result.io = DiffIo(*db_->io_stats(), io_before);
+  result.io = Diff(*db_->io_stats(), io_before);
   return result;
 }
 

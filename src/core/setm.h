@@ -28,8 +28,20 @@ struct SetmOptions {
   /// kMemory mirrors the paper's Section 6 implementation, which "ran in
   /// main memory" for the timing experiments.
   TableBacking storage = TableBacking::kMemory;
-  /// Physical strategy for the C_k aggregation.
+  /// Physical strategy for the C_k aggregation. Only consulted by the
+  /// serial pipeline: the partitioned executor always hash-aggregates its
+  /// partition-local counts (partial maps must merge globally before the
+  /// minsupport filter, so a per-partition sort buys nothing), making the
+  /// sort-merge/hash ablation meaningful at num_threads == 1 only.
   CountMethod count_method = CountMethod::kSortMerge;
+  /// Degree of partition parallelism. 1 runs the classic single-threaded
+  /// pipeline; > 1 routes to the partitioned executor (parallel_setm.h):
+  /// SALES is range-partitioned on trans_id, candidate generation and
+  /// counting run per partition on a worker pool, and partial C_k counts
+  /// are merged before the global minsupport filter. Itemsets and rules
+  /// are identical to the serial pipeline for any thread count (physical
+  /// knobs like count_method may be overridden, see above).
+  size_t num_threads = 1;
 };
 
 /// Algorithm SETM (Figure 4 of the paper), implemented directly on the
@@ -68,6 +80,10 @@ class SetmMiner {
 
   /// Schema of R_k: (trans_id, item_1, .., item_k), all INT32.
   static Schema RkSchema(size_t k);
+
+  /// Sort-key columns (trans_id, item_1 .. item_k) of an R_k row — the
+  /// order every R_k is maintained in. Shared with the parallel executor.
+  static std::vector<size_t> TidItemColumns(size_t k);
 
  private:
   Result<std::unique_ptr<Table>> NewRelation(const std::string& name,

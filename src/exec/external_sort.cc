@@ -144,10 +144,15 @@ class OwningMergeIterator : public TupleIterator {
 }  // namespace
 
 ExternalSort::ExternalSort(ExecContext ctx, Schema schema, TupleComparator cmp)
-    : ctx_(ctx), schema_(std::move(schema)), cmp_(std::move(cmp)) {}
+    : ctx_(ctx),
+      schema_(std::move(schema)),
+      cmp_(std::move(cmp)),
+      spill_group_(ctx.workers) {}
 
 Status ExternalSort::Add(Tuple row) {
-  SETM_DCHECK(!finished_);
+  if (finished_) {
+    return Status::Internal("ExternalSort::Add() called after Finish()");
+  }
   ++stats_.rows;
   buffer_bytes_ += row.SerializedSize(schema_);
   buffer_.push_back(std::move(row));
@@ -159,6 +164,35 @@ Status ExternalSort::Add(Tuple row) {
 
 Status ExternalSort::SpillRun() {
   if (buffer_.empty()) return Status::OK();
+  ++stats_.runs;
+  ++stats_.spilled_runs;
+
+  if (ctx_.workers != nullptr) {
+    // Hand the full buffer to the pool; the slot keeps submission order so
+    // the merge's stability tie-break (run index) is unaffected.
+    pending_.push_back(std::make_unique<PendingRun>());
+    PendingRun* slot = pending_.back().get();
+    auto rows = std::make_shared<std::vector<Tuple>>(std::move(buffer_));
+    spill_group_.Submit([this, slot, rows] {
+      std::stable_sort(rows->begin(), rows->end(), cmp_);
+      auto heap_or = TableHeap::Create(ctx_.temp_pool);
+      if (!heap_or.ok()) return heap_or.status();
+      auto heap = std::make_unique<TableHeap>(std::move(heap_or).value());
+      std::string record;
+      for (const Tuple& t : *rows) {
+        record.clear();
+        t.SerializeTo(schema_, &record);
+        auto rid = heap->Insert(record);
+        if (!rid.ok()) return rid.status();
+      }
+      slot->heap = std::move(heap);
+      return Status::OK();
+    });
+    buffer_ = {};
+    buffer_bytes_ = 0;
+    return Status::OK();
+  }
+
   std::stable_sort(buffer_.begin(), buffer_.end(), cmp_);
   auto heap_or = TableHeap::Create(ctx_.temp_pool);
   if (!heap_or.ok()) return heap_or.status();
@@ -171,26 +205,40 @@ Status ExternalSort::SpillRun() {
     if (!rid.ok()) return rid.status();
   }
   runs_.push_back(std::move(heap));
-  ++stats_.runs;
-  ++stats_.spilled_runs;
   buffer_.clear();
   buffer_bytes_ = 0;
   return Status::OK();
 }
 
+Status ExternalSort::CollectPendingRuns() {
+  if (pending_.empty()) return Status::OK();
+  SETM_RETURN_IF_ERROR(spill_group_.Wait());
+  for (std::unique_ptr<PendingRun>& slot : pending_) {
+    if (slot->heap == nullptr) {
+      return Status::Internal("spill task finished without producing a run");
+    }
+    runs_.push_back(std::move(*slot->heap));
+  }
+  pending_.clear();
+  return Status::OK();
+}
+
 Result<std::unique_ptr<TupleIterator>> ExternalSort::Finish() {
-  SETM_DCHECK(!finished_);
+  if (finished_) {
+    return Status::Internal("ExternalSort::Finish() called twice");
+  }
   finished_ = true;
 
-  if (runs_.empty()) {
-    // Fully in-memory.
+  if (runs_.empty() && pending_.empty()) {
+    // Fully in-memory (possibly zero rows — an empty stream, not an error).
     std::stable_sort(buffer_.begin(), buffer_.end(), cmp_);
-    stats_.runs = 1;
+    if (!buffer_.empty()) stats_.runs = 1;
     return std::unique_ptr<TupleIterator>(
         std::make_unique<VectorIterator>(std::move(buffer_), schema_));
   }
 
   SETM_RETURN_IF_ERROR(SpillRun());
+  SETM_RETURN_IF_ERROR(CollectPendingRuns());
 
   // Cascade merge passes while the run count exceeds the fan-in.
   const size_t fan_in = EffectiveFanIn(ctx_);

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "exec/exec_context.h"
+#include "exec/worker_pool.h"
 #include "relational/table.h"
 #include "relational/tuple.h"
 #include "storage/table_heap.h"
@@ -29,6 +30,16 @@ struct SortStats {
 /// bounded fan-in, cascading extra merge passes when the run count exceeds
 /// it. The overall sort is stable: equal keys keep arrival order.
 ///
+/// When `ctx.workers` is set, run generation overlaps with row intake:
+/// each full buffer is handed to the pool, sorted and spilled off-thread
+/// while Add() keeps filling the next buffer. Run order — and therefore
+/// stability — is preserved by assigning each run its slot at submission.
+///
+/// API misuse is reported through Status in every build mode: Add() after
+/// Finish() and a second Finish() fail with an Internal error instead of
+/// corrupting the sort. Finish() on a sort that never saw a row succeeds
+/// and yields an empty stream.
+///
 ///     ExternalSort sort(ctx, schema, TupleComparator({0, 1}));
 ///     for (...) sort.Add(row);
 ///     auto it = sort.Finish().value();   // sorted stream
@@ -36,17 +47,26 @@ class ExternalSort {
  public:
   ExternalSort(ExecContext ctx, Schema schema, TupleComparator cmp);
 
-  /// Buffers one row, spilling if the budget fills. Must not be called
-  /// after Finish().
+  /// Buffers one row, spilling if the budget fills. Fails with an Internal
+  /// status when called after Finish().
   Status Add(Tuple row);
 
-  /// Completes the sort and returns the sorted stream. Call once.
+  /// Completes the sort and returns the sorted stream. A second call fails
+  /// with an Internal status.
   Result<std::unique_ptr<TupleIterator>> Finish();
 
   const SortStats& stats() const { return stats_; }
 
  private:
+  /// A spill slot filled by a worker task; slots keep submission order so
+  /// the merge's run-index tie-break stays stable.
+  struct PendingRun {
+    std::unique_ptr<TableHeap> heap;
+  };
+
   Status SpillRun();
+  /// Waits for outstanding spill tasks and moves their heaps into runs_.
+  Status CollectPendingRuns();
 
   ExecContext ctx_;
   Schema schema_;
@@ -54,8 +74,12 @@ class ExternalSort {
   std::vector<Tuple> buffer_;
   size_t buffer_bytes_ = 0;
   std::vector<TableHeap> runs_;
+  std::vector<std::unique_ptr<PendingRun>> pending_;
   SortStats stats_;
   bool finished_ = false;
+  /// Declared last: its destructor waits for in-flight spill tasks, which
+  /// read the members above.
+  TaskGroup spill_group_;
 };
 
 /// Volcano operator wrapping ExternalSort: drains `child` on first Next().

@@ -1,0 +1,73 @@
+#include "exec/worker_pool.h"
+
+#include <utility>
+
+namespace setm {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskGroup::Submit(std::function<Status()> task) {
+  if (pool_ == nullptr) {
+    Record(task());
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  // std::function requires copyable closures, so the task travels in a
+  // shared_ptr.
+  auto shared = std::make_shared<std::function<Status()>>(std::move(task));
+  pool_->Submit([this, shared] { Record((*shared)()); });
+}
+
+Status TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  return first_error_;
+}
+
+void TaskGroup::Record(Status s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!s.ok() && first_error_.ok()) first_error_ = std::move(s);
+  if (pool_ != nullptr && pending_-- == 1) cv_.notify_all();
+}
+
+}  // namespace setm

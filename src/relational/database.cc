@@ -1,8 +1,11 @@
 #include "relational/database.h"
 
 #include "common/logging.h"
+#include "exec/worker_pool.h"
 
 namespace setm {
+
+Database::~Database() = default;
 
 Database::Database(DatabaseOptions options) : options_(options) {
   if (!options_.file_path.empty()) {
@@ -17,6 +20,9 @@ Database::Database(DatabaseOptions options) : options_(options) {
   temp_pool_ =
       std::make_unique<BufferPool>(temp_backend_.get(), options_.temp_pool_frames);
   catalog_ = std::make_unique<Catalog>(pool_.get());
+  if (options_.worker_threads > 0) {
+    workers_ = std::make_unique<WorkerPool>(options_.worker_threads);
+  }
 }
 
 Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {

@@ -11,6 +11,8 @@
 
 namespace setm {
 
+class WorkerPool;
+
 /// Configuration of a Database instance.
 struct DatabaseOptions {
   /// Buffer pool frames for base tables (default 256 frames = 1 MiB).
@@ -20,6 +22,9 @@ struct DatabaseOptions {
   /// Memory budget for in-memory sort runs, in bytes. The external sort
   /// spills once a run exceeds this budget.
   size_t sort_memory_bytes = 1 << 20;
+  /// Worker threads shared by parallel operators (0 = no pool; operators
+  /// run serially unless a miner brings its own pool).
+  size_t worker_threads = 0;
   /// If non-empty, base tables live in this file instead of RAM.
   std::string file_path;
 };
@@ -41,12 +46,16 @@ class Database {
   /// Checked construction for file-backed databases.
   static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
 
+  ~Database();
+
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
   Catalog* catalog() { return catalog_.get(); }
   BufferPool* pool() { return pool_.get(); }
   BufferPool* temp_pool() { return temp_pool_.get(); }
+  /// Shared worker pool, or null when options.worker_threads == 0.
+  WorkerPool* worker_pool() { return workers_.get(); }
   const DatabaseOptions& options() const { return options_; }
 
   /// The cumulative I/O ledger for all page traffic (base + temp).
@@ -61,6 +70,7 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BufferPool> temp_pool_;
   std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<WorkerPool> workers_;
 };
 
 }  // namespace setm

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <iterator>
+
 #include "common/logging.h"
 
 namespace setm {
@@ -55,6 +57,7 @@ BufferPool::~BufferPool() {
 }
 
 Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
@@ -68,11 +71,17 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   }
 
   ++misses_;
-  auto victim = GetVictimFrame();
+  auto victim = GetVictimFrameLocked();
   if (!victim.ok()) return victim.status();
   const size_t idx = victim.value();
   Frame& f = frames_[idx];
-  SETM_RETURN_IF_ERROR(backend_->ReadPage(id, &f.page));
+  Status read = backend_->ReadPage(id, &f.page);
+  if (!read.ok()) {
+    // The victim was already detached from the LRU and the page table; if
+    // it were dropped here the pool would shrink by one frame forever.
+    free_frames_.push_back(idx);
+    return read;
+  }
   f.id = id;
   f.pin_count = 1;
   f.dirty = false;
@@ -82,10 +91,11 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
 }
 
 Result<PageGuard> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto id_or = backend_->AllocatePage();
   if (!id_or.ok()) return id_or.status();
   const PageId id = id_or.value();
-  auto victim = GetVictimFrame();
+  auto victim = GetVictimFrameLocked();
   if (!victim.ok()) return victim.status();
   const size_t idx = victim.value();
   Frame& f = frames_[idx];
@@ -99,6 +109,7 @@ Result<PageGuard> BufferPool::NewPage() {
 }
 
 Status BufferPool::FlushPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return Status::OK();
   Frame& f = frames_[it->second];
@@ -110,6 +121,7 @@ Status BufferPool::FlushPage(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (Frame& f : frames_) {
     if (f.id != kInvalidPageId && f.dirty) {
       SETM_RETURN_IF_ERROR(backend_->WritePage(f.id, f.page));
@@ -119,7 +131,18 @@ Status BufferPool::FlushAll() {
   return Status::OK();
 }
 
+uint64_t BufferPool::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t BufferPool::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
 void BufferPool::Unpin(size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Frame& f = frames_[frame_index];
   SETM_CHECK(f.pin_count > 0);
   if (--f.pin_count == 0) {
@@ -130,10 +153,11 @@ void BufferPool::Unpin(size_t frame_index) {
 }
 
 void BufferPool::MarkDirty(size_t frame_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
   frames_[frame_index].dirty = true;
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
+Result<size_t> BufferPool::GetVictimFrameLocked() {
   if (!free_frames_.empty()) {
     size_t idx = free_frames_.back();
     free_frames_.pop_back();
@@ -150,7 +174,16 @@ Result<size_t> BufferPool::GetVictimFrame() {
   f.in_lru = false;
   SETM_CHECK(f.pin_count == 0);
   if (f.dirty) {
-    SETM_RETURN_IF_ERROR(backend_->WritePage(f.id, f.page));
+    Status write = backend_->WritePage(f.id, f.page);
+    if (!write.ok()) {
+      // Put the frame back where it was (LRU tail), still dirty and still
+      // mapped in the page table, so the pool keeps full capacity and a
+      // healed backend can retry the write-back later.
+      lru_.push_back(idx);
+      f.lru_pos = std::prev(lru_.end());
+      f.in_lru = true;
+      return write;
+    }
     f.dirty = false;
   }
   page_table_.erase(f.id);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -59,6 +60,14 @@ class PageGuard {
 /// All page traffic of the engine flows through a pool, so the backend's
 /// IoStats ledger reflects misses only — exactly the "page accesses" the
 /// paper counts. Pool capacity is the knob for the buffer-size ablation.
+///
+/// Thread safety: all pool bookkeeping (page table, LRU, pin counts, frame
+/// metadata) is guarded by an internal mutex, so guards may be fetched and
+/// released from concurrent threads — the partitioned miners pin pages of
+/// distinct table heaps from worker threads. The *contents* of a pinned
+/// page are not synchronized by the pool: callers that share one page
+/// across threads must coordinate their own reads/writes (the engine never
+/// does — each worker owns its tables and sort runs).
 class BufferPool {
  public:
   /// `capacity` is in frames (pages). The backend must outlive the pool.
@@ -84,8 +93,8 @@ class BufferPool {
   size_t capacity() const { return frames_.size(); }
 
   /// Cache statistics.
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
 
   /// The underlying backend (for direct allocation checks in tests).
   StorageBackend* backend() const { return backend_; }
@@ -106,10 +115,14 @@ class BufferPool {
   void Unpin(size_t frame_index);
   void MarkDirty(size_t frame_index);
   /// Finds a frame to (re)use: a free frame, else the LRU unpinned victim.
-  Result<size_t> GetVictimFrame();
+  /// On any error the candidate frame is returned to the pool (LRU or free
+  /// list) first — a failed victim write-back must never shrink capacity.
+  /// Caller must hold mutex_.
+  Result<size_t> GetVictimFrameLocked();
 
   StorageBackend* backend_;
   std::vector<Frame> frames_;
+  mutable std::mutex mutex_;
   std::vector<size_t> free_frames_;
   std::list<size_t> lru_;  // front = most recently unpinned
   std::unordered_map<PageId, size_t> page_table_;

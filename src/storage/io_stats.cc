@@ -20,4 +20,16 @@ std::string IoStats::ToString() const {
   return buf;
 }
 
+IoStats Diff(const IoStats& after, const IoStats& before) {
+  IoStats d;
+  d.page_reads = after.page_reads - before.page_reads;
+  d.page_writes = after.page_writes - before.page_writes;
+  d.sequential_reads = after.sequential_reads - before.sequential_reads;
+  d.random_reads = after.random_reads - before.random_reads;
+  d.sequential_writes = after.sequential_writes - before.sequential_writes;
+  d.random_writes = after.random_writes - before.random_writes;
+  d.pages_allocated = after.pages_allocated - before.pages_allocated;
+  return d;
+}
+
 }  // namespace setm

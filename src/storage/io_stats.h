@@ -1,6 +1,7 @@
 #ifndef SETM_STORAGE_IO_STATS_H_
 #define SETM_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -13,14 +14,43 @@ namespace setm {
 /// a sequential one ~10 ms (Sections 3.2 and 4.3). Every storage backend
 /// accumulates into one of these structs so experiments can report measured
 /// page counts and model-derived times next to wall-clock time.
+///
+/// Counters are atomic so one ledger can be shared by backends driven from
+/// concurrent worker threads (the parallel partitioned miner) without losing
+/// increments; the struct itself still behaves as a copyable value (copies
+/// are relaxed snapshots, exact once the workers have been joined).
 struct IoStats {
-  uint64_t page_reads = 0;        ///< total pages read from the backend
-  uint64_t page_writes = 0;       ///< total pages written to the backend
-  uint64_t sequential_reads = 0;  ///< reads at last accessed page + 1 (or same)
-  uint64_t random_reads = 0;      ///< all other reads
-  uint64_t sequential_writes = 0;
-  uint64_t random_writes = 0;
-  uint64_t pages_allocated = 0;   ///< fresh pages handed out
+  std::atomic<uint64_t> page_reads{0};   ///< total pages read from the backend
+  std::atomic<uint64_t> page_writes{0};  ///< total pages written to the backend
+  /// Reads at last accessed page + 1 (or same).
+  std::atomic<uint64_t> sequential_reads{0};
+  std::atomic<uint64_t> random_reads{0};  ///< all other reads
+  std::atomic<uint64_t> sequential_writes{0};
+  std::atomic<uint64_t> random_writes{0};
+  std::atomic<uint64_t> pages_allocated{0};  ///< fresh pages handed out
+
+  IoStats() = default;
+  IoStats(const IoStats& other) { *this = other; }
+  IoStats& operator=(const IoStats& other) {
+    page_reads.store(other.page_reads.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    page_writes.store(other.page_writes.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    sequential_reads.store(
+        other.sequential_reads.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    random_reads.store(other.random_reads.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    sequential_writes.store(
+        other.sequential_writes.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    random_writes.store(other.random_writes.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    pages_allocated.store(
+        other.pages_allocated.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Total page accesses (reads + writes), the unit of the paper's formulas.
   uint64_t TotalAccesses() const { return page_reads + page_writes; }
@@ -40,19 +70,25 @@ struct IoStats {
 
   /// Element-wise accumulation.
   IoStats& operator+=(const IoStats& other) {
-    page_reads += other.page_reads;
-    page_writes += other.page_writes;
-    sequential_reads += other.sequential_reads;
-    random_reads += other.random_reads;
-    sequential_writes += other.sequential_writes;
-    random_writes += other.random_writes;
-    pages_allocated += other.pages_allocated;
+    page_reads += other.page_reads.load(std::memory_order_relaxed);
+    page_writes += other.page_writes.load(std::memory_order_relaxed);
+    sequential_reads +=
+        other.sequential_reads.load(std::memory_order_relaxed);
+    random_reads += other.random_reads.load(std::memory_order_relaxed);
+    sequential_writes +=
+        other.sequential_writes.load(std::memory_order_relaxed);
+    random_writes += other.random_writes.load(std::memory_order_relaxed);
+    pages_allocated += other.pages_allocated.load(std::memory_order_relaxed);
     return *this;
   }
 
   /// One-line human-readable rendering for bench output.
   std::string ToString() const;
 };
+
+/// Element-wise difference of two ledger snapshots (`after - before`) —
+/// the page traffic attributable to one operation. Shared by every miner.
+IoStats Diff(const IoStats& after, const IoStats& before);
 
 }  // namespace setm
 

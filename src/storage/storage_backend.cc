@@ -9,6 +9,7 @@
 namespace setm {
 
 bool StorageBackend::ClassifySequential(PageId id) {
+  std::lock_guard<std::mutex> lock(heads_mutex_);
   for (PageId& head : heads_) {
     if (head != kInvalidPageId && (id == head || id == head + 1)) {
       head = id;
@@ -50,6 +51,7 @@ void StorageBackend::AccountAllocation() {
 // ---------------------------------------------------------------------------
 
 Result<PageId> MemoryBackend::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (pages_.size() >= static_cast<size_t>(kInvalidPageId)) {
     return Status::ResourceExhausted("page id space exhausted");
   }
@@ -61,6 +63,7 @@ Result<PageId> MemoryBackend::AllocatePage() {
 }
 
 Status MemoryBackend::ReadPage(PageId id, Page* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (id >= pages_.size()) {
     return Status::InvalidArgument("read of unallocated page " +
                                    std::to_string(id));
@@ -71,6 +74,7 @@ Status MemoryBackend::ReadPage(PageId id, Page* out) {
 }
 
 Status MemoryBackend::WritePage(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (id >= pages_.size()) {
     return Status::InvalidArgument("write of unallocated page " +
                                    std::to_string(id));
@@ -78,6 +82,11 @@ Status MemoryBackend::WritePage(PageId id, const Page& page) {
   std::memcpy(pages_[id]->data, page.data, kPageSize);
   AccountWrite(id);
   return Status::OK();
+}
+
+uint64_t MemoryBackend::NumPages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pages_.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -108,22 +117,25 @@ FileBackend::~FileBackend() {
 }
 
 Result<PageId> FileBackend::AllocatePage() {
-  if (num_pages_ >= static_cast<uint64_t>(kInvalidPageId)) {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  const uint64_t next = num_pages_.load(std::memory_order_relaxed);
+  if (next >= static_cast<uint64_t>(kInvalidPageId)) {
     return Status::ResourceExhausted("page id space exhausted");
   }
   Page zero;
   zero.Clear();
-  const off_t off = static_cast<off_t>(num_pages_) * kPageSize;
+  const off_t off = static_cast<off_t>(next) * kPageSize;
   ssize_t n = ::pwrite(fd_, zero.data, kPageSize, off);
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
   }
   AccountAllocation();
-  return static_cast<PageId>(num_pages_++);
+  num_pages_.store(next + 1, std::memory_order_release);
+  return static_cast<PageId>(next);
 }
 
 Status FileBackend::ReadPage(PageId id, Page* out) {
-  if (id >= num_pages_) {
+  if (id >= NumPages()) {
     return Status::InvalidArgument("read of unallocated page " +
                                    std::to_string(id));
   }
@@ -137,7 +149,7 @@ Status FileBackend::ReadPage(PageId id, Page* out) {
 }
 
 Status FileBackend::WritePage(PageId id, const Page& page) {
-  if (id >= num_pages_) {
+  if (id >= NumPages()) {
     return Status::InvalidArgument("write of unallocated page " +
                                    std::to_string(id));
   }

@@ -1,7 +1,9 @@
 #ifndef SETM_STORAGE_STORAGE_BACKEND_H_
 #define SETM_STORAGE_STORAGE_BACKEND_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,12 +61,15 @@ class StorageBackend {
 
  private:
   /// True (and the matching head advanced) if `id` continues a tracked
-  /// sequential stream.
+  /// sequential stream. Guarded by heads_mutex_ so backends accessed from
+  /// concurrent worker threads classify without racing on the stream heads
+  /// (the IoStats counters themselves are atomic).
   bool ClassifySequential(PageId id);
 
   IoStats* stats_;
   /// Recently observed stream positions; kInvalidPageId marks empty slots.
   static constexpr size_t kStreamHeads = 8;
+  std::mutex heads_mutex_;
   PageId heads_[kStreamHeads] = {kInvalidPageId, kInvalidPageId,
                                  kInvalidPageId, kInvalidPageId,
                                  kInvalidPageId, kInvalidPageId,
@@ -82,9 +87,13 @@ class MemoryBackend : public StorageBackend {
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, Page* out) override;
   Status WritePage(PageId id, const Page& page) override;
-  uint64_t NumPages() const override { return pages_.size(); }
+  uint64_t NumPages() const override;
 
  private:
+  /// Guards the page vector (growth in AllocatePage). Pages are held by
+  /// unique_ptr so element addresses stay stable across growth; page data
+  /// is copied under the lock, which at 4 KiB is cheap at this scale.
+  mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Page>> pages_;
 };
 
@@ -102,7 +111,9 @@ class FileBackend : public StorageBackend {
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, Page* out) override;
   Status WritePage(PageId id, const Page& page) override;
-  uint64_t NumPages() const override { return num_pages_; }
+  uint64_t NumPages() const override {
+    return num_pages_.load(std::memory_order_acquire);
+  }
 
   const std::string& path() const { return path_; }
 
@@ -115,7 +126,10 @@ class FileBackend : public StorageBackend {
 
   std::string path_;
   int fd_;
-  uint64_t num_pages_;
+  /// pread/pwrite are thread-safe per POSIX; allocation extends the file
+  /// under alloc_mutex_ and publishes the new size with a release store.
+  std::mutex alloc_mutex_;
+  std::atomic<uint64_t> num_pages_;
 };
 
 }  // namespace setm

@@ -189,6 +189,86 @@ TEST_F(ExternalSortTest, SortIsStable) {
   }
 }
 
+// A tiny temp pool caps the merge fan-in, so a moderate run count forces
+// cascaded merge passes; order and stability must survive the cascade.
+TEST_F(ExternalSortTest, CascadedMergeKeepsOrderAndStability) {
+  DatabaseOptions options;
+  options.temp_pool_frames = 8;  // effective fan-in: 8 - 4 = 4 runs
+  options.sort_memory_bytes = 256;
+  Database small(options);
+  ExecContext ctx = ExecContext::From(&small);
+
+  ExternalSort sort(ctx, TwoIntSchema(), TupleComparator({0}));  // key: a only
+  // Payload b records arrival order within each key.
+  for (int round = 0; round < 400; ++round) {
+    for (int key = 0; key < 4; ++key) {
+      ASSERT_TRUE(sort.Add(Row(key, round)).ok());
+    }
+  }
+  auto it = sort.Finish();
+  ASSERT_TRUE(it.ok()) << it.status().ToString();
+  // Runs far exceed the fan-in of 4, so at least two cascade passes ran.
+  EXPECT_GT(sort.stats().spilled_runs, 16u);
+  EXPECT_GE(sort.stats().merge_passes, 2u);
+  auto rows = Drain(it.value().get());
+  ASSERT_EQ(rows.size(), 1600u);
+  int prev_key = -1, prev_payload = -1;
+  for (const auto& [key, payload] : rows) {
+    if (key == prev_key) {
+      EXPECT_GT(payload, prev_payload) << "stability violated at key " << key;
+    } else {
+      EXPECT_EQ(key, prev_key + 1);
+    }
+    prev_key = key;
+    prev_payload = payload;
+  }
+}
+
+// API misuse must surface as Status in every build mode, not corrupt state.
+TEST_F(ExternalSortTest, AddAfterFinishFailsWithStatus) {
+  ExternalSort sort(ctx_, TwoIntSchema(), TupleComparator({0}));
+  ASSERT_TRUE(sort.Add(Row(1, 0)).ok());
+  ASSERT_TRUE(sort.Finish().ok());
+  Status late = sort.Add(Row(2, 0));
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), StatusCode::kInternal);
+}
+
+TEST_F(ExternalSortTest, DoubleFinishFailsWithStatus) {
+  ExternalSort sort(ctx_, TwoIntSchema(), TupleComparator({0}));
+  ASSERT_TRUE(sort.Add(Row(1, 0)).ok());
+  ASSERT_TRUE(sort.Finish().ok());
+  auto again = sort.Finish();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kInternal);
+}
+
+// With a worker pool in the context, run generation happens off-thread;
+// results (order, stability, content) must be indistinguishable.
+TEST_F(ExternalSortTest, ParallelRunGenerationMatchesSerial) {
+  DatabaseOptions options;
+  options.sort_memory_bytes = 512;
+  options.worker_threads = 4;
+  Database parallel_db(options);
+  ExecContext ctx = ExecContext::From(&parallel_db);
+  ASSERT_NE(ctx.workers, nullptr);
+
+  ExternalSort sort(ctx, TwoIntSchema(), TupleComparator({0}));
+  Rng rng(123);
+  std::vector<std::pair<int, int>> expected;
+  for (int i = 0; i < 4000; ++i) {
+    int a = static_cast<int>(rng.Uniform(50));
+    expected.emplace_back(a, i);  // payload = arrival order
+    ASSERT_TRUE(sort.Add(Row(a, i)).ok());
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& x, const auto& y) { return x.first < y.first; });
+  auto it = sort.Finish();
+  ASSERT_TRUE(it.ok()) << it.status().ToString();
+  EXPECT_GT(sort.stats().spilled_runs, 1u);
+  EXPECT_EQ(Drain(it.value().get()), expected);
+}
+
 TEST_F(ExternalSortTest, EmptyInput) {
   ExternalSort sort(ctx_, TwoIntSchema(), TupleComparator({0}));
   auto it = sort.Finish();

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "exec/exec_context.h"
 #include "exec/external_sort.h"
 #include "index/bplus_tree.h"
@@ -43,6 +45,77 @@ TEST(FaultInjectionTest, BufferPoolPropagatesReadErrors) {
   auto fetch = pool.FetchPage(id);
   ASSERT_FALSE(fetch.ok());
   EXPECT_TRUE(fetch.status().IsIOError());
+}
+
+// Regression: a failed dirty write-back during eviction used to orphan the
+// victim frame (popped from the LRU, never freed or re-enqueued), silently
+// shrinking the pool by one frame per failure. The pool must survive any
+// number of failed evictions at full capacity.
+TEST(FaultInjectionTest, VictimWriteBackFailureKeepsPoolCapacity) {
+  constexpr size_t kFrames = 4;
+  IoStats stats;
+  MemoryBackend real(&stats);
+  // Enough backing pages for one pool-full of dirty pages + replacements.
+  for (size_t i = 0; i < 2 * kFrames; ++i) ASSERT_TRUE(real.AllocatePage().ok());
+
+  // Budget covers exactly the initial reads; the eviction write-backs fail.
+  FaultInjectionBackend flaky(&real, kFrames);
+  BufferPool pool(&flaky, kFrames);
+  for (size_t i = 0; i < kFrames; ++i) {
+    auto guard = pool.FetchPage(static_cast<PageId>(i));
+    ASSERT_TRUE(guard.ok());
+    guard.value().MarkDirty();
+  }
+
+  // Each fetch of an uncached page needs an eviction whose write-back fails.
+  // If the victim leaked, later attempts would shift from IOError to
+  // ResourceExhausted as the pool ran out of frames.
+  for (size_t attempt = 0; attempt < 2 * kFrames; ++attempt) {
+    auto fetch = pool.FetchPage(static_cast<PageId>(kFrames));
+    ASSERT_FALSE(fetch.ok());
+    EXPECT_TRUE(fetch.status().IsIOError()) << fetch.status().ToString();
+  }
+
+  // After healing, the pool must still serve `capacity` concurrent pins.
+  flaky.Heal();
+  std::vector<PageGuard> guards;
+  for (size_t i = 0; i < kFrames; ++i) {
+    auto guard = pool.FetchPage(static_cast<PageId>(kFrames + i));
+    ASSERT_TRUE(guard.ok()) << guard.status().ToString();
+    guards.push_back(std::move(guard).value());
+  }
+  // And the (capacity+1)-th concurrent pin fails for the *right* reason.
+  auto extra = pool.FetchPage(0);
+  ASSERT_FALSE(extra.ok());
+  EXPECT_EQ(extra.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Regression: a failed backend read in FetchPage used to drop the victim
+// frame after it had already been detached from the LRU and page table;
+// the frame has to return to the free list on that path.
+TEST(FaultInjectionTest, ReadFailureReturnsFrameToFreeList) {
+  constexpr size_t kFrames = 4;
+  IoStats stats;
+  MemoryBackend real(&stats);
+  for (size_t i = 0; i < kFrames; ++i) ASSERT_TRUE(real.AllocatePage().ok());
+
+  FaultInjectionBackend flaky(&real, 0);  // every read fails
+  BufferPool pool(&flaky, kFrames);
+  // More failed fetches than frames: if any attempt leaked its frame, the
+  // pool would run out and report ResourceExhausted instead of IOError.
+  for (size_t attempt = 0; attempt < 2 * kFrames; ++attempt) {
+    auto fetch = pool.FetchPage(0);
+    ASSERT_FALSE(fetch.ok());
+    EXPECT_TRUE(fetch.status().IsIOError()) << fetch.status().ToString();
+  }
+
+  flaky.Heal();
+  std::vector<PageGuard> guards;
+  for (size_t i = 0; i < kFrames; ++i) {
+    auto guard = pool.FetchPage(static_cast<PageId>(i));
+    ASSERT_TRUE(guard.ok()) << guard.status().ToString();
+    guards.push_back(std::move(guard).value());
+  }
 }
 
 TEST(FaultInjectionTest, TableHeapInsertSurfacesAllocationFailure) {

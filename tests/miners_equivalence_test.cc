@@ -9,6 +9,8 @@
 #include "baselines/brute_force.h"
 #include "core/nested_loop_miner.h"
 #include "core/paper_example.h"
+#include "core/parallel_setm.h"
+#include "core/rules.h"
 #include "core/setm.h"
 #include "core/setm_sql.h"
 #include "datagen/quest_generator.h"
@@ -143,6 +145,131 @@ INSTANTIATE_TEST_SUITE_P(
                                      TableBacking::kHeap),
                      testing::Values(CountMethod::kSortMerge,
                                      CountMethod::kHash)));
+
+// --------------------------------------------------------------------------
+// Parallel partitioned SETM: any thread count and either storage backing
+// must reproduce the serial miner bit-for-bit — same itemsets, same rules,
+// same per-iteration relation sizes.
+// --------------------------------------------------------------------------
+
+class ParallelSetmTest : public testing::TestWithParam<
+                             std::tuple<uint64_t, TableBacking, size_t>> {};
+
+TEST_P(ParallelSetmTest, IdenticalToSerialMiner) {
+  QuestOptions gen;
+  gen.seed = std::get<0>(GetParam());
+  gen.num_transactions = 250;
+  gen.avg_transaction_size = 5;
+  gen.num_items = 22;
+  gen.num_patterns = 15;
+  TransactionDb txns = QuestGenerator(gen).Generate();
+
+  MiningOptions options;
+  options.min_support = 0.04;
+
+  SetmOptions serial_opts;
+  serial_opts.storage = std::get<1>(GetParam());
+  Database serial_db;
+  SetmMiner serial(&serial_db, serial_opts);
+  auto expected = serial.Mine(txns, options);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  SetmOptions parallel_opts = serial_opts;
+  parallel_opts.num_threads = std::get<2>(GetParam());
+  Database parallel_db;
+  // Routed through SetmMiner so the num_threads knob is covered too.
+  SetmMiner parallel(&parallel_db, parallel_opts);
+  auto result = parallel.Mine(txns, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
+  EXPECT_EQ(result.value().itemsets.num_transactions,
+            expected.value().itemsets.num_transactions);
+
+  // Per-iteration relation cardinalities are exact sums over partitions.
+  ASSERT_EQ(result.value().iterations.size(),
+            expected.value().iterations.size());
+  for (size_t i = 0; i < expected.value().iterations.size(); ++i) {
+    const IterationStats& e = expected.value().iterations[i];
+    const IterationStats& r = result.value().iterations[i];
+    EXPECT_EQ(r.k, e.k);
+    EXPECT_EQ(r.r_prime_rows, e.r_prime_rows) << "k=" << e.k;
+    EXPECT_EQ(r.r_rows, e.r_rows) << "k=" << e.k;
+    EXPECT_EQ(r.r_bytes, e.r_bytes) << "k=" << e.k;
+    EXPECT_EQ(r.c_size, e.c_size) << "k=" << e.k;
+  }
+
+  // Identical itemsets must yield identical rules.
+  auto expected_rules =
+      GenerateRules(expected.value().itemsets, options,
+                    RuleMode::kSingleConsequent);
+  auto rules = GenerateRules(result.value().itemsets, options,
+                             RuleMode::kSingleConsequent);
+  EXPECT_EQ(rules, expected_rules);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadSweep, ParallelSetmTest,
+    testing::Combine(testing::Values(uint64_t{101}, uint64_t{202},
+                                     uint64_t{303}),
+                     testing::Values(TableBacking::kMemory,
+                                     TableBacking::kHeap),
+                     testing::Values(size_t{2}, size_t{4}, size_t{8})));
+
+TEST(ParallelSetmTest, SharedDatabaseWorkerPoolAndOptions) {
+  QuestOptions gen;
+  gen.seed = 4242;
+  gen.num_transactions = 200;
+  gen.avg_transaction_size = 6;
+  gen.num_items = 18;
+  gen.num_patterns = 12;
+  TransactionDb txns = QuestGenerator(gen).Generate();
+
+  MiningOptions options;
+  options.min_support = 0.05;
+  options.filter_r1 = true;       // exercise the pruned-R1 ablation path
+  options.max_pattern_length = 3;
+
+  Database serial_db;
+  auto expected = SetmMiner(&serial_db).Mine(txns, options);
+  ASSERT_TRUE(expected.ok());
+
+  DatabaseOptions db_options;
+  db_options.worker_threads = 3;  // miner reuses the database's pool
+  Database db(db_options);
+  ASSERT_NE(db.worker_pool(), nullptr);
+  SetmOptions setm_options;
+  setm_options.num_threads = 3;
+  ParallelSetmMiner miner(&db, setm_options);
+  auto result = miner.Mine(txns, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
+}
+
+TEST(ParallelSetmTest, MoreThreadsThanTransactions) {
+  TransactionDb txns = PaperExampleTransactions();
+  Database serial_db;
+  auto expected = SetmMiner(&serial_db).Mine(txns, PaperExampleOptions());
+  ASSERT_TRUE(expected.ok());
+
+  Database db;
+  SetmOptions setm_options;
+  setm_options.num_threads = 64;  // far more than the example's transactions
+  ParallelSetmMiner miner(&db, setm_options);
+  auto result = miner.Mine(txns, PaperExampleOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
+}
+
+TEST(ParallelSetmTest, EmptyDatabase) {
+  Database db;
+  SetmOptions setm_options;
+  setm_options.num_threads = 4;
+  ParallelSetmMiner miner(&db, setm_options);
+  auto result = miner.Mine(TransactionDb{}, MiningOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().itemsets.TotalPatterns(), 0u);
+}
 
 // --------------------------------------------------------------------------
 // SETM-via-SQL specifics.

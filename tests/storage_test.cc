@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "storage/storage_backend.h"
@@ -262,6 +265,61 @@ TEST(BufferPoolTest, MoveGuardTransfersPin) {
   moved.Release();
   // Frame is free again.
   EXPECT_TRUE(pool.NewPage().ok());
+}
+
+// Concurrent pin/dirty/unpin traffic from several threads, with eviction
+// pressure (pages outnumber frames). Each thread owns a disjoint page set;
+// the pool's bookkeeping and the shared IoStats ledger must stay exact.
+TEST(BufferPoolTest, ConcurrentFetchAndEvictIsSafe) {
+  constexpr int kThreads = 4;
+  constexpr int kPagesPerThread = 8;
+  constexpr int kRounds = 200;
+  IoStats stats;
+  MemoryBackend backend(&stats);
+  std::vector<PageId> ids;
+  for (int i = 0; i < kThreads * kPagesPerThread; ++i) {
+    auto id = backend.AllocatePage();
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+
+  BufferPool pool(&backend, 8);  // far fewer frames than pages: evictions
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const PageId id = ids[t * kPagesPerThread + round % kPagesPerThread];
+        auto guard = pool.FetchPage(id);
+        if (!guard.ok()) {
+          ++failures;
+          return;
+        }
+        // First byte of each page carries its owner thread id.
+        char* data = guard.value().page()->data;
+        if (round >= kPagesPerThread && data[0] != static_cast<char>(t + 1)) {
+          ++failures;
+          return;
+        }
+        data[0] = static_cast<char>(t + 1);
+        guard.value().MarkDirty();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  // Every page ends with its owner's mark, and the ledger balances: each
+  // miss is one backend read.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPagesPerThread; ++i) {
+      Page page;
+      ASSERT_TRUE(backend.ReadPage(ids[t * kPagesPerThread + i], &page).ok());
+      EXPECT_EQ(page.data[0], static_cast<char>(t + 1));
+    }
+  }
+  EXPECT_EQ(stats.page_reads.load(),
+            pool.misses() + kThreads * kPagesPerThread);
 }
 
 // --------------------------------------------------------------------------

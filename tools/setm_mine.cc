@@ -2,7 +2,7 @@
 //
 //   setm_mine --input sales.csv [--minsup 1.0] [--minconf 50]
 //             [--algorithm setm|setm-sql|nested-loop|apriori|ais]
-//             [--storage memory|heap] [--rules single|subsets]
+//             [--storage memory|heap] [--threads N] [--rules single|subsets]
 //             [--max-k N] [--stats] [--format text|csv]
 //
 // Reads a (trans_id,item) CSV, mines frequent itemsets with the chosen
@@ -35,6 +35,7 @@ struct Args {
   std::string rules = "single";
   std::string format = "text";
   size_t max_k = 0;
+  size_t threads = 1;
   bool stats = false;
 };
 
@@ -43,7 +44,8 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --input FILE.csv [--minsup PCT] [--minconf PCT]\n"
       "          [--algorithm setm|setm-sql|nested-loop|apriori|ais]\n"
-      "          [--storage memory|heap] [--rules single|subsets]\n"
+      "          [--storage memory|heap] [--threads N]\n"
+      "          [--rules single|subsets]\n"
       "          [--max-k N] [--stats] [--format text|csv]\n",
       argv0);
 }
@@ -85,6 +87,15 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = need_value("--max-k");
       if (v == nullptr) return false;
       out->max_k = static_cast<size_t>(std::atol(v));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = need_value("--threads");
+      if (v == nullptr) return false;
+      long n = std::atol(v);
+      if (n < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return false;
+      }
+      out->threads = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       out->stats = true;
     } else if (std::strcmp(argv[i], "--format") == 0) {
@@ -111,7 +122,11 @@ Result<MiningResult> RunAlgorithm(const Args& args, Database* db,
   if (args.algorithm == "setm") {
     SetmOptions setm_options;
     setm_options.storage = backing;
+    setm_options.num_threads = args.threads;
     return SetmMiner(db, setm_options).Mine(txns, options);
+  }
+  if (args.threads > 1) {
+    return Status::InvalidArgument("--threads requires --algorithm setm");
   }
   if (args.algorithm == "setm-sql") {
     auto sales = LoadSalesTable(db, "sales", txns, backing);
