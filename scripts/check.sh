@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One-command configure + build + test.
 #
-#   scripts/check.sh            # release preset, full suite
+#   scripts/check.sh            # release preset, full suite + bench smoke
 #   scripts/check.sh debug      # debug preset
 #   scripts/check.sh asan       # ASan+UBSan preset
 #   scripts/check.sh release tier1   # only the fast tier-1 label
@@ -15,3 +15,11 @@ cd "$(dirname "$0")/.."
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j
 ctest --preset "$preset" ${label:+-L "$label"}
+
+# Bench smoke-run: the incremental-maintenance bench self-checks that the
+# delta path matches a full remine bit-for-bit and reads fewer pages on the
+# smallest batch. Skipped when benches were not built for this preset.
+bench_bin="build/$preset/bench/incremental_updates"
+if [[ -x "$bench_bin" ]]; then
+  "$bench_bin" --smoke
+fi

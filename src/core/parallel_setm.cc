@@ -33,6 +33,14 @@ struct LocalPattern {
 /// Partial counts keyed by ItemsetKey.
 using CountMap = std::unordered_map<std::string, LocalPattern>;
 
+/// Shard assignment of an itemset key. Partitions bucket their partial
+/// counts by this hash while counting, so the global merge decomposes into
+/// `num_shards` disjoint tasks (shard s only ever sees keys hashing to s)
+/// that run on the worker pool instead of serially on the coordinator.
+size_t ShardOf(const std::string& key, size_t num_shards) {
+  return std::hash<std::string>{}(key) % num_shards;
+}
+
 /// Everything one trans_id range owns. Worker tasks mutate only their own
 /// partition; the shared buffer pools and IoStats ledger are thread-safe.
 struct Partition {
@@ -41,8 +49,21 @@ struct Partition {
   std::unique_ptr<Table> r_prev;    ///< R_{k-1}; null means use r1
   std::unique_ptr<Table> rk_prime;  ///< R'_k of the current iteration
   std::unique_ptr<Table> rk;        ///< R_k of the current iteration
-  CountMap counts;  ///< per-iteration partial candidate counts
+  /// Per-iteration partial candidate counts, bucketed by ShardOf.
+  std::vector<CountMap> counts;
 };
+
+/// One shard's share of the global C_k: the frequent patterns whose keys
+/// hash to the shard, plus the key set Phase B probes.
+struct CkShard {
+  std::unordered_set<std::string> keys;
+  std::vector<PatternCount> rows;
+};
+
+/// Membership probe over the sharded C_k (same hash as the merge used).
+bool CkContains(const std::vector<CkShard>& shards, const std::string& key) {
+  return shards[ShardOf(key, shards.size())].keys.count(key) != 0;
+}
 
 Result<std::unique_ptr<Table>> NewRelation(Database* db, TableBacking backing,
                                            const std::string& name,
@@ -57,18 +78,19 @@ Result<std::unique_ptr<Table>> NewRelation(Database* db, TableBacking backing,
 }
 
 /// Phase k=1: materialize the partition's R_1 slice (already sorted) and
-/// count single items locally.
+/// count single items locally, bucketed by key shard.
 Status BuildR1(Database* db, const SetmOptions& so, size_t index,
-               Partition* p) {
+               size_t num_shards, Partition* p) {
   auto r1_or = NewRelation(db, so.storage, "p" + std::to_string(index) + "_r1",
                            SetmMiner::RkSchema(1));
   if (!r1_or.ok()) return r1_or.status();
   p->r1 = std::move(r1_or).value();
-  p->counts.clear();
+  p->counts.assign(num_shards, CountMap());
   for (const SalesRow& row : p->rows) {
     SETM_RETURN_IF_ERROR(
         p->r1->Insert(Tuple({Value::Int32(row.tid), Value::Int32(row.item)})));
-    LocalPattern& lp = p->counts[ItemsetKey({row.item})];
+    std::string key = ItemsetKey({row.item});
+    LocalPattern& lp = p->counts[ShardOf(key, num_shards)][std::move(key)];
     if (lp.count == 0) lp.items = {row.item};
     ++lp.count;
   }
@@ -79,8 +101,7 @@ Status BuildR1(Database* db, const SetmOptions& so, size_t index,
 
 /// Optional ablation: drop rows of non-frequent items from the R_1 slice.
 Status FilterR1(Database* db, const SetmOptions& so, size_t index,
-                const std::unordered_set<std::string>* frequent_keys,
-                Partition* p) {
+                const std::vector<CkShard>* c1, Partition* p) {
   auto filtered_or =
       NewRelation(db, so.storage, "p" + std::to_string(index) + "_r1f",
                   SetmMiner::RkSchema(1));
@@ -92,7 +113,7 @@ Status FilterR1(Database* db, const SetmOptions& so, size_t index,
     auto more = it->Next(&row);
     if (!more.ok()) return more.status();
     if (!more.value()) break;
-    if (frequent_keys->count(ItemsetKey({row.value(1).AsInt32()})) != 0) {
+    if (CkContains(*c1, ItemsetKey({row.value(1).AsInt32()}))) {
       SETM_RETURN_IF_ERROR(filtered->Insert(row));
     }
   }
@@ -104,7 +125,7 @@ Status FilterR1(Database* db, const SetmOptions& so, size_t index,
 /// candidate counts (full counts — minsupport is applied globally after the
 /// merge, because support is a property of the whole database).
 Status JoinAndCount(Database* db, const SetmOptions& so, size_t index,
-                    size_t k, Partition* p) {
+                    size_t k, size_t num_shards, Partition* p) {
   const Table* left = p->r_prev != nullptr ? p->r_prev.get() : p->r1.get();
   auto rkp_or = NewRelation(db, so.storage,
                             "p" + std::to_string(index) + "_r" +
@@ -112,7 +133,7 @@ Status JoinAndCount(Database* db, const SetmOptions& so, size_t index,
                             SetmMiner::RkSchema(k));
   if (!rkp_or.ok()) return rkp_or.status();
   p->rk_prime = std::move(rkp_or).value();
-  p->counts.clear();
+  p->counts.assign(num_shards, CountMap());
 
   // Combined row: (trans_id, item_1..item_{k-1}, trans_id, item).
   const size_t last_left_item = k - 1;  // index of item_{k-1}
@@ -134,7 +155,8 @@ Status JoinAndCount(Database* db, const SetmOptions& so, size_t index,
     Tuple out(values);
     for (size_t i = 0; i < k; ++i) items[i] = out.value(i + 1).AsInt32();
     SETM_RETURN_IF_ERROR(p->rk_prime->Insert(out));
-    LocalPattern& lp = p->counts[ItemsetKey(items)];
+    std::string key = ItemsetKey(items);
+    LocalPattern& lp = p->counts[ShardOf(key, num_shards)][std::move(key)];
     if (lp.count == 0) lp.items = items;
     ++lp.count;
   }
@@ -144,8 +166,7 @@ Status JoinAndCount(Database* db, const SetmOptions& so, size_t index,
 /// Phase B of iteration k: R_k slice = R'_k filtered by the global C_k,
 /// sorted back on (trans_id, items).
 Status FilterAndSort(Database* db, const SetmOptions& so, ExecContext ctx,
-                     size_t index, size_t k,
-                     const std::unordered_set<std::string>* ck_keys,
+                     size_t index, size_t k, const std::vector<CkShard>* ck,
                      Partition* p) {
   auto rk_or = NewRelation(
       db, so.storage,
@@ -153,7 +174,9 @@ Status FilterAndSort(Database* db, const SetmOptions& so, ExecContext ctx,
       SetmMiner::RkSchema(k));
   if (!rk_or.ok()) return rk_or.status();
   p->rk = std::move(rk_or).value();
-  if (ck_keys->empty()) return Status::OK();
+  bool any_frequent = false;
+  for (const CkShard& shard : *ck) any_frequent |= !shard.keys.empty();
+  if (!any_frequent) return Status::OK();
 
   ExternalSort sort(ctx, SetmMiner::RkSchema(k),
                     TupleComparator(SetmMiner::TidItemColumns(k)));
@@ -165,7 +188,7 @@ Status FilterAndSort(Database* db, const SetmOptions& so, ExecContext ctx,
     if (!more.ok()) return more.status();
     if (!more.value()) break;
     for (size_t i = 0; i < k; ++i) items[i] = row.value(i + 1).AsInt32();
-    if (ck_keys->count(ItemsetKey(items)) != 0) {
+    if (CkContains(*ck, ItemsetKey(items))) {
       SETM_RETURN_IF_ERROR(sort.Add(row));
     }
   }
@@ -174,16 +197,42 @@ Status FilterAndSort(Database* db, const SetmOptions& so, ExecContext ctx,
   return MaterializeInto(sorted_or.value().get(), p->rk.get());
 }
 
-/// Sums partial counts into `merged`, stealing the item vectors.
-void MergeCounts(std::vector<Partition>* parts, CountMap* merged) {
+/// Merges one shard: sums every partition's partial map for this shard
+/// (stealing the item vectors) and applies the global minsupport filter.
+/// Shards are hash-disjoint, so the merge that used to run serially on the
+/// coordinator becomes `num_shards` independent pool tasks — the Amdahl
+/// term `bench/scaling_threads` exposed at 8 threads.
+Status MergeShard(std::vector<Partition>* parts, size_t shard, int64_t minsup,
+                  CkShard* out) {
+  CountMap merged;
   for (Partition& p : *parts) {
-    for (auto& entry : p.counts) {
-      LocalPattern& g = (*merged)[entry.first];
+    for (auto& entry : p.counts[shard]) {
+      LocalPattern& g = merged[entry.first];
       if (g.count == 0) g.items = std::move(entry.second.items);
       g.count += entry.second.count;
     }
-    p.counts.clear();
+    p.counts[shard].clear();
   }
+  for (auto& entry : merged) {
+    if (entry.second.count >= minsup) {
+      out->rows.push_back(
+          PatternCount{std::move(entry.second.items), entry.second.count});
+      out->keys.insert(entry.first);
+    }
+  }
+  return Status::OK();
+}
+
+/// Runs MergeShard for every shard on the pool and waits.
+Status MergeAllShards(WorkerPool* pool, std::vector<Partition>* parts,
+                      int64_t minsup, std::vector<CkShard>* shards) {
+  TaskGroup group(pool);
+  for (size_t s = 0; s < shards->size(); ++s) {
+    CkShard* out = &(*shards)[s];
+    group.Submit(
+        [parts, s, minsup, out] { return MergeShard(parts, s, minsup, out); });
+  }
+  return group.Wait();
 }
 
 /// The partitioned pipeline over pre-extracted SALES rows.
@@ -238,23 +287,27 @@ Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
   worker_ctx.sort_memory_bytes = db->options().sort_memory_bytes;
   worker_ctx.workers = nullptr;
 
+  // Shard count for the parallel C_k merge: one merge task per partition
+  // keeps every worker busy during the merge phase too.
+  const size_t num_shards = num_parts;
+
   // --- R_1 and C_1. -------------------------------------------------------
   WallTimer iter1_timer;
   {
     TaskGroup group(pool);
     for (size_t i = 0; i < parts.size(); ++i) {
       Partition* p = &parts[i];
-      group.Submit([db, &so, i, p] { return BuildR1(db, so, i, p); });
+      group.Submit(
+          [db, &so, i, num_shards, p] { return BuildR1(db, so, i, num_shards, p); });
     }
     SETM_RETURN_IF_ERROR(group.Wait());
   }
   result.itemsets.num_transactions = num_transactions;
   const int64_t minsup = ResolveMinSupportCount(options, num_transactions);
 
-  std::unordered_set<std::string> frequent_keys;
+  std::vector<CkShard> c1(num_shards);
   {
-    CountMap merged;
-    MergeCounts(&parts, &merged);
+    SETM_RETURN_IF_ERROR(MergeAllShards(pool, &parts, minsup, &c1));
     IterationStats stats;
     stats.k = 1;
     for (const Partition& p : parts) {
@@ -263,13 +316,12 @@ Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
       stats.r_pages += p.r1->num_pages();
     }
     stats.r_rows = stats.r_prime_rows;
-    for (auto& entry : merged) {
-      if (entry.second.count >= minsup) {
-        frequent_keys.insert(entry.first);
-        result.itemsets.Add(std::move(entry.second.items),
-                            entry.second.count);
-        ++stats.c_size;
+    for (CkShard& shard : c1) {
+      stats.c_size += shard.rows.size();
+      for (PatternCount& pc : shard.rows) {
+        result.itemsets.Add(std::move(pc.items), pc.count);
       }
+      shard.rows.clear();
     }
     stats.seconds = iter1_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
@@ -279,8 +331,8 @@ Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
     TaskGroup group(pool);
     for (size_t i = 0; i < parts.size(); ++i) {
       Partition* p = &parts[i];
-      group.Submit([db, &so, i, p, &frequent_keys] {
-        return FilterR1(db, so, i, &frequent_keys, p);
+      group.Submit([db, &so, i, p, &c1] {
+        return FilterR1(db, so, i, &c1, p);
       });
     }
     SETM_RETURN_IF_ERROR(group.Wait());
@@ -303,34 +355,25 @@ Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
       TaskGroup group(pool);
       for (size_t i = 0; i < parts.size(); ++i) {
         Partition* p = &parts[i];
-        group.Submit(
-            [db, &so, i, k, p] { return JoinAndCount(db, so, i, k, p); });
+        group.Submit([db, &so, i, k, num_shards, p] {
+          return JoinAndCount(db, so, i, k, num_shards, p);
+        });
       }
       SETM_RETURN_IF_ERROR(group.Wait());
     }
 
-    // Merge partial counts; the minsupport filter sees global counts only.
-    std::unordered_set<std::string> ck_keys;
-    std::vector<PatternCount> ck_rows;
-    {
-      CountMap merged;
-      MergeCounts(&parts, &merged);
-      for (auto& entry : merged) {
-        if (entry.second.count >= minsup) {
-          ck_keys.insert(entry.first);
-          ck_rows.push_back(PatternCount{std::move(entry.second.items),
-                                         entry.second.count});
-        }
-      }
-    }
+    // Merge partial counts shard-parallel; the minsupport filter sees
+    // global counts only (applied inside each shard's merge task).
+    std::vector<CkShard> ck(num_shards);
+    SETM_RETURN_IF_ERROR(MergeAllShards(pool, &parts, minsup, &ck));
 
     // Phase B: per-partition support filter + sort back to (tid, items).
     {
       TaskGroup group(pool);
       for (size_t i = 0; i < parts.size(); ++i) {
         Partition* p = &parts[i];
-        group.Submit([db, &so, worker_ctx, i, k, p, &ck_keys] {
-          return FilterAndSort(db, so, worker_ctx, i, k, &ck_keys, p);
+        group.Submit([db, &so, worker_ctx, i, k, p, &ck] {
+          return FilterAndSort(db, so, worker_ctx, i, k, &ck, p);
         });
       }
       SETM_RETURN_IF_ERROR(group.Wait());
@@ -344,13 +387,14 @@ Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
       stats.r_bytes += p.rk->size_bytes();
       stats.r_pages += p.rk->num_pages();
     }
-    stats.c_size = ck_rows.size();
+    for (CkShard& shard : ck) {
+      stats.c_size += shard.rows.size();
+      for (PatternCount& pc : shard.rows) {
+        result.itemsets.Add(std::move(pc.items), pc.count);
+      }
+    }
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
-
-    for (PatternCount& pc : ck_rows) {
-      result.itemsets.Add(std::move(pc.items), pc.count);
-    }
     const uint64_t rk_rows = stats.r_rows;
     for (Partition& p : parts) {
       p.r_prev = std::move(p.rk);

@@ -1,0 +1,182 @@
+#include "incremental/itemset_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace setm {
+
+namespace {
+
+// Column positions of the metadata relation (kept in one place so Save and
+// Load cannot drift apart).
+enum MetaColumn : size_t {
+  kNumTransactions = 0,
+  kMinSupportCount,
+  kSpecMinSupport,
+  kSpecMinSupportCount,
+  kMaxPatternLength,
+  kWatermark,
+  kMaxK,
+  kSourceTable,
+};
+
+}  // namespace
+
+ItemsetStore::ItemsetStore(Database* db, std::string prefix,
+                           TableBacking backing)
+    : db_(db), prefix_(std::move(prefix)), backing_(backing) {}
+
+Schema ItemsetStore::MetaSchema() {
+  return Schema({Column{"num_transactions", ValueType::kInt64},
+                 Column{"min_support_count", ValueType::kInt64},
+                 Column{"spec_min_support", ValueType::kDouble},
+                 Column{"spec_min_support_count", ValueType::kInt64},
+                 Column{"max_pattern_length", ValueType::kInt64},
+                 Column{"watermark", ValueType::kInt32},
+                 Column{"max_k", ValueType::kInt64},
+                 Column{"source_table", ValueType::kString}});
+}
+
+Schema ItemsetStore::LevelSchema(size_t k) {
+  Schema schema;
+  for (size_t i = 1; i <= k; ++i) {
+    schema.AddColumn(Column{"item" + std::to_string(i), ValueType::kInt32});
+  }
+  schema.AddColumn(Column{"support", ValueType::kInt64});
+  return schema;
+}
+
+bool ItemsetStore::Exists() const {
+  return db_->catalog()->HasTable(MetaTableName());
+}
+
+Status ItemsetStore::Drop() {
+  Catalog* catalog = db_->catalog();
+  if (catalog->HasTable(MetaTableName())) {
+    SETM_RETURN_IF_ERROR(catalog->DropTable(MetaTableName()));
+  }
+  // Level tables are contiguous in k by construction; stop at the first gap.
+  for (size_t k = 1; catalog->HasTable(LevelTableName(k)); ++k) {
+    SETM_RETURN_IF_ERROR(catalog->DropTable(LevelTableName(k)));
+  }
+  return Status::OK();
+}
+
+Status ItemsetStore::Save(const FrequentItemsets& itemsets,
+                          const StoredRunMeta& meta) {
+  SETM_RETURN_IF_ERROR(Drop());
+  Catalog* catalog = db_->catalog();
+
+  const size_t max_k = itemsets.MaxSize();
+  for (size_t k = 1; k <= max_k; ++k) {
+    auto table_or =
+        catalog->CreateTable(LevelTableName(k), LevelSchema(k), backing_);
+    if (!table_or.ok()) return table_or.status();
+    Table* table = table_or.value();
+    for (const PatternCount& pc : itemsets.OfSize(k)) {
+      std::vector<Value> values;
+      values.reserve(k + 1);
+      for (ItemId item : pc.items) values.push_back(Value::Int32(item));
+      values.push_back(Value::Int64(pc.count));
+      SETM_RETURN_IF_ERROR(table->Insert(Tuple(std::move(values))));
+    }
+  }
+
+  // The metadata relation is written last: its presence is what Exists()
+  // and Load() key off, so a failed half-written save stays invisible.
+  auto meta_or = catalog->CreateTable(MetaTableName(), MetaSchema(), backing_);
+  if (!meta_or.ok()) return meta_or.status();
+  return meta_or.value()->Insert(Tuple({
+      Value::Int64(static_cast<int64_t>(meta.num_transactions)),
+      Value::Int64(meta.min_support_count),
+      Value::Double(meta.spec_min_support),
+      Value::Int64(meta.spec_min_support_count),
+      Value::Int64(static_cast<int64_t>(meta.max_pattern_length)),
+      Value::Int32(meta.watermark),
+      Value::Int64(static_cast<int64_t>(max_k)),
+      Value::String(meta.source_table),
+  }));
+}
+
+Result<StoredResult> ItemsetStore::Load() const {
+  Catalog* catalog = db_->catalog();
+  auto meta_table_or = catalog->GetTable(MetaTableName());
+  if (!meta_table_or.ok()) {
+    return Status::NotFound("no itemset store under prefix '" + prefix_ + "'");
+  }
+
+  StoredResult out;
+  size_t max_k = 0;
+  {
+    auto it = meta_table_or.value()->Scan();
+    Tuple row;
+    auto more = it->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value() || row.NumValues() != MetaSchema().NumColumns()) {
+      return Status::Corruption("itemset store '" + prefix_ +
+                                "': malformed metadata relation");
+    }
+    out.meta.num_transactions =
+        static_cast<uint64_t>(row.value(kNumTransactions).AsInt64());
+    out.meta.min_support_count = row.value(kMinSupportCount).AsInt64();
+    out.meta.spec_min_support = row.value(kSpecMinSupport).AsDouble();
+    out.meta.spec_min_support_count =
+        row.value(kSpecMinSupportCount).AsInt64();
+    out.meta.max_pattern_length =
+        static_cast<uint64_t>(row.value(kMaxPatternLength).AsInt64());
+    out.meta.watermark = row.value(kWatermark).AsInt32();
+    max_k = static_cast<size_t>(row.value(kMaxK).AsInt64());
+    out.meta.source_table = row.value(kSourceTable).AsString();
+  }
+
+  for (size_t k = 1; k <= max_k; ++k) {
+    auto table_or = catalog->GetTable(LevelTableName(k));
+    if (!table_or.ok()) {
+      return Status::Corruption("itemset store '" + prefix_ +
+                                "': missing level relation " +
+                                LevelTableName(k));
+    }
+    auto it = table_or.value()->Scan();
+    Tuple row;
+    while (true) {
+      auto more = it->Next(&row);
+      if (!more.ok()) return more.status();
+      if (!more.value()) break;
+      if (row.NumValues() != k + 1) {
+        return Status::Corruption("itemset store '" + prefix_ +
+                                  "': bad arity in " + LevelTableName(k));
+      }
+      std::vector<ItemId> items;
+      items.reserve(k);
+      for (size_t i = 0; i < k; ++i) items.push_back(row.value(i).AsInt32());
+      out.itemsets.Add(std::move(items), row.value(k).AsInt64());
+    }
+  }
+  out.itemsets.num_transactions = out.meta.num_transactions;
+  out.itemsets.Normalize();
+  return out;
+}
+
+StoredRunMeta MakeRunMeta(const FrequentItemsets& itemsets,
+                          const MiningOptions& options,
+                          TransactionId watermark,
+                          std::string source_table) {
+  StoredRunMeta meta;
+  meta.num_transactions = itemsets.num_transactions;
+  meta.min_support_count =
+      ResolveMinSupportCount(options, itemsets.num_transactions);
+  meta.spec_min_support = options.min_support;
+  meta.spec_min_support_count = options.min_support_count;
+  meta.max_pattern_length = options.max_pattern_length;
+  meta.watermark = watermark;
+  meta.source_table = std::move(source_table);
+  return meta;
+}
+
+TransactionId MaxTransactionId(const TransactionDb& transactions) {
+  TransactionId max_id = 0;
+  for (const Transaction& t : transactions) max_id = std::max(max_id, t.id);
+  return max_id;
+}
+
+}  // namespace setm

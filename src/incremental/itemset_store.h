@@ -1,0 +1,112 @@
+#ifndef SETM_INCREMENTAL_ITEMSET_STORE_H_
+#define SETM_INCREMENTAL_ITEMSET_STORE_H_
+
+#include <string>
+
+#include "core/types.h"
+#include "relational/database.h"
+
+namespace setm {
+
+/// Metadata of one persisted mining run — everything the incremental
+/// maintenance path needs to decide, without touching the old data, whether
+/// a stored support can be combined with a delta count.
+struct StoredRunMeta {
+  /// Transactions covered by the stored counts (|D_old|).
+  uint64_t num_transactions = 0;
+  /// The resolved support threshold the stored run was mined with, in
+  /// transactions. Every itemset *not* in the store is known to have had
+  /// count <= min_support_count - 1 over the covered transactions — the
+  /// inequality the DeltaMiner's borderline rule is built on.
+  int64_t min_support_count = 0;
+  /// The original MiningOptions spec (fraction and absolute forms). An
+  /// incremental update must be asked with the same spec; otherwise the
+  /// stored counts answer a different question and a full remine is forced.
+  double spec_min_support = 0.0;
+  int64_t spec_min_support_count = 0;
+  uint64_t max_pattern_length = 0;
+  /// Highest trans_id covered by the stored counts. Appended batches must
+  /// use strictly larger ids — that is what makes "old partition" and
+  /// "delta partition" disjoint by predicate alone.
+  TransactionId watermark = 0;
+  /// Name of the SALES relation the run mined ("" when not table-backed).
+  std::string source_table;
+};
+
+/// A loaded store: the frequent itemsets with their exact supports plus the
+/// run metadata.
+struct StoredResult {
+  FrequentItemsets itemsets;
+  StoredRunMeta meta;
+};
+
+/// Persists the result of a mining run as schema'd catalog relations, in
+/// the paper's spirit of keeping everything inside the DBMS: each F_k
+/// level becomes a relation `<prefix>_f<k>` (item1..itemk INT32,
+/// support INT64) — the materialized count relation C_k — and the run
+/// metadata becomes the one-row relation `<prefix>_meta`. Both live behind
+/// the Catalog, so the SQL engine can scan them like any other table
+/// (`SELECT * FROM fi_f2 WHERE support >= 100`), and either TableBacking
+/// works: kHeap puts the store on paged storage where loads and saves show
+/// up in the IoStats ledger.
+///
+///     ItemsetStore store(&db, "fi", TableBacking::kHeap);
+///     store.Save(result.itemsets, meta);
+///     auto loaded = store.Load().value();   // identical itemsets + meta
+class ItemsetStore {
+ public:
+  /// `prefix` must be a valid SQL identifier; tables are created through
+  /// `db->catalog()` with the given backing.
+  ItemsetStore(Database* db, std::string prefix,
+               TableBacking backing = TableBacking::kMemory);
+
+  /// Materializes `itemsets` + `meta`, replacing any previous run stored
+  /// under this prefix. `itemsets.num_transactions` is ignored in favour of
+  /// `meta.num_transactions` (they are the same value on every sane call).
+  Status Save(const FrequentItemsets& itemsets, const StoredRunMeta& meta);
+
+  /// Loads the stored run; NotFound when nothing was saved under the
+  /// prefix. The returned itemsets are normalized and carry exact supports:
+  /// Save() then Load() round-trips to an identical FrequentItemsets.
+  Result<StoredResult> Load() const;
+
+  /// True iff a run is stored under this prefix.
+  bool Exists() const;
+
+  /// Drops every relation of the stored run (idempotent).
+  Status Drop();
+
+  const std::string& prefix() const { return prefix_; }
+  std::string MetaTableName() const { return prefix_ + "_meta"; }
+  std::string LevelTableName(size_t k) const {
+    return prefix_ + "_f" + std::to_string(k);
+  }
+
+  /// Schema of the one-row metadata relation.
+  static Schema MetaSchema();
+
+  /// Schema of a level relation: (item1 .. itemk INT32, support INT64).
+  static Schema LevelSchema(size_t k);
+
+ private:
+  Database* db_;
+  std::string prefix_;
+  TableBacking backing_;
+};
+
+/// Builds the metadata record of a *full* mining run: resolves the support
+/// threshold the run effectively used from `options` and
+/// `itemsets.num_transactions`, and records the caller-supplied watermark
+/// (the highest transaction id the run covered).
+StoredRunMeta MakeRunMeta(const FrequentItemsets& itemsets,
+                          const MiningOptions& options,
+                          TransactionId watermark,
+                          std::string source_table = "");
+
+/// Highest transaction id in the database (0 when empty) — the watermark of
+/// a run that mined exactly these transactions.
+TransactionId MaxTransactionId(const TransactionDb& transactions);
+
+}  // namespace setm
+
+#endif  // SETM_INCREMENTAL_ITEMSET_STORE_H_

@@ -167,28 +167,34 @@ Result<size_t> BufferPool::GetVictimFrameLocked() {
     return Status::ResourceExhausted(
         "buffer pool exhausted: all frames pinned");
   }
-  // Evict the least recently unpinned frame (back of the list).
-  size_t idx = lru_.back();
-  lru_.pop_back();
-  Frame& f = frames_[idx];
-  f.in_lru = false;
-  SETM_CHECK(f.pin_count == 0);
-  if (f.dirty) {
-    Status write = backend_->WritePage(f.id, f.page);
-    if (!write.ok()) {
-      // Put the frame back where it was (LRU tail), still dirty and still
-      // mapped in the page table, so the pool keeps full capacity and a
-      // healed backend can retry the write-back later.
-      lru_.push_back(idx);
-      f.lru_pos = std::prev(lru_.end());
-      f.in_lru = true;
-      return write;
+  // Walk candidates from the LRU end. A victim whose dirty write-back fails
+  // is *skipped* — it stays resident (dirty, mapped, in LRU position) for a
+  // later retry against a healed backend — and the next least-recently-used
+  // frame is tried instead, so one poisoned page cannot wedge eviction while
+  // clean or writable victims exist.
+  Status first_error = Status::OK();
+  for (auto it = std::prev(lru_.end());; --it) {
+    const size_t idx = *it;
+    Frame& f = frames_[idx];
+    SETM_CHECK(f.pin_count == 0);
+    if (f.dirty) {
+      Status write = backend_->WritePage(f.id, f.page);
+      if (!write.ok()) {
+        if (first_error.ok()) first_error = std::move(write);
+        if (it == lru_.begin()) break;
+        continue;
+      }
+      f.dirty = false;
     }
-    f.dirty = false;
+    lru_.erase(it);
+    f.in_lru = false;
+    page_table_.erase(f.id);
+    f.id = kInvalidPageId;
+    return idx;
   }
-  page_table_.erase(f.id);
-  f.id = kInvalidPageId;
-  return idx;
+  // Every unpinned frame is dirty on a failing backend; report the first
+  // write-back error. The pool keeps full capacity either way.
+  return first_error;
 }
 
 }  // namespace setm

@@ -114,9 +114,13 @@ class BufferPool {
 
   void Unpin(size_t frame_index);
   void MarkDirty(size_t frame_index);
-  /// Finds a frame to (re)use: a free frame, else the LRU unpinned victim.
-  /// On any error the candidate frame is returned to the pool (LRU or free
-  /// list) first — a failed victim write-back must never shrink capacity.
+  /// Finds a frame to (re)use: a free frame, else the least recently used
+  /// unpinned victim whose dirty write-back (if needed) succeeds. Victims
+  /// with failing write-backs are skipped — they stay resident and dirty
+  /// for a later retry — and the next LRU candidate is tried, so a single
+  /// poisoned page cannot wedge eviction. Fails only when every unpinned
+  /// frame is dirty on a failing backend (first write error) or all frames
+  /// are pinned (ResourceExhausted); capacity never shrinks on any path.
   /// Caller must hold mutex_.
   Result<size_t> GetVictimFrameLocked();
 

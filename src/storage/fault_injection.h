@@ -33,6 +33,10 @@ class FaultInjectionBackend : public StorageBackend {
     return inner_->ReadPage(id, out);
   }
   Status WritePage(PageId id, const Page& page) override {
+    if (id == poisoned_write_) {
+      return Status::IOError("injected fault: page " + std::to_string(id) +
+                             " is write-poisoned");
+    }
     SETM_RETURN_IF_ERROR(MaybeFail("WritePage"));
     return inner_->WritePage(id, page);
   }
@@ -43,6 +47,12 @@ class FaultInjectionBackend : public StorageBackend {
 
   /// Re-arms the trigger (e.g. to let cleanup succeed after the test).
   void Heal() { fail_after_ops_ = ~0ull; }
+
+  /// Makes every write of one specific page fail (independent of the op
+  /// budget) — models a single bad sector. The buffer pool's retryable
+  /// eviction must route around such a page. Unpoison with
+  /// `PoisonWrites(kInvalidPageId)`.
+  void PoisonWrites(PageId id) { poisoned_write_ = id; }
 
  private:
   Status MaybeFail(const char* op) {
@@ -57,6 +67,7 @@ class FaultInjectionBackend : public StorageBackend {
   StorageBackend* inner_;
   uint64_t fail_after_ops_;
   uint64_t ops_ = 0;
+  PageId poisoned_write_ = kInvalidPageId;
 };
 
 }  // namespace setm

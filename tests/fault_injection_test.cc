@@ -90,6 +90,51 @@ TEST(FaultInjectionTest, VictimWriteBackFailureKeepsPoolCapacity) {
   EXPECT_EQ(extra.status().code(), StatusCode::kResourceExhausted);
 }
 
+// Retryable eviction: when the LRU victim's dirty write-back fails, the
+// pool must skip that frame (leaving it resident and dirty for a later
+// retry) and evict the next LRU candidate instead — a fetch succeeds while
+// one poisoned page sits in the pool.
+TEST(FaultInjectionTest, EvictionSkipsPoisonedVictim) {
+  constexpr size_t kFrames = 3;
+  IoStats stats;
+  MemoryBackend real(&stats);
+  // Backing pages: kFrames resident + 2 replacement targets.
+  for (size_t i = 0; i < kFrames + 2; ++i) {
+    ASSERT_TRUE(real.AllocatePage().ok());
+  }
+
+  FaultInjectionBackend flaky(&real, ~0ull);
+  BufferPool pool(&flaky, kFrames);
+  // Make page 0 the LRU victim, dirty, with a poisoned write path; the
+  // other residents are dirty too but writable.
+  for (size_t i = 0; i < kFrames; ++i) {
+    auto guard = pool.FetchPage(static_cast<PageId>(i));
+    ASSERT_TRUE(guard.ok());
+    guard.value().MarkDirty();
+  }
+  flaky.PoisonWrites(0);
+
+  // The fetch needs an eviction; the LRU victim (page 0) cannot be written
+  // back, so the pool must route around it and still succeed.
+  auto fetch = pool.FetchPage(static_cast<PageId>(kFrames));
+  ASSERT_TRUE(fetch.ok()) << fetch.status().ToString();
+  fetch.value().Release();
+
+  // The poisoned page stayed resident (a re-fetch is a cache hit: no read
+  // budget is consumed because no ReadPage reaches the backend).
+  const uint64_t ops_before = flaky.ops();
+  auto poisoned = pool.FetchPage(0);
+  ASSERT_TRUE(poisoned.ok());
+  EXPECT_EQ(flaky.ops(), ops_before);
+  poisoned.value().Release();
+
+  // Once the page heals, its write-back succeeds and it becomes evictable
+  // again (fetching two fresh pages forces it out eventually).
+  flaky.PoisonWrites(kInvalidPageId);
+  auto fetch2 = pool.FetchPage(static_cast<PageId>(kFrames + 1));
+  ASSERT_TRUE(fetch2.ok()) << fetch2.status().ToString();
+}
+
 // Regression: a failed backend read in FetchPage used to drop the victim
 // frame after it had already been detached from the LRU and page table;
 // the frame has to return to the free list on that path.

@@ -1,0 +1,509 @@
+// Incremental mining subsystem: ItemsetStore round-trips (store -> load ->
+// identical result) across both TableBackings and the edge cases, SQL
+// visibility of the materialized relations, and the DeltaMiner's exactness
+// — bit-identical itemsets vs a full remine of the combined database over
+// seeds x backings x batch sizes, on both the delta and the fallback path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/paper_example.h"
+#include "core/setm.h"
+#include "datagen/quest_generator.h"
+#include "incremental/delta_miner.h"
+#include "incremental/itemset_store.h"
+#include "sql/engine.h"
+
+namespace setm {
+namespace {
+
+TransactionDb MakeQuestDb(uint64_t seed, uint32_t num_transactions,
+                          uint32_t num_items = 20) {
+  QuestOptions gen;
+  gen.seed = seed;
+  gen.num_transactions = num_transactions;
+  gen.avg_transaction_size = 5;
+  gen.num_items = num_items;
+  gen.num_patterns = 15;
+  return QuestGenerator(gen).Generate();
+}
+
+/// A fresh batch whose transaction ids continue after `start_after`.
+TransactionDb MakeBatch(uint64_t seed, uint32_t count,
+                        TransactionId start_after, uint32_t num_items = 20) {
+  TransactionDb batch = MakeQuestDb(seed, count, num_items);
+  for (Transaction& t : batch) t.id += start_after;
+  return batch;
+}
+
+// --------------------------------------------------------------------------
+// ItemsetStore round-trips.
+// --------------------------------------------------------------------------
+
+class ItemsetStoreTest : public testing::TestWithParam<TableBacking> {};
+
+TEST_P(ItemsetStoreTest, RoundTripsAMiningRun) {
+  TransactionDb txns = MakeQuestDb(101, 200);
+  MiningOptions options;
+  options.min_support = 0.05;
+
+  Database db;
+  SetmOptions setm_options;
+  setm_options.storage = GetParam();
+  auto mined = SetmMiner(&db, setm_options).Mine(txns, options);
+  ASSERT_TRUE(mined.ok());
+  ASSERT_GT(mined.value().itemsets.TotalPatterns(), 0u);
+
+  ItemsetStore store(&db, "fi", GetParam());
+  EXPECT_FALSE(store.Exists());
+  StoredRunMeta meta = MakeRunMeta(mined.value().itemsets, options,
+                                   MaxTransactionId(txns), "sales");
+  ASSERT_TRUE(store.Save(mined.value().itemsets, meta).ok());
+  EXPECT_TRUE(store.Exists());
+
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().itemsets == mined.value().itemsets);
+  EXPECT_EQ(loaded.value().itemsets.num_transactions,
+            mined.value().itemsets.num_transactions);
+  EXPECT_EQ(loaded.value().meta.num_transactions, meta.num_transactions);
+  EXPECT_EQ(loaded.value().meta.min_support_count, meta.min_support_count);
+  EXPECT_EQ(loaded.value().meta.spec_min_support, meta.spec_min_support);
+  EXPECT_EQ(loaded.value().meta.spec_min_support_count,
+            meta.spec_min_support_count);
+  EXPECT_EQ(loaded.value().meta.max_pattern_length, meta.max_pattern_length);
+  EXPECT_EQ(loaded.value().meta.watermark, meta.watermark);
+  EXPECT_EQ(loaded.value().meta.source_table, "sales");
+}
+
+TEST_P(ItemsetStoreTest, RoundTripsEmptyResult) {
+  Database db;
+  ItemsetStore store(&db, "empty", GetParam());
+  FrequentItemsets none;
+  none.num_transactions = 7;
+  MiningOptions options;
+  ASSERT_TRUE(
+      store.Save(none, MakeRunMeta(none, options, 7)).ok());
+  EXPECT_TRUE(store.Exists());
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().itemsets.TotalPatterns(), 0u);
+  EXPECT_EQ(loaded.value().itemsets.MaxSize(), 0u);
+  EXPECT_EQ(loaded.value().meta.num_transactions, 7u);
+  // No level relations exist for an empty run.
+  EXPECT_FALSE(db.catalog()->HasTable(store.LevelTableName(1)));
+}
+
+TEST_P(ItemsetStoreTest, RoundTripsSizeOneOnlyResult) {
+  TransactionDb txns = MakeQuestDb(202, 150);
+  MiningOptions options;
+  options.min_support = 0.05;
+  options.max_pattern_length = 1;  // C_1 only
+
+  Database db;
+  auto mined = SetmMiner(&db).Mine(txns, options);
+  ASSERT_TRUE(mined.ok());
+  ASSERT_EQ(mined.value().itemsets.MaxSize(), 1u);
+
+  ItemsetStore store(&db, "single", GetParam());
+  ASSERT_TRUE(store
+                  .Save(mined.value().itemsets,
+                        MakeRunMeta(mined.value().itemsets, options,
+                                    MaxTransactionId(txns)))
+                  .ok());
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().itemsets == mined.value().itemsets);
+}
+
+TEST_P(ItemsetStoreTest, RoundTripsMaxKRun) {
+  // The paper's worked example reaches k = 3 with exact counts.
+  Database db;
+  auto mined =
+      SetmMiner(&db).Mine(PaperExampleTransactions(), PaperExampleOptions());
+  ASSERT_TRUE(mined.ok());
+  ASSERT_EQ(mined.value().itemsets.MaxSize(), 3u);
+
+  ItemsetStore store(&db, "paper", GetParam());
+  ASSERT_TRUE(store
+                  .Save(mined.value().itemsets,
+                        MakeRunMeta(mined.value().itemsets,
+                                    PaperExampleOptions(),
+                                    MaxTransactionId(PaperExampleTransactions())))
+                  .ok());
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().itemsets == mined.value().itemsets);
+  EXPECT_EQ(loaded.value().itemsets.CountOf({3, 4, 5}), 3);  // DEF
+}
+
+TEST_P(ItemsetStoreTest, SaveReplacesDeeperPreviousRun) {
+  Database db;
+  auto deep =
+      SetmMiner(&db).Mine(PaperExampleTransactions(), PaperExampleOptions());
+  ASSERT_TRUE(deep.ok());
+  ItemsetStore store(&db, "fi", GetParam());
+  MiningOptions options = PaperExampleOptions();
+  ASSERT_TRUE(store
+                  .Save(deep.value().itemsets,
+                        MakeRunMeta(deep.value().itemsets, options, 600))
+                  .ok());
+  ASSERT_TRUE(db.catalog()->HasTable(store.LevelTableName(3)));
+
+  // A shallower result must drop the deeper relations of the old run.
+  options.max_pattern_length = 1;
+  auto shallow = SetmMiner(&db).Mine(PaperExampleTransactions(), options);
+  ASSERT_TRUE(shallow.ok());
+  ASSERT_TRUE(store
+                  .Save(shallow.value().itemsets,
+                        MakeRunMeta(shallow.value().itemsets, options, 600))
+                  .ok());
+  EXPECT_TRUE(db.catalog()->HasTable(store.LevelTableName(1)));
+  EXPECT_FALSE(db.catalog()->HasTable(store.LevelTableName(2)));
+  EXPECT_FALSE(db.catalog()->HasTable(store.LevelTableName(3)));
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().itemsets == shallow.value().itemsets);
+}
+
+TEST_P(ItemsetStoreTest, LoadWithoutSaveIsNotFound) {
+  Database db;
+  ItemsetStore store(&db, "nothing", GetParam());
+  auto loaded = store.Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+  EXPECT_TRUE(store.Drop().ok());  // Drop is idempotent
+}
+
+INSTANTIATE_TEST_SUITE_P(Backings, ItemsetStoreTest,
+                         testing::Values(TableBacking::kMemory,
+                                         TableBacking::kHeap));
+
+// The materialized relations are ordinary catalog tables: the SQL engine
+// scans them like any other relation.
+TEST(ItemsetStoreSqlTest, MaterializedRelationsAreQueryable) {
+  Database db;
+  auto mined =
+      SetmMiner(&db).Mine(PaperExampleTransactions(), PaperExampleOptions());
+  ASSERT_TRUE(mined.ok());
+  ItemsetStore store(&db, "fi", TableBacking::kHeap);
+  ASSERT_TRUE(store
+                  .Save(mined.value().itemsets,
+                        MakeRunMeta(mined.value().itemsets,
+                                    PaperExampleOptions(), 600, "sales"))
+                  .ok());
+
+  sql::SqlEngine engine(&db);
+  auto f2 = engine.Execute("SELECT item1, item2, support FROM fi_f2");
+  ASSERT_TRUE(f2.ok()) << f2.status().ToString();
+  EXPECT_EQ(f2.value().rows.size(), mined.value().itemsets.OfSize(2).size());
+
+  // The paper's DEF itemset (3,4,5) has support 3 at k = 3.
+  auto def = engine.Execute(
+      "SELECT support FROM fi_f3 WHERE item1 = 3 AND item2 = 4");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  ASSERT_EQ(def.value().rows.size(), 1u);
+  EXPECT_EQ(def.value().rows[0].value(0).AsInt64(), 3);
+
+  auto meta = engine.Execute("SELECT num_transactions FROM fi_meta");
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  ASSERT_EQ(meta.value().rows.size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// DeltaMiner vs full remine: the equivalence sweep of the acceptance
+// criteria — seeds x backings x batch sizes, exact itemsets everywhere.
+// --------------------------------------------------------------------------
+
+class DeltaMinerSweepTest
+    : public testing::TestWithParam<
+          std::tuple<uint64_t, TableBacking, double>> {};
+
+TEST_P(DeltaMinerSweepTest, BitIdenticalToFullRemine) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const TableBacking backing = std::get<1>(GetParam());
+  const double batch_fraction = std::get<2>(GetParam());
+
+  const uint32_t base_size = 250;
+  TransactionDb base = MakeQuestDb(seed, base_size);
+  const uint32_t batch_size = std::max(
+      1u, static_cast<uint32_t>(batch_fraction * base_size));
+  TransactionDb batch =
+      MakeBatch(seed + 1000, batch_size, MaxTransactionId(base));
+
+  MiningOptions options;
+  options.min_support = 0.04;
+
+  SetmOptions setm_options;
+  setm_options.storage = backing;
+
+  // Incremental path: mine base, store, append + delta update.
+  Database db;
+  auto sales_or = LoadSalesTable(&db, "sales", base, backing);
+  ASSERT_TRUE(sales_or.ok());
+  auto base_mined =
+      SetmMiner(&db, setm_options).MineTable(*sales_or.value(), options);
+  ASSERT_TRUE(base_mined.ok());
+  ItemsetStore store(&db, "fi", backing);
+  ASSERT_TRUE(store
+                  .Save(base_mined.value().itemsets,
+                        MakeRunMeta(base_mined.value().itemsets, options,
+                                    MaxTransactionId(base), "sales"))
+                  .ok());
+  DeltaOptions delta_options;
+  delta_options.setm = setm_options;
+  DeltaMiner miner(&db, delta_options);
+  auto updated =
+      miner.AppendAndUpdate(&store, sales_or.value(), batch, options);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+
+  // Oracle: full remine of the combined database in a fresh engine.
+  TransactionDb combined = base;
+  combined.insert(combined.end(), batch.begin(), batch.end());
+  Database oracle_db;
+  auto oracle =
+      SetmMiner(&oracle_db, setm_options).Mine(combined, options);
+  ASSERT_TRUE(oracle.ok());
+
+  EXPECT_TRUE(updated.value().result.itemsets == oracle.value().itemsets);
+  EXPECT_EQ(updated.value().result.itemsets.num_transactions,
+            oracle.value().itemsets.num_transactions);
+
+  // Batches above the fallback fraction must have taken the remine path;
+  // small ones must not.
+  EXPECT_EQ(updated.value().full_remine,
+            batch_fraction / (1.0 + batch_fraction) >
+                delta_options.full_remine_fraction);
+
+  // The refreshed store must hold exactly the combined result, ready for
+  // the next batch.
+  auto reloaded = store.Load();
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded.value().itemsets == oracle.value().itemsets);
+  EXPECT_EQ(reloaded.value().meta.watermark, MaxTransactionId(batch));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsBackingsBatches, DeltaMinerSweepTest,
+    testing::Combine(testing::Values(uint64_t{101}, uint64_t{202}),
+                     testing::Values(TableBacking::kMemory,
+                                     TableBacking::kHeap),
+                     testing::Values(0.02, 0.10, 0.50)));
+
+// --------------------------------------------------------------------------
+// DeltaMiner specifics.
+// --------------------------------------------------------------------------
+
+TEST(DeltaMinerTest, SequentialBatchesStayExact) {
+  TransactionDb base = MakeQuestDb(303, 200);
+  MiningOptions options;
+  options.min_support = 0.04;
+
+  Database db;
+  auto sales_or = LoadSalesTable(&db, "sales", base, TableBacking::kMemory);
+  ASSERT_TRUE(sales_or.ok());
+  auto base_mined = SetmMiner(&db).MineTable(*sales_or.value(), options);
+  ASSERT_TRUE(base_mined.ok());
+  ItemsetStore store(&db, "fi");
+  ASSERT_TRUE(store
+                  .Save(base_mined.value().itemsets,
+                        MakeRunMeta(base_mined.value().itemsets, options,
+                                    MaxTransactionId(base), "sales"))
+                  .ok());
+
+  TransactionDb combined = base;
+  DeltaMiner miner(&db);
+  for (int round = 0; round < 3; ++round) {
+    TransactionDb batch = MakeBatch(9000 + round, 20,
+                                    MaxTransactionId(combined));
+    auto updated =
+        miner.AppendAndUpdate(&store, sales_or.value(), batch, options);
+    ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+    EXPECT_FALSE(updated.value().full_remine);
+
+    combined.insert(combined.end(), batch.begin(), batch.end());
+    Database oracle_db;
+    auto oracle = SetmMiner(&oracle_db).Mine(combined, options);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_TRUE(updated.value().result.itemsets == oracle.value().itemsets)
+        << "diverged at round " << round;
+  }
+}
+
+TEST(DeltaMinerTest, BorderlinePromotionIsExact) {
+  // Items 1,2 co-occur once in the base; the batch adds two more
+  // co-occurrences so {1,2} crosses an absolute threshold of 3 — frequent
+  // in the combined database yet absent from the store: the borderline
+  // re-count path must find it with its exact support.
+  TransactionDb base;
+  base.push_back({1, {1, 2}});
+  for (TransactionId tid = 2; tid <= 10; ++tid) {
+    base.push_back({tid, {1, 3}});
+  }
+  MiningOptions options;
+  options.min_support_count = 3;
+
+  Database db;
+  auto sales_or = LoadSalesTable(&db, "sales", base, TableBacking::kMemory);
+  ASSERT_TRUE(sales_or.ok());
+  auto base_mined = SetmMiner(&db).MineTable(*sales_or.value(), options);
+  ASSERT_TRUE(base_mined.ok());
+  EXPECT_EQ(base_mined.value().itemsets.CountOf({1, 2}), 0);
+  ItemsetStore store(&db, "fi");
+  ASSERT_TRUE(store
+                  .Save(base_mined.value().itemsets,
+                        MakeRunMeta(base_mined.value().itemsets, options, 10,
+                                    "sales"))
+                  .ok());
+
+  TransactionDb batch;
+  batch.push_back({11, {1, 2}});
+  batch.push_back({12, {1, 2}});
+  DeltaOptions delta_options;
+  delta_options.full_remine_fraction = 0.5;  // keep the delta path
+  DeltaMiner miner(&db, delta_options);
+  auto updated =
+      miner.AppendAndUpdate(&store, sales_or.value(), batch, options);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_FALSE(updated.value().full_remine);
+  EXPECT_GE(updated.value().borderline_candidates, 1u);
+  EXPECT_EQ(updated.value().result.itemsets.CountOf({1, 2}), 3);
+}
+
+TEST(DeltaMinerTest, ParallelDeltaMineMatchesSerial) {
+  TransactionDb base = MakeQuestDb(404, 240);
+  TransactionDb batch = MakeBatch(405, 24, MaxTransactionId(base));
+  MiningOptions options;
+  options.min_support = 0.04;
+
+  MiningResult serial_result, parallel_result;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    Database db;
+    auto sales_or = LoadSalesTable(&db, "sales", base, TableBacking::kMemory);
+    ASSERT_TRUE(sales_or.ok());
+    SetmOptions setm_options;
+    setm_options.num_threads = threads;
+    auto base_mined =
+        SetmMiner(&db, setm_options).MineTable(*sales_or.value(), options);
+    ASSERT_TRUE(base_mined.ok());
+    ItemsetStore store(&db, "fi");
+    ASSERT_TRUE(store
+                    .Save(base_mined.value().itemsets,
+                          MakeRunMeta(base_mined.value().itemsets, options,
+                                      MaxTransactionId(base), "sales"))
+                    .ok());
+    DeltaOptions delta_options;
+    delta_options.setm = setm_options;
+    DeltaMiner miner(&db, delta_options);
+    auto updated =
+        miner.AppendAndUpdate(&store, sales_or.value(), batch, options);
+    ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+    (threads == 1 ? serial_result : parallel_result) =
+        std::move(updated.value().result);
+  }
+  EXPECT_TRUE(serial_result.itemsets == parallel_result.itemsets);
+}
+
+TEST(DeltaMinerTest, RejectsWatermarkViolations) {
+  TransactionDb base = MakeQuestDb(505, 100);
+  MiningOptions options;
+  options.min_support = 0.05;
+
+  Database db;
+  auto sales_or = LoadSalesTable(&db, "sales", base, TableBacking::kMemory);
+  ASSERT_TRUE(sales_or.ok());
+  auto mined = SetmMiner(&db).MineTable(*sales_or.value(), options);
+  ASSERT_TRUE(mined.ok());
+  ItemsetStore store(&db, "fi");
+  ASSERT_TRUE(store
+                  .Save(mined.value().itemsets,
+                        MakeRunMeta(mined.value().itemsets, options,
+                                    MaxTransactionId(base), "sales"))
+                  .ok());
+  DeltaMiner miner(&db);
+
+  // A transaction id at/below the watermark is already counted.
+  TransactionDb stale;
+  stale.push_back({MaxTransactionId(base), {1, 2}});
+  auto rejected =
+      miner.AppendAndUpdate(&store, sales_or.value(), stale, options);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument());
+
+  // Duplicate ids inside the batch would double-count too.
+  TransactionDb dupes;
+  dupes.push_back({MaxTransactionId(base) + 1, {1, 2}});
+  dupes.push_back({MaxTransactionId(base) + 1, {2, 3}});
+  auto rejected2 =
+      miner.AppendAndUpdate(&store, sales_or.value(), dupes, options);
+  ASSERT_FALSE(rejected2.ok());
+  EXPECT_TRUE(rejected2.status().IsInvalidArgument());
+}
+
+TEST(DeltaMinerTest, ChangedOptionsForceFullRemine) {
+  TransactionDb base = MakeQuestDb(606, 150);
+  MiningOptions options;
+  options.min_support = 0.05;
+
+  Database db;
+  auto sales_or = LoadSalesTable(&db, "sales", base, TableBacking::kMemory);
+  ASSERT_TRUE(sales_or.ok());
+  auto mined = SetmMiner(&db).MineTable(*sales_or.value(), options);
+  ASSERT_TRUE(mined.ok());
+  ItemsetStore store(&db, "fi");
+  ASSERT_TRUE(store
+                  .Save(mined.value().itemsets,
+                        MakeRunMeta(mined.value().itemsets, options,
+                                    MaxTransactionId(base), "sales"))
+                  .ok());
+
+  // Asking a different question (lower threshold) cannot reuse the stored
+  // counts; the update must remine and still be exact.
+  MiningOptions changed = options;
+  changed.min_support = 0.02;
+  TransactionDb batch = MakeBatch(607, 10, MaxTransactionId(base));
+  DeltaMiner miner(&db);
+  auto updated =
+      miner.AppendAndUpdate(&store, sales_or.value(), batch, changed);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_TRUE(updated.value().full_remine);
+
+  TransactionDb combined = base;
+  combined.insert(combined.end(), batch.begin(), batch.end());
+  Database oracle_db;
+  auto oracle = SetmMiner(&oracle_db).Mine(combined, changed);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(updated.value().result.itemsets == oracle.value().itemsets);
+}
+
+TEST(DeltaMinerTest, EmptyBatchIsANoOpUpdate) {
+  TransactionDb base = MakeQuestDb(707, 120);
+  MiningOptions options;
+  options.min_support = 0.05;
+
+  Database db;
+  auto sales_or = LoadSalesTable(&db, "sales", base, TableBacking::kMemory);
+  ASSERT_TRUE(sales_or.ok());
+  auto mined = SetmMiner(&db).MineTable(*sales_or.value(), options);
+  ASSERT_TRUE(mined.ok());
+  ItemsetStore store(&db, "fi");
+  ASSERT_TRUE(store
+                  .Save(mined.value().itemsets,
+                        MakeRunMeta(mined.value().itemsets, options,
+                                    MaxTransactionId(base), "sales"))
+                  .ok());
+  DeltaMiner miner(&db);
+  auto updated =
+      miner.AppendAndUpdate(&store, sales_or.value(), TransactionDb{}, options);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_FALSE(updated.value().full_remine);
+  EXPECT_EQ(updated.value().delta_transactions, 0u);
+  EXPECT_TRUE(updated.value().result.itemsets == mined.value().itemsets);
+}
+
+}  // namespace
+}  // namespace setm

@@ -4,15 +4,27 @@
 //             [--algorithm setm|setm-sql|nested-loop|apriori|ais]
 //             [--storage memory|heap] [--threads N] [--rules single|subsets]
 //             [--max-k N] [--stats] [--format text|csv]
+//             [--store PREFIX] [--append FILE.csv] [--incremental]
+//             [--fallback PCT]
 //
 // Reads a (trans_id,item) CSV, mines frequent itemsets with the chosen
 // algorithm, and prints rules. With --format csv the rules come out as
 // machine-readable rows; --stats adds per-iteration and I/O accounting.
+//
+// Incremental modes (SETM only): --store PREFIX materializes the mined
+// itemsets as catalog relations (PREFIX_meta, PREFIX_f1, PREFIX_f2, ...);
+// --append FILE.csv feeds a second batch of transactions (ids above the
+// first file's) and re-derives the combined result — incrementally through
+// the DeltaMiner with --incremental (falling back to a full remine when the
+// batch exceeds --fallback PCT percent of the combined database), or by a
+// plain full remine without it. Rules are printed for the final result.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <unordered_set>
 
 #include "baselines/ais.h"
 #include "baselines/apriori.h"
@@ -21,6 +33,8 @@
 #include "core/setm.h"
 #include "core/setm_sql.h"
 #include "datagen/transaction_io.h"
+#include "incremental/delta_miner.h"
+#include "incremental/itemset_store.h"
 
 namespace {
 
@@ -34,9 +48,13 @@ struct Args {
   std::string storage = "memory";
   std::string rules = "single";
   std::string format = "text";
+  std::string store_prefix;
+  std::string append;
+  double fallback_pct = 25.0;
   size_t max_k = 0;
   size_t threads = 1;
   bool stats = false;
+  bool incremental = false;
 };
 
 void Usage(const char* argv0) {
@@ -46,7 +64,9 @@ void Usage(const char* argv0) {
       "          [--algorithm setm|setm-sql|nested-loop|apriori|ais]\n"
       "          [--storage memory|heap] [--threads N]\n"
       "          [--rules single|subsets]\n"
-      "          [--max-k N] [--stats] [--format text|csv]\n",
+      "          [--max-k N] [--stats] [--format text|csv]\n"
+      "          [--store PREFIX] [--append FILE.csv] [--incremental]\n"
+      "          [--fallback PCT]\n",
       argv0);
 }
 
@@ -96,6 +116,20 @@ bool ParseArgs(int argc, char** argv, Args* out) {
         return false;
       }
       out->threads = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      const char* v = need_value("--store");
+      if (v == nullptr) return false;
+      out->store_prefix = v;
+    } else if (std::strcmp(argv[i], "--append") == 0) {
+      const char* v = need_value("--append");
+      if (v == nullptr) return false;
+      out->append = v;
+    } else if (std::strcmp(argv[i], "--incremental") == 0) {
+      out->incremental = true;
+    } else if (std::strcmp(argv[i], "--fallback") == 0) {
+      const char* v = need_value("--fallback");
+      if (v == nullptr) return false;
+      out->fallback_pct = std::atof(v);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       out->stats = true;
     } else if (std::strcmp(argv[i], "--format") == 0) {
@@ -109,6 +143,15 @@ bool ParseArgs(int argc, char** argv, Args* out) {
   }
   if (out->input.empty()) {
     std::fprintf(stderr, "--input is required\n");
+    return false;
+  }
+  if ((!out->store_prefix.empty() || !out->append.empty()) &&
+      out->algorithm != "setm") {
+    std::fprintf(stderr, "--store/--append require --algorithm setm\n");
+    return false;
+  }
+  if (out->incremental && out->append.empty()) {
+    std::fprintf(stderr, "--incremental requires --append\n");
     return false;
   }
   return true;
@@ -139,6 +182,98 @@ Result<MiningResult> RunAlgorithm(const Args& args, Database* db,
   if (args.algorithm == "apriori") return AprioriMiner().Mine(txns, options);
   if (args.algorithm == "ais") return AisMiner().Mine(txns, options);
   return Status::InvalidArgument("unknown algorithm '" + args.algorithm + "'");
+}
+
+/// The --store/--append path (SETM only): mine the base file through a
+/// catalog-resident SALES relation, materialize the result as itemset
+/// relations, then (with --append) bring store and result up to date with
+/// the second batch — incrementally via the DeltaMiner or by full remine.
+Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
+                                    const TransactionDb& txns,
+                                    const MiningOptions& options) {
+  const TableBacking backing = args.storage == "heap" ? TableBacking::kHeap
+                                                      : TableBacking::kMemory;
+  SetmOptions setm_options;
+  setm_options.storage = backing;
+  setm_options.num_threads = args.threads;
+
+  auto sales_or = LoadSalesTable(db, "sales", txns, backing);
+  if (!sales_or.ok()) return sales_or.status();
+  Table* sales = sales_or.value();
+
+  SetmMiner miner(db, setm_options);
+  auto base_or = miner.MineTable(*sales, options);
+  if (!base_or.ok()) return base_or.status();
+  MiningResult base = std::move(base_or).value();
+
+  const std::string prefix =
+      args.store_prefix.empty() ? "fi" : args.store_prefix;
+  ItemsetStore store(db, prefix, backing);
+  SETM_RETURN_IF_ERROR(store.Save(
+      base.itemsets,
+      MakeRunMeta(base.itemsets, options, MaxTransactionId(txns), "sales")));
+  if (base.itemsets.MaxSize() == 0) {
+    std::fprintf(stderr, "stored empty result as relation %s\n",
+                 store.MetaTableName().c_str());
+  } else {
+    std::fprintf(stderr,
+                 "stored %zu patterns as relations %s, %s .. %s\n",
+                 base.itemsets.TotalPatterns(), store.MetaTableName().c_str(),
+                 store.LevelTableName(1).c_str(),
+                 store.LevelTableName(base.itemsets.MaxSize()).c_str());
+  }
+
+  if (args.append.empty()) return base;
+
+  auto delta_or = LoadTransactionsCsv(args.append);
+  if (!delta_or.ok()) return delta_or.status();
+  const TransactionDb& delta = delta_or.value();
+
+  if (args.incremental) {
+    DeltaOptions delta_options;
+    delta_options.setm = setm_options;
+    delta_options.full_remine_fraction = args.fallback_pct / 100.0;
+    DeltaMiner delta_miner(db, delta_options);
+    auto out_or = delta_miner.AppendAndUpdate(&store, sales, delta, options);
+    if (!out_or.ok()) return out_or.status();
+    DeltaMineResult out = std::move(out_or).value();
+    std::fprintf(
+        stderr, "incremental update: %s, %llu delta transactions, "
+                "%llu borderline re-counts\n",
+        out.full_remine ? "full-remine fallback" : "delta path",
+        static_cast<unsigned long long>(out.delta_transactions),
+        static_cast<unsigned long long>(out.borderline_candidates));
+    return out.result;
+  }
+
+  // Plain full remine of the combined relation (the comparison baseline).
+  // Same watermark discipline as the incremental path: a reused or
+  // duplicate id would silently merge two transactions in the remine.
+  {
+    const TransactionId watermark = MaxTransactionId(txns);
+    std::unordered_set<TransactionId> seen;
+    for (const Transaction& t : delta) {
+      if (t.id <= watermark || !seen.insert(t.id).second) {
+        return Status::InvalidArgument(
+            "append batch reuses transaction id " + std::to_string(t.id) +
+            " (ids must be unique and above the base file's)");
+      }
+    }
+  }
+  for (const Transaction& t : delta) {
+    for (ItemId item : t.items) {
+      SETM_RETURN_IF_ERROR(
+          sales->Insert(Tuple({Value::Int32(t.id), Value::Int32(item)})));
+    }
+  }
+  auto remined = miner.MineTable(*sales, options);
+  if (!remined.ok()) return remined.status();
+  const TransactionId watermark =
+      std::max(MaxTransactionId(txns), MaxTransactionId(delta));
+  SETM_RETURN_IF_ERROR(store.Save(
+      remined.value().itemsets,
+      MakeRunMeta(remined.value().itemsets, options, watermark, "sales")));
+  return remined;
 }
 
 std::string JoinItems(const std::vector<ItemId>& items, char sep) {
@@ -172,7 +307,9 @@ int main(int argc, char** argv) {
   options.max_pattern_length = args.max_k;
 
   Database db;
-  auto result = RunAlgorithm(args, &db, txns.value(), options);
+  const bool store_mode = !args.store_prefix.empty() || !args.append.empty();
+  auto result = store_mode ? RunStoreAppend(args, &db, txns.value(), options)
+                           : RunAlgorithm(args, &db, txns.value(), options);
   if (!result.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());
@@ -192,9 +329,10 @@ int main(int argc, char** argv) {
                   r.support, r.lift);
     }
   } else {
-    std::printf("%zu transactions, %zu frequent patterns, %zu rules "
+    std::printf("%llu transactions, %zu frequent patterns, %zu rules "
                 "(%s, minsup %.2f%%, minconf %.0f%%)\n",
-                txns.value().size(),
+                static_cast<unsigned long long>(
+                    result.value().itemsets.num_transactions),
                 result.value().itemsets.TotalPatterns(), rules.size(),
                 args.algorithm.c_str(), args.minsup_pct, args.minconf_pct);
     for (const AssociationRule& r : rules) {
