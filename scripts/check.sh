@@ -23,3 +23,11 @@ bench_bin="build/$preset/bench/incremental_updates"
 if [[ -x "$bench_bin" ]]; then
   "$bench_bin" --smoke
 fi
+
+# Persistence smoke: store a mined run into a database file in one
+# setm_mine invocation, append incrementally from a second invocation, and
+# assert bit-identical rules with fewer page reads than a full remine.
+mine_bin="build/$preset/tools/setm_mine"
+if [[ -x "$mine_bin" ]]; then
+  scripts/smoke_db_persist.sh "$mine_bin"
+fi

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Two-invocation persistence smoke for `setm_mine --db`:
+#
+#   process A  stores a mined run into a fresh database file;
+#   process B  reopens the file and appends a delta batch incrementally;
+#   reference  a single-process full remine of the combined CSV.
+#
+# Asserts, per the durable-catalog acceptance criteria:
+#   1. process B takes the incremental (delta) path, not the fallback;
+#   2. B's rules are bit-identical to the reference full remine;
+#   3. B's whole-process page reads (IoStats `db io:` line) are fewer than
+#      a full remine's at the same --pool-frames;
+#   4. corrupt files (truncated superblock) are rejected, not reinitialized.
+#
+#   usage: scripts/smoke_db_persist.sh path/to/setm_mine [workdir]
+set -euo pipefail
+
+SETM_MINE="${1:?usage: smoke_db_persist.sh path/to/setm_mine [workdir]}"
+WORK="${2:-$(mktemp -d)}"
+mkdir -p "$WORK"
+
+MINSUP=20
+POOL=32  # small pool so page reads are observable, not absorbed by caching
+
+# Deterministic correlated data: a frequent {1,2}(+3,+4) core plus
+# id-dependent filler, 3000 base transactions and a 1% delta batch.
+awk 'BEGIN{for(t=1;t<=3000;t++){print t","1; print t","2;
+  if(t%2==0)print t","3; if(t%3==0)print t","4;
+  print t","(5+t%7); print t","(12+t%11)}}' > "$WORK/base.csv"
+awk 'BEGIN{for(t=3001;t<=3030;t++){print t","1; print t","2;
+  if(t%2==0)print t","3; print t","(5+t%7)}}' > "$WORK/delta.csv"
+cat "$WORK/base.csv" "$WORK/delta.csv" > "$WORK/combined.csv"
+
+echo "== process A: mine + store into a fresh database file"
+"$SETM_MINE" --db "$WORK/sales.db" --input "$WORK/base.csv" --store fi \
+  --minsup "$MINSUP" --pool-frames "$POOL" --format csv \
+  > /dev/null 2> "$WORK/a.err"
+
+echo "== process B: reopen, append incrementally"
+"$SETM_MINE" --db "$WORK/sales.db" --append "$WORK/delta.csv" --incremental \
+  --store fi --minsup "$MINSUP" --pool-frames "$POOL" --format csv --stats \
+  > "$WORK/b_rules.csv" 2> "$WORK/b.err"
+
+grep -q "delta path" "$WORK/b.err" || {
+  echo "FAIL: process B fell back to a full remine"; cat "$WORK/b.err"; exit 1;
+}
+
+echo "== reference: single-process full remine of the combined CSV"
+"$SETM_MINE" --input "$WORK/combined.csv" --minsup "$MINSUP" --format csv \
+  > "$WORK/ref_rules.csv" 2> /dev/null
+
+if ! diff <(sort "$WORK/b_rules.csv") <(sort "$WORK/ref_rules.csv"); then
+  echo "FAIL: cross-invocation incremental rules differ from full remine"
+  exit 1
+fi
+echo "rules identical ($(($(wc -l < "$WORK/b_rules.csv") - 1)) rules)"
+
+echo "== page reads: incremental reopen vs full remine (same pool size)"
+"$SETM_MINE" --input "$WORK/combined.csv" --minsup "$MINSUP" --storage heap \
+  --pool-frames "$POOL" --stats --format csv \
+  > /dev/null 2> "$WORK/full.err"
+
+reads_of() { sed -n 's/^db io: reads=\([0-9]*\).*/\1/p' "$1"; }
+B_READS="$(reads_of "$WORK/b.err")"
+FULL_READS="$(reads_of "$WORK/full.err")"
+echo "incremental (process B): $B_READS page reads; full remine: $FULL_READS"
+if [[ -z "$B_READS" || -z "$FULL_READS" || "$B_READS" -ge "$FULL_READS" ]]; then
+  echo "FAIL: incremental path did not read fewer pages"
+  exit 1
+fi
+
+echo "== recovery: SALES without the requested store remines from the file"
+"$SETM_MINE" --db "$WORK/sales.db" --store fi2 --minsup "$MINSUP" \
+  --pool-frames "$POOL" --format csv > "$WORK/recover_rules.csv" \
+  2> "$WORK/recover.err"
+grep -q "no stored run under 'fi2'" "$WORK/recover.err" || {
+  echo "FAIL: recovery path not taken:"; cat "$WORK/recover.err"; exit 1;
+}
+if ! diff <(sort "$WORK/recover_rules.csv") <(sort "$WORK/ref_rules.csv"); then
+  echo "FAIL: remine-from-file rules differ from reference"
+  exit 1
+fi
+
+echo "== corrupt files are rejected, never reinitialized"
+printf 'definitely not a database' > "$WORK/corrupt.db"
+if "$SETM_MINE" --db "$WORK/corrupt.db" --append "$WORK/delta.csv" \
+     --store fi 2> "$WORK/corrupt.err"; then
+  echo "FAIL: opening a corrupt file succeeded"; exit 1
+fi
+grep -q "too small for a superblock" "$WORK/corrupt.err" || {
+  echo "FAIL: corrupt-file error not descriptive:"; cat "$WORK/corrupt.err";
+  exit 1;
+}
+[[ "$(cat "$WORK/corrupt.db")" == "definitely not a database" ]] || {
+  echo "FAIL: rejected file was modified"; exit 1;
+}
+
+echo "persistence smoke OK"

@@ -1,6 +1,8 @@
 #include "exec/external_sort.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <queue>
 
 #include "common/logging.h"
@@ -141,6 +143,32 @@ class OwningMergeIterator : public TupleIterator {
   std::unique_ptr<MergeIterator> merge_;
 };
 
+/// Merges one group of runs into a single fresh run in temp storage — the
+/// body of one cascaded-merge step. Self-contained (pool, schema and
+/// comparator are read-only here) so independent groups of a pass can run
+/// concurrently on the worker pool.
+Result<TableHeap> MergeRunGroup(BufferPool* temp_pool, const Schema& schema,
+                                const TupleComparator& cmp,
+                                std::vector<TableHeap> group) {
+  OwningMergeIterator merge(std::move(group), schema, cmp);
+  SETM_RETURN_IF_ERROR(merge.Prime());
+  auto out_or = TableHeap::Create(temp_pool);
+  if (!out_or.ok()) return out_or.status();
+  TableHeap out = std::move(out_or).value();
+  Tuple row;
+  std::string record;
+  while (true) {
+    auto more = merge.Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    record.clear();
+    row.SerializeTo(schema, &record);
+    auto rid = out.Insert(record);
+    if (!rid.ok()) return rid.status();
+  }
+  return out;
+}
+
 }  // namespace
 
 ExternalSort::ExternalSort(ExecContext ctx, Schema schema, TupleComparator cmp)
@@ -240,42 +268,65 @@ Result<std::unique_ptr<TupleIterator>> ExternalSort::Finish() {
   SETM_RETURN_IF_ERROR(SpillRun());
   SETM_RETURN_IF_ERROR(CollectPendingRuns());
 
-  // Cascade merge passes while the run count exceeds the fan-in.
+  // Cascade merge passes while the run count exceeds the fan-in. The
+  // groups of one pass read disjoint runs and write independent outputs,
+  // so with a worker pool they merge concurrently; slots keep group order,
+  // preserving the run-index stability tie-break across passes. Each
+  // in-flight group transiently pins up to two temp-pool frames (a reader
+  // page, or the two sides of an output page split), so concurrency is
+  // capped in waves to keep worst-case pins inside the pool's capacity —
+  // otherwise many workers over a tiny pool could hit ResourceExhausted
+  // where the serial cascade succeeded.
   const size_t fan_in = EffectiveFanIn(ctx_);
+  const size_t pool_frames =
+      ctx_.temp_pool != nullptr ? ctx_.temp_pool->capacity() : fan_in;
+  const size_t max_concurrent_groups =
+      ctx_.workers == nullptr ? 1
+                              : std::max<size_t>(1, pool_frames / 2 - 1);
   while (runs_.size() > fan_in) {
     ++stats_.merge_passes;
-    std::vector<TableHeap> next;
+    const size_t num_groups = (runs_.size() + fan_in - 1) / fan_in;
+    std::vector<std::optional<TableHeap>> next(num_groups);
+    TaskGroup merge_tasks(ctx_.workers);
+    size_t in_flight = 0;
     size_t i = 0;
-    while (i < runs_.size()) {
+    for (size_t slot = 0; slot < num_groups; ++slot) {
       const size_t take = std::min(fan_in, runs_.size() - i);
       if (take == 1) {
-        next.push_back(std::move(runs_[i]));
+        next[slot] = std::move(runs_[i]);
         ++i;
         continue;
       }
-      std::vector<TableHeap> group;
-      group.reserve(take);
-      for (size_t j = 0; j < take; ++j) group.push_back(std::move(runs_[i + j]));
-      i += take;
-      OwningMergeIterator merge(std::move(group), schema_, cmp_);
-      SETM_RETURN_IF_ERROR(merge.Prime());
-      auto out_or = TableHeap::Create(ctx_.temp_pool);
-      if (!out_or.ok()) return out_or.status();
-      TableHeap out = std::move(out_or).value();
-      Tuple row;
-      std::string record;
-      while (true) {
-        auto more = merge.Next(&row);
-        if (!more.ok()) return more.status();
-        if (!more.value()) break;
-        record.clear();
-        row.SerializeTo(schema_, &record);
-        auto rid = out.Insert(record);
-        if (!rid.ok()) return rid.status();
+      auto group = std::make_shared<std::vector<TableHeap>>();
+      group->reserve(take);
+      for (size_t j = 0; j < take; ++j) {
+        group->push_back(std::move(runs_[i + j]));
       }
-      next.push_back(std::move(out));
+      i += take;
+      std::optional<TableHeap>* out = &next[slot];
+      if (in_flight == max_concurrent_groups) {
+        SETM_RETURN_IF_ERROR(merge_tasks.Wait());
+        in_flight = 0;
+      }
+      ++in_flight;
+      merge_tasks.Submit([this, group, out] {
+        auto merged =
+            MergeRunGroup(ctx_.temp_pool, schema_, cmp_, std::move(*group));
+        if (!merged.ok()) return merged.status();
+        *out = std::move(merged).value();
+        return Status::OK();
+      });
     }
-    runs_ = std::move(next);
+    SETM_RETURN_IF_ERROR(merge_tasks.Wait());
+    std::vector<TableHeap> collected;
+    collected.reserve(num_groups);
+    for (std::optional<TableHeap>& run : next) {
+      if (!run.has_value()) {
+        return Status::Internal("merge task finished without producing a run");
+      }
+      collected.push_back(std::move(*run));
+    }
+    runs_ = std::move(collected);
   }
 
   auto merge = std::make_unique<OwningMergeIterator>(std::move(runs_), schema_,

@@ -34,6 +34,10 @@ struct SortStats {
 /// each full buffer is handed to the pool, sorted and spilled off-thread
 /// while Add() keeps filling the next buffer. Run order — and therefore
 /// stability — is preserved by assigning each run its slot at submission.
+/// Cascaded merge passes parallelize the same way: the independent merge
+/// groups of one pass (disjoint input runs, independent output runs) are
+/// dispatched to the pool and joined at the pass boundary, with outputs
+/// slotted in group order so the stability tie-break is unaffected.
 ///
 /// API misuse is reported through Status in every build mode: Add() after
 /// Finish() and a second Finish() fail with an Internal error instead of

@@ -52,6 +52,8 @@ bool ItemsetStore::Exists() const {
 
 Status ItemsetStore::Drop() {
   Catalog* catalog = db_->catalog();
+  // One deferred checkpoint for the whole multi-table drop.
+  ScopedCheckpointDeferral deferral(catalog);
   if (catalog->HasTable(MetaTableName())) {
     SETM_RETURN_IF_ERROR(catalog->DropTable(MetaTableName()));
   }
@@ -59,13 +61,20 @@ Status ItemsetStore::Drop() {
   for (size_t k = 1; catalog->HasTable(LevelTableName(k)); ++k) {
     SETM_RETURN_IF_ERROR(catalog->DropTable(LevelTableName(k)));
   }
-  return Status::OK();
+  return deferral.Commit();
 }
 
 Status ItemsetStore::Save(const FrequentItemsets& itemsets,
                           const StoredRunMeta& meta) {
-  SETM_RETURN_IF_ERROR(Drop());
   Catalog* catalog = db_->catalog();
+  // Defer DDL checkpoints across the whole save: the K+1 table operations
+  // below become one checkpoint, taken only after the metadata row — whose
+  // presence is what marks the store as valid — has been inserted. No
+  // intermediate state (old store dropped, meta table still row-less) can
+  // become the durable image, preserving the half-written-save-stays-
+  // invisible contract across restarts too.
+  ScopedCheckpointDeferral deferral(catalog);
+  SETM_RETURN_IF_ERROR(Drop());
 
   const size_t max_k = itemsets.MaxSize();
   for (size_t k = 1; k <= max_k; ++k) {
@@ -86,7 +95,7 @@ Status ItemsetStore::Save(const FrequentItemsets& itemsets,
   // and Load() key off, so a failed half-written save stays invisible.
   auto meta_or = catalog->CreateTable(MetaTableName(), MetaSchema(), backing_);
   if (!meta_or.ok()) return meta_or.status();
-  return meta_or.value()->Insert(Tuple({
+  SETM_RETURN_IF_ERROR(meta_or.value()->Insert(Tuple({
       Value::Int64(static_cast<int64_t>(meta.num_transactions)),
       Value::Int64(meta.min_support_count),
       Value::Double(meta.spec_min_support),
@@ -95,7 +104,8 @@ Status ItemsetStore::Save(const FrequentItemsets& itemsets,
       Value::Int32(meta.watermark),
       Value::Int64(static_cast<int64_t>(max_k)),
       Value::String(meta.source_table),
-  }));
+  })));
+  return deferral.Commit();
 }
 
 Result<StoredResult> ItemsetStore::Load() const {

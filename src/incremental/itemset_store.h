@@ -50,6 +50,12 @@ struct StoredResult {
 /// works: kHeap puts the store on paged storage where loads and saves show
 /// up in the IoStats ledger.
 ///
+/// In a file-backed database with kHeap backing the store is durable: the
+/// catalog manifest (src/persist/) records the relations at every DDL, so
+/// Save() in one process and Load() — or DeltaMiner::AppendAndUpdate — in
+/// a later one operate on the same run (persist_test and
+/// scripts/smoke_db_persist.sh exercise the cross-process round trip).
+///
 ///     ItemsetStore store(&db, "fi", TableBacking::kHeap);
 ///     store.Save(result.itemsets, meta);
 ///     auto loaded = store.Load().value();   // identical itemsets + meta

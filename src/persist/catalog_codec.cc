@@ -1,0 +1,197 @@
+#include "persist/catalog_codec.h"
+
+#include "common/logging.h"
+
+namespace setm {
+
+namespace {
+
+/// Bumped when the snapshot layout changes; decode rejects unknown versions
+/// so an old engine never misparses a newer manifest.
+constexpr uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RecordWriter
+// ---------------------------------------------------------------------------
+
+void RecordWriter::PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+void RecordWriter::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void RecordWriter::PutU32(uint32_t v) {
+  PutU16(static_cast<uint16_t>(v));
+  PutU16(static_cast<uint16_t>(v >> 16));
+}
+
+void RecordWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void RecordWriter::PutString(std::string_view s) {
+  SETM_CHECK(s.size() <= 0xFFFF);
+  PutU16(static_cast<uint16_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+// ---------------------------------------------------------------------------
+// RecordReader
+// ---------------------------------------------------------------------------
+
+Status RecordReader::Need(size_t n) {
+  if (data_.size() - pos_ < n) {
+    return Status::Corruption(
+        "metadata record truncated: need " + std::to_string(n) +
+        " more bytes at offset " + std::to_string(pos_) + " of " +
+        std::to_string(data_.size()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> RecordReader::GetU8() {
+  SETM_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint16_t> RecordReader::GetU16() {
+  SETM_RETURN_IF_ERROR(Need(2));
+  uint16_t v = static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_])) |
+               static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + 1]))
+                   << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> RecordReader::GetU32() {
+  auto lo = GetU16();
+  if (!lo.ok()) return lo.status();
+  auto hi = GetU16();
+  if (!hi.ok()) return hi.status();
+  return static_cast<uint32_t>(lo.value()) |
+         (static_cast<uint32_t>(hi.value()) << 16);
+}
+
+Result<uint64_t> RecordReader::GetU64() {
+  auto lo = GetU32();
+  if (!lo.ok()) return lo.status();
+  auto hi = GetU32();
+  if (!hi.ok()) return hi.status();
+  return static_cast<uint64_t>(lo.value()) |
+         (static_cast<uint64_t>(hi.value()) << 32);
+}
+
+Result<std::string> RecordReader::GetString() {
+  auto len = GetU16();
+  if (!len.ok()) return len.status();
+  SETM_RETURN_IF_ERROR(Need(len.value()));
+  std::string out(data_.substr(pos_, len.value()));
+  pos_ += len.value();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog snapshot
+// ---------------------------------------------------------------------------
+
+std::string EncodeCatalogSnapshot(const CatalogSnapshot& snapshot) {
+  RecordWriter w;
+  w.PutU32(kSnapshotVersion);
+  w.PutU32(static_cast<uint32_t>(snapshot.tables.size()));
+  for (const PersistedTableMeta& t : snapshot.tables) {
+    w.PutString(t.name);
+    w.PutU8(static_cast<uint8_t>(t.backing));
+    w.PutU16(static_cast<uint16_t>(t.schema.NumColumns()));
+    for (const Column& c : t.schema.columns()) {
+      w.PutString(c.name);
+      w.PutU8(static_cast<uint8_t>(c.type));
+    }
+    w.PutU32(t.first_page);
+    w.PutU32(t.last_page);
+    w.PutU64(t.num_pages);
+    w.PutU64(t.row_count);
+    w.PutU64(t.size_bytes);
+  }
+  return w.bytes();
+}
+
+Result<CatalogSnapshot> DecodeCatalogSnapshot(std::string_view payload) {
+  RecordReader r(payload);
+  auto version = r.GetU32();
+  if (!version.ok()) return version.status();
+  if (version.value() != kSnapshotVersion) {
+    return Status::Corruption("catalog snapshot version " +
+                              std::to_string(version.value()) +
+                              " not understood (expected " +
+                              std::to_string(kSnapshotVersion) + ")");
+  }
+  auto count = r.GetU32();
+  if (!count.ok()) return count.status();
+
+  CatalogSnapshot out;
+  // No reserve(count): the count is untrusted file input, and a crafted
+  // value would turn into a huge allocation (abort) before the per-table
+  // reads below could fail cleanly. Each loop iteration consumes bytes, so
+  // a lying count hits the Corruption path after at most |payload| rounds.
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    PersistedTableMeta t;
+    auto name = r.GetString();
+    if (!name.ok()) return name.status();
+    t.name = std::move(name).value();
+
+    auto backing = r.GetU8();
+    if (!backing.ok()) return backing.status();
+    if (backing.value() > static_cast<uint8_t>(TableBacking::kHeap)) {
+      return Status::Corruption("table '" + t.name +
+                                "': unknown backing tag " +
+                                std::to_string(backing.value()));
+    }
+    t.backing = static_cast<TableBacking>(backing.value());
+
+    auto ncols = r.GetU16();
+    if (!ncols.ok()) return ncols.status();
+    for (uint16_t c = 0; c < ncols.value(); ++c) {
+      auto col_name = r.GetString();
+      if (!col_name.ok()) return col_name.status();
+      auto type = r.GetU8();
+      if (!type.ok()) return type.status();
+      if (type.value() > static_cast<uint8_t>(ValueType::kString)) {
+        return Status::Corruption("table '" + t.name + "' column '" +
+                                  col_name.value() +
+                                  "': unknown type tag " +
+                                  std::to_string(type.value()));
+      }
+      t.schema.AddColumn(Column{std::move(col_name).value(),
+                                static_cast<ValueType>(type.value())});
+    }
+
+    auto first = r.GetU32();
+    if (!first.ok()) return first.status();
+    t.first_page = first.value();
+    auto last = r.GetU32();
+    if (!last.ok()) return last.status();
+    t.last_page = last.value();
+    auto pages = r.GetU64();
+    if (!pages.ok()) return pages.status();
+    t.num_pages = pages.value();
+    auto rows = r.GetU64();
+    if (!rows.ok()) return rows.status();
+    t.row_count = rows.value();
+    auto bytes = r.GetU64();
+    if (!bytes.ok()) return bytes.status();
+    t.size_bytes = bytes.value();
+    out.tables.push_back(std::move(t));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("catalog snapshot carries " +
+                              std::to_string(r.remaining()) +
+                              " bytes of trailing garbage");
+  }
+  return out;
+}
+
+}  // namespace setm

@@ -1,0 +1,94 @@
+#ifndef SETM_PERSIST_CATALOG_CODEC_H_
+#define SETM_PERSIST_CATALOG_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/catalog.h"
+#include "relational/schema.h"
+#include "storage/page.h"
+
+namespace setm {
+
+/// Little-endian append-only byte writer — the record format every persisted
+/// metadata structure (superblock, catalog manifest) is built from. Fixed
+/// widths are written byte-by-byte so the on-disk format does not depend on
+/// host endianness or struct padding.
+class RecordWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// u16 length prefix + raw bytes; fails a CHECK above 64 KiB (identifiers
+  /// and column names are tiny — a longer string is a caller bug).
+  void PutString(std::string_view s);
+
+  const std::string& bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over bytes produced by RecordWriter. Every getter
+/// fails with a Corruption status instead of reading past the end, so a
+/// truncated or garbage metadata page surfaces as a descriptive error, never
+/// as undefined behaviour.
+class RecordReader {
+ public:
+  explicit RecordReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Everything the catalog must remember about one table to reopen it:
+/// identity (name, backing, schema) plus, for heap tables, the page chain
+/// root and the counters that cannot be cheaply recomputed. Memory tables
+/// are recorded for their name and schema only — their rows live in RAM and
+/// do not survive a restart (row_count/size_bytes are kept as a historical
+/// note of what the table held at checkpoint time).
+struct PersistedTableMeta {
+  std::string name;
+  TableBacking backing = TableBacking::kMemory;
+  Schema schema;
+  PageId first_page = kInvalidPageId;  ///< heap tables only
+  PageId last_page = kInvalidPageId;   ///< heap tables only
+  uint64_t num_pages = 0;              ///< heap chain length
+  uint64_t row_count = 0;
+  uint64_t size_bytes = 0;
+};
+
+/// The catalog state serialized into the manifest: one entry per table, in
+/// creation order (reopen preserves TableNames() ordering).
+struct CatalogSnapshot {
+  std::vector<PersistedTableMeta> tables;
+};
+
+/// Serializes a snapshot into the manifest payload format.
+std::string EncodeCatalogSnapshot(const CatalogSnapshot& snapshot);
+
+/// Parses a manifest payload; Corruption with a description of the first
+/// malformed field on any truncation, bad enum value or trailing garbage.
+Result<CatalogSnapshot> DecodeCatalogSnapshot(std::string_view payload);
+
+}  // namespace setm
+
+#endif  // SETM_PERSIST_CATALOG_CODEC_H_

@@ -1,0 +1,137 @@
+#include "persist/manifest.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "persist/catalog_codec.h"
+
+namespace setm {
+
+namespace {
+
+constexpr uint32_t kManifestPageMagic = 0x4D544553;  // "SETM"
+
+/// Fixed on-page header, serialized through the shared record codec
+/// (catalog_codec.h) like every other persisted metadata structure.
+struct ManifestHeader {
+  uint32_t magic = kManifestPageMagic;
+  PageId next = kInvalidPageId;
+  uint32_t payload_len = 0;
+};
+
+constexpr size_t kHeaderSize = 12;
+static_assert(kManifestPageCapacity == kPageSize - kHeaderSize,
+              "capacity must match the header size");
+
+void WriteHeader(Page* page, const ManifestHeader& h) {
+  RecordWriter w;
+  w.PutU32(h.magic);
+  w.PutU32(h.next);
+  w.PutU32(h.payload_len);
+  SETM_DCHECK(w.size() == kHeaderSize);
+  std::memcpy(page->data, w.bytes().data(), w.size());
+}
+
+Status ReadHeader(const Page& page, PageId id, ManifestHeader* out) {
+  RecordReader r(std::string_view(page.data, kHeaderSize));
+  auto magic = r.GetU32();
+  if (!magic.ok()) return magic.status();
+  out->magic = magic.value();
+  if (out->magic != kManifestPageMagic) {
+    return Status::Corruption("page " + std::to_string(id) +
+                              " is not a manifest page (bad magic)");
+  }
+  auto next = r.GetU32();
+  if (!next.ok()) return next.status();
+  out->next = next.value();
+  auto len = r.GetU32();
+  if (!len.ok()) return len.status();
+  out->payload_len = len.value();
+  if (out->payload_len > kManifestPageCapacity) {
+    return Status::Corruption("manifest page " + std::to_string(id) +
+                              " claims impossible payload of " +
+                              std::to_string(out->payload_len) + " bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PageId> WriteManifest(BufferPool* pool, std::string_view payload,
+                             std::vector<PageId>* chain) {
+  // A manifest always occupies at least one page: the superblock's root
+  // pointer distinguishes "empty catalog" (zero-length payload) from "never
+  // checkpointed" (kInvalidPageId).
+  const size_t num_pages = payload.empty()
+                               ? 1
+                               : (payload.size() + kManifestPageCapacity - 1) /
+                                     kManifestPageCapacity;
+
+  // Pin every chain page up front: reused pages first, fresh allocations
+  // for the overflow. Holding all pins at once keeps the id of page i+1
+  // available while page i's header is written. Catalog manifests are a
+  // handful of pages, far below any sane pool capacity.
+  std::vector<PageGuard> guards;
+  guards.reserve(num_pages);
+  for (size_t i = 0; i < num_pages; ++i) {
+    if (i < chain->size()) {
+      // Reused pages are fully overwritten below — skip the backend read.
+      auto guard_or = pool->FetchPageForOverwrite((*chain)[i]);
+      if (!guard_or.ok()) return guard_or.status();
+      guards.push_back(std::move(guard_or).value());
+    } else {
+      auto guard_or = pool->NewPage();
+      if (!guard_or.ok()) return guard_or.status();
+      guards.push_back(std::move(guard_or).value());
+    }
+  }
+
+  for (size_t i = 0; i < num_pages; ++i) {
+    const size_t off = i * kManifestPageCapacity;
+    const size_t len = payload.empty()
+                           ? 0
+                           : std::min(kManifestPageCapacity,
+                                      payload.size() - off);
+    ManifestHeader h;
+    h.next = i + 1 < num_pages ? guards[i + 1].id() : kInvalidPageId;
+    h.payload_len = static_cast<uint32_t>(len);
+    Page* page = guards[i].page();
+    page->Clear();
+    WriteHeader(page, h);
+    if (len > 0) std::memcpy(page->data + kHeaderSize, payload.data() + off, len);
+    guards[i].MarkDirty();
+  }
+
+  chain->clear();
+  chain->reserve(num_pages);
+  for (const PageGuard& g : guards) chain->push_back(g.id());
+  return chain->front();
+}
+
+Result<std::string> ReadManifest(BufferPool* pool, PageId root,
+                                 uint64_t max_pages,
+                                 std::vector<PageId>* chain) {
+  std::string payload;
+  if (chain != nullptr) chain->clear();
+  PageId cur = root;
+  uint64_t visited = 0;
+  while (cur != kInvalidPageId) {
+    if (++visited > max_pages) {
+      return Status::Corruption(
+          "manifest chain exceeds the file's page count (cycle or corrupt "
+          "next pointer)");
+    }
+    auto guard_or = pool->FetchPage(cur);
+    if (!guard_or.ok()) return guard_or.status();
+    const Page* page = guard_or.value().page();
+    ManifestHeader h;
+    SETM_RETURN_IF_ERROR(ReadHeader(*page, cur, &h));
+    payload.append(page->data + kHeaderSize, h.payload_len);
+    if (chain != nullptr) chain->push_back(cur);
+    cur = h.next;
+  }
+  return payload;
+}
+
+}  // namespace setm

@@ -1,0 +1,55 @@
+#ifndef SETM_PERSIST_MANIFEST_H_
+#define SETM_PERSIST_MANIFEST_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace setm {
+
+/// The catalog manifest is a payload of serialized bytes (see
+/// catalog_codec.h) split across a singly-linked chain of metadata pages:
+///
+///   [magic u32 | next PageId | payload_len u32 | payload bytes ...]
+///
+/// The superblock points at the chain's root. The Database alternates
+/// checkpoints between two chains, copy-on-write: each rewrite reuses the
+/// pages of the *retired* chain (so steady-state checkpoints do not grow
+/// the file) and the superblock only flips to a chain once it is fully
+/// flushed — the live chain is never modified in place, keeping the
+/// previous catalog image intact through a crash at any point. Pages of a
+/// shrinking chain are abandoned — free-page reclamation is a known
+/// follow-on, tracked in ROADMAP.md.
+
+/// Payload bytes one manifest page can carry.
+constexpr size_t kManifestPageCapacity = kPageSize - 12;
+
+/// Writes `payload` into a manifest chain through `pool`.
+///
+/// `chain` is in/out: on entry the pages of the previous manifest (may be
+/// empty on the first write), on successful return the pages now holding
+/// the manifest, in chain order. Returns the root page id. The chain pages
+/// are written and marked dirty but not flushed — the caller's checkpoint
+/// sequence flushes after the superblock is updated.
+Result<PageId> WriteManifest(BufferPool* pool, std::string_view payload,
+                             std::vector<PageId>* chain);
+
+/// Reads a manifest chain rooted at `root` back into one payload string.
+///
+/// `max_pages` bounds the walk (pass the backend's page count): a chain
+/// that runs longer is cyclic or corrupt and fails with Corruption, as do
+/// pages without the manifest magic or with an impossible payload length.
+/// When `chain` is non-null the visited page ids are recorded for a later
+/// WriteManifest to reuse.
+Result<std::string> ReadManifest(BufferPool* pool, PageId root,
+                                 uint64_t max_pages,
+                                 std::vector<PageId>* chain);
+
+}  // namespace setm
+
+#endif  // SETM_PERSIST_MANIFEST_H_

@@ -1,0 +1,92 @@
+#include "persist/superblock.h"
+
+#include <cstring>
+#include <string>
+
+#include "persist/catalog_codec.h"
+
+namespace setm {
+
+namespace {
+
+/// FNV-1a over the encoded header bytes. Not cryptographic — it catches
+/// torn writes and foreign files, which is all a superblock checksum is for.
+uint64_t Fnv1a(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Serialized header: magic + fields, checksum appended over these bytes.
+std::string EncodeHeader(const Superblock& sb) {
+  RecordWriter w;
+  for (char c : kSuperblockMagic) w.PutU8(static_cast<uint8_t>(c));
+  w.PutU32(sb.format_version);
+  w.PutU64(sb.page_count);
+  w.PutU32(sb.manifest_root);
+  w.PutU32(sb.spare_manifest_root);
+  w.PutU64(sb.checkpoint_seq);
+  return w.bytes();
+}
+
+}  // namespace
+
+void EncodeSuperblock(const Superblock& sb, Page* page) {
+  const std::string header = EncodeHeader(sb);
+  RecordWriter tail;
+  tail.PutU64(Fnv1a(header.data(), header.size()));
+  page->Clear();
+  std::memcpy(page->data, header.data(), header.size());
+  std::memcpy(page->data + header.size(), tail.bytes().data(),
+              tail.bytes().size());
+}
+
+Status DecodeSuperblock(const Page& page, Superblock* out) {
+  if (std::memcmp(page.data, kSuperblockMagic, sizeof(kSuperblockMagic)) !=
+      0) {
+    return Status::Corruption(
+        "not a SETM database file: superblock magic mismatch");
+  }
+  RecordReader r(std::string_view(page.data, kPageSize));
+  for (size_t i = 0; i < sizeof(kSuperblockMagic); ++i) {
+    auto skip = r.GetU8();
+    if (!skip.ok()) return skip.status();
+  }
+  Superblock sb;
+  auto version = r.GetU32();
+  if (!version.ok()) return version.status();
+  sb.format_version = version.value();
+  if (sb.format_version != kFormatVersion) {
+    return Status::NotSupported(
+        "database format version " + std::to_string(sb.format_version) +
+        " is not supported by this build (expected " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  auto pages = r.GetU64();
+  if (!pages.ok()) return pages.status();
+  sb.page_count = pages.value();
+  auto root = r.GetU32();
+  if (!root.ok()) return root.status();
+  sb.manifest_root = root.value();
+  auto spare = r.GetU32();
+  if (!spare.ok()) return spare.status();
+  sb.spare_manifest_root = spare.value();
+  auto seq = r.GetU64();
+  if (!seq.ok()) return seq.status();
+  sb.checkpoint_seq = seq.value();
+
+  const std::string header = EncodeHeader(sb);
+  auto checksum = r.GetU64();
+  if (!checksum.ok()) return checksum.status();
+  if (checksum.value() != Fnv1a(header.data(), header.size())) {
+    return Status::Corruption(
+        "superblock checksum mismatch (torn write or corrupted file)");
+  }
+  *out = sb;
+  return Status::OK();
+}
+
+}  // namespace setm

@@ -1,0 +1,60 @@
+#ifndef SETM_PERSIST_SUPERBLOCK_H_
+#define SETM_PERSIST_SUPERBLOCK_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace setm {
+
+/// Page 0 of every file-backed database is the superblock — the fixed,
+/// versioned entry point that makes the file self-describing:
+///
+///   page 0        superblock (magic, version, catalog manifest root)
+///   page 1..      manifest chain + heap pages, interleaved
+///
+/// A reader validates the superblock before trusting anything else in the
+/// file; wrong magic, an unknown format version or a checksum mismatch each
+/// fail with a distinct, descriptive Status and the file is left untouched.
+constexpr PageId kSuperblockPageId = 0;
+
+/// First bytes of a SETM database file.
+constexpr char kSuperblockMagic[8] = {'S', 'E', 'T', 'M', 'D', 'B', 'F', '0'};
+
+/// On-disk format version this engine reads and writes. Bump on any
+/// incompatible change to the superblock or manifest layout.
+constexpr uint32_t kFormatVersion = 1;
+
+/// Decoded superblock contents.
+struct Superblock {
+  uint32_t format_version = kFormatVersion;
+  /// Pages the file held when the superblock was last written. A file whose
+  /// real page count is smaller was truncated after the fact.
+  uint64_t page_count = 0;
+  /// Root of the catalog manifest chain; kInvalidPageId before the first
+  /// checkpoint (empty catalog).
+  PageId manifest_root = kInvalidPageId;
+  /// Root of the *retired* manifest chain (checkpoints alternate between
+  /// two chains, copy-on-write). Recorded so a reopening process can reuse
+  /// the retired pages instead of orphaning one chain per process
+  /// generation; purely an allocation hint — readers never need it.
+  PageId spare_manifest_root = kInvalidPageId;
+  /// Monotonic checkpoint counter, for diagnostics and tests.
+  uint64_t checkpoint_seq = 0;
+};
+
+/// Renders `sb` into `*page` (magic, fields, trailing checksum; the rest of
+/// the page is zeroed).
+void EncodeSuperblock(const Superblock& sb, Page* page);
+
+/// Validates and parses a superblock page. Failure modes:
+///  * Corruption   — magic mismatch ("not a SETM database file") or
+///                   checksum mismatch (torn/garbage superblock);
+///  * NotSupported — good magic but a format version this engine does not
+///                   understand.
+Status DecodeSuperblock(const Page& page, Superblock* out);
+
+}  // namespace setm
+
+#endif  // SETM_PERSIST_SUPERBLOCK_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace setm {
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
@@ -26,7 +28,50 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
   Table* raw = table.get();
   tables_[key] = std::move(table);
   creation_order_.push_back(key);
+  SETM_RETURN_IF_ERROR(CheckpointAfterDdl());
   return raw;
+}
+
+Status Catalog::CheckpointAfterDdl() {
+  if (!checkpoint_hook_) return Status::OK();
+  if (checkpoint_defer_depth_ > 0) {
+    checkpoint_pending_ = true;
+    return Status::OK();
+  }
+  return checkpoint_hook_();
+}
+
+Status Catalog::EndCheckpointDeferral() {
+  SETM_CHECK(checkpoint_defer_depth_ > 0);
+  if (--checkpoint_defer_depth_ > 0 || !checkpoint_pending_) {
+    return Status::OK();
+  }
+  checkpoint_pending_ = false;
+  return checkpoint_hook_ ? checkpoint_hook_() : Status::OK();
+}
+
+ScopedCheckpointDeferral::~ScopedCheckpointDeferral() {
+  if (done_) return;
+  Status s = catalog_->EndCheckpointDeferral();
+  if (!s.ok()) {
+    SETM_LOG(kError) << "deferred checkpoint failed: " << s.ToString();
+  }
+}
+
+Status ScopedCheckpointDeferral::Commit() {
+  SETM_CHECK(!done_);
+  done_ = true;
+  return catalog_->EndCheckpointDeferral();
+}
+
+Status Catalog::AttachTable(std::unique_ptr<Table> table) {
+  const std::string& key = table->name();
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table '" + key + "' already exists");
+  }
+  tables_[key] = std::move(table);
+  creation_order_.push_back(key);
+  return Status::OK();
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) const {
@@ -51,7 +96,7 @@ Status Catalog::DropTable(const std::string& name) {
   creation_order_.erase(
       std::remove(creation_order_.begin(), creation_order_.end(), key),
       creation_order_.end());
-  return Status::OK();
+  return CheckpointAfterDdl();
 }
 
 std::vector<std::string> Catalog::TableNames() const {

@@ -1,6 +1,7 @@
 #ifndef SETM_RELATIONAL_CATALOG_H_
 #define SETM_RELATIONAL_CATALOG_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -18,12 +19,20 @@ enum class TableBacking {
 };
 
 /// Name -> table map. Names are case-insensitive (folded to lower case).
+///
+/// In file-backed databases the owning Database installs a checkpoint hook
+/// (SetCheckpointHook) that rewrites the on-disk catalog manifest after
+/// every successful DDL operation, so CreateTable/DropTable are durable as
+/// soon as they return. In-memory databases run hook-free.
 class Catalog {
  public:
   /// `pool` backs heap tables; may be null if only memory tables are used.
   explicit Catalog(BufferPool* pool) : pool_(pool) {}
 
-  /// Creates a table; AlreadyExists if the name is taken.
+  /// Creates a table; AlreadyExists if the name is taken. When a checkpoint
+  /// hook is installed, a hook failure is returned as the call's status —
+  /// the in-memory table still exists (the next successful checkpoint will
+  /// pick it up), but callers learn persistence lagged.
   Result<Table*> CreateTable(const std::string& name, Schema schema,
                              TableBacking backing);
 
@@ -33,16 +42,70 @@ class Catalog {
   /// True iff a table with this name exists.
   bool HasTable(const std::string& name) const;
 
-  /// Drops a table; NotFound if absent.
+  /// Drops a table; NotFound if absent. Hook failures surface as with
+  /// CreateTable.
   Status DropTable(const std::string& name);
 
   /// All table names in creation order.
   std::vector<std::string> TableNames() const;
 
+  /// Registers an already-constructed table without invoking the checkpoint
+  /// hook — the path Database::Open uses while rebuilding the catalog from
+  /// a manifest (checkpointing mid-rebuild would write a half-loaded
+  /// catalog over a complete one). The table's name() must already be
+  /// identifier-folded.
+  Status AttachTable(std::unique_ptr<Table> table);
+
+  /// Installs (or clears, with nullptr) the post-DDL checkpoint hook.
+  void SetCheckpointHook(std::function<Status()> hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+
+  /// Defers hook invocations: while the depth is non-zero, DDL records that
+  /// a checkpoint is owed instead of running one. End runs the single owed
+  /// checkpoint once the depth returns to zero. Used (via
+  /// ScopedCheckpointDeferral) by multi-statement operations like
+  /// ItemsetStore::Save, so K+1 table creations cost one checkpoint — and,
+  /// more importantly, so no intermediate catalog state (a meta table
+  /// without its row yet) ever becomes the durable image.
+  void BeginCheckpointDeferral() { ++checkpoint_defer_depth_; }
+  Status EndCheckpointDeferral();
+
  private:
+  /// Runs the hook after a successful DDL mutation, or records it as owed
+  /// while a deferral is active.
+  Status CheckpointAfterDdl();
+
   BufferPool* pool_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> creation_order_;
+  std::function<Status()> checkpoint_hook_;
+  size_t checkpoint_defer_depth_ = 0;
+  bool checkpoint_pending_ = false;
+};
+
+/// RAII wrapper for the catalog's checkpoint deferral. Call Commit() on the
+/// success path to run (and check) the owed checkpoint; if the scope exits
+/// early the destructor releases the deferral and runs the owed checkpoint
+/// best-effort (its Status can only be logged there — the catalog stays
+/// consistent in memory and the next checkpoint retries).
+class ScopedCheckpointDeferral {
+ public:
+  explicit ScopedCheckpointDeferral(Catalog* catalog) : catalog_(catalog) {
+    catalog_->BeginCheckpointDeferral();
+  }
+  ~ScopedCheckpointDeferral();
+
+  ScopedCheckpointDeferral(const ScopedCheckpointDeferral&) = delete;
+  ScopedCheckpointDeferral& operator=(const ScopedCheckpointDeferral&) =
+      delete;
+
+  /// Ends the deferral, running any owed checkpoint.
+  Status Commit();
+
+ private:
+  Catalog* catalog_;
+  bool done_ = false;
 };
 
 }  // namespace setm

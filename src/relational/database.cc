@@ -1,38 +1,271 @@
 #include "relational/database.h"
 
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 #include "exec/worker_pool.h"
+#include "persist/catalog_codec.h"
+#include "persist/manifest.h"
 
 namespace setm {
 
-Database::~Database() = default;
+Database::~Database() {
+  if (persistent_ && catalog_ != nullptr) {
+    Status s = Checkpoint();
+    if (!s.ok()) {
+      SETM_LOG(kError) << "checkpoint on close failed (data since the last "
+                          "successful checkpoint may be lost): "
+                       << s.ToString();
+    }
+  }
+}
 
-Database::Database(DatabaseOptions options) : options_(options) {
-  if (!options_.file_path.empty()) {
-    auto backend_or = FileBackend::Open(options_.file_path, &stats_);
-    SETM_CHECK(backend_or.ok());
+Database::Database(UncheckedTag) {}
+
+Database::Database(DatabaseOptions options) {
+  Status s = Init(std::move(options));
+  if (!s.ok()) {
+    SETM_LOG(kError) << "database setup failed: " << s.ToString()
+                     << " (use Database::Open for a checked Status)";
+  }
+  SETM_CHECK(s.ok());
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  std::unique_ptr<Database> db(new Database(UncheckedTag{}));
+  SETM_RETURN_IF_ERROR(db->Init(std::move(options)));
+  return db;
+}
+
+Status Database::Init(DatabaseOptions options) {
+  options_ = std::move(options);
+  const bool file_backed = !options_.file_path.empty();
+  if (file_backed) {
+    // Refuse to touch existing files that cannot possibly be SETM
+    // databases before open() gets a chance to modify them. A partial
+    // superblock (size below one page) or a size that is not a whole
+    // number of pages means truncation or a foreign file.
+    struct stat st;
+    if (::stat(options_.file_path.c_str(), &st) == 0 && st.st_size > 0) {
+      const uint64_t size = static_cast<uint64_t>(st.st_size);
+      if (size < kPageSize) {
+        return Status::Corruption(
+            "file '" + options_.file_path + "' holds " +
+            std::to_string(size) +
+            " bytes — too small for a superblock; refusing to reinitialize");
+      }
+      if (size % kPageSize != 0) {
+        return Status::Corruption(
+            "file '" + options_.file_path + "' holds " +
+            std::to_string(size) +
+            " bytes, not a whole number of " + std::to_string(kPageSize) +
+            "-byte pages (truncated?)");
+      }
+    }
+    auto backend_or =
+        FileBackend::Open(options_.file_path, &stats_, /*truncate=*/false);
+    if (!backend_or.ok()) return backend_or.status();
     backend_ = std::move(backend_or).value();
   } else {
     backend_ = std::make_unique<MemoryBackend>(&stats_);
   }
   temp_backend_ = std::make_unique<MemoryBackend>(&stats_);
   pool_ = std::make_unique<BufferPool>(backend_.get(), options_.pool_frames);
-  temp_pool_ =
-      std::make_unique<BufferPool>(temp_backend_.get(), options_.temp_pool_frames);
+  temp_pool_ = std::make_unique<BufferPool>(temp_backend_.get(),
+                                            options_.temp_pool_frames);
   catalog_ = std::make_unique<Catalog>(pool_.get());
   if (options_.worker_threads > 0) {
     workers_ = std::make_unique<WorkerPool>(options_.worker_threads);
   }
+
+  if (file_backed) {
+    if (backend_->NumPages() == 0) {
+      persistent_ = true;  // Checkpoint() below needs it; the file is ours
+      SETM_RETURN_IF_ERROR(InitializeFreshFile());
+    } else {
+      // persistent_ stays false until the file validates: a failed Open
+      // must never checkpoint over (and thereby reinitialize) a rejected
+      // file from the destructor.
+      SETM_RETURN_IF_ERROR(LoadPersistentState());
+      persistent_ = true;
+    }
+    catalog_->SetCheckpointHook([this] { return Checkpoint(); });
+  }
+  return Status::OK();
 }
 
-Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
-  if (!options.file_path.empty()) {
-    // Validate the path before the unchecked constructor runs.
-    IoStats probe;
-    auto backend_or = FileBackend::Open(options.file_path, &probe);
-    if (!backend_or.ok()) return backend_or.status();
+Status Database::InitializeFreshFile() {
+  auto guard_or = pool_->NewPage();
+  if (!guard_or.ok()) return guard_or.status();
+  if (guard_or.value().id() != kSuperblockPageId) {
+    return Status::Internal(
+        "superblock allocation landed on page " +
+        std::to_string(guard_or.value().id()) +
+        " of a supposedly empty file");
   }
-  return std::make_unique<Database>(options);
+  EncodeSuperblock(superblock_, guard_or.value().page());
+  guard_or.value().MarkDirty();
+  guard_or.value().Release();
+  // First checkpoint: writes the (empty) manifest, points the superblock at
+  // it and flushes, so even an immediately-closed database reopens cleanly.
+  return Checkpoint();
+}
+
+Status Database::LoadPersistentState() {
+  {
+    auto guard_or = pool_->FetchPage(kSuperblockPageId);
+    if (!guard_or.ok()) return guard_or.status();
+    SETM_RETURN_IF_ERROR(
+        DecodeSuperblock(*guard_or.value().page(), &superblock_));
+  }
+  if (superblock_.page_count > backend_->NumPages()) {
+    return Status::Corruption(
+        "file '" + options_.file_path + "' was truncated: superblock records " +
+        std::to_string(superblock_.page_count) + " pages but only " +
+        std::to_string(backend_->NumPages()) + " remain");
+  }
+  if (superblock_.manifest_root == kInvalidPageId) {
+    return Status::OK();  // checkpointed before any DDL: empty catalog
+  }
+  if (superblock_.manifest_root >= backend_->NumPages()) {
+    return Status::Corruption(
+        "superblock points the catalog manifest at page " +
+        std::to_string(superblock_.manifest_root) +
+        ", beyond the file's " + std::to_string(backend_->NumPages()) +
+        " pages");
+  }
+  auto payload_or =
+      ReadManifest(pool_.get(), superblock_.manifest_root,
+                   backend_->NumPages(), &manifest_pages_);
+  if (!payload_or.ok()) return payload_or.status();
+  auto snapshot_or = DecodeCatalogSnapshot(payload_or.value());
+  if (!snapshot_or.ok()) return snapshot_or.status();
+
+  // Collect the retired chain's pages for checkpoint reuse — without this
+  // every process generation would orphan one chain and the file would
+  // grow per reopen. Best-effort: the spare chain may be half-rewritten
+  // remains of a crashed checkpoint, so a failed walk just means starting
+  // from fresh pages; and any id overlapping the live chain (conceivable
+  // only in a corrupted file) must not be reused in place.
+  if (superblock_.spare_manifest_root != kInvalidPageId &&
+      superblock_.spare_manifest_root < backend_->NumPages()) {
+    std::vector<PageId> spare;
+    auto spare_or = ReadManifest(pool_.get(), superblock_.spare_manifest_root,
+                                 backend_->NumPages(), &spare);
+    if (spare_or.ok()) {
+      for (PageId id : spare) {
+        const bool live = id == kSuperblockPageId ||
+                          std::find(manifest_pages_.begin(),
+                                    manifest_pages_.end(),
+                                    id) != manifest_pages_.end();
+        if (!live) spare_manifest_pages_.push_back(id);
+      }
+    }
+  }
+
+  for (const PersistedTableMeta& meta : snapshot_or.value().tables) {
+    std::unique_ptr<Table> table;
+    if (meta.backing == TableBacking::kMemory) {
+      // Rows of memory tables never reached the file; the table reopens
+      // with its schema, empty.
+      table = std::make_unique<MemTable>(meta.name, meta.schema);
+    } else {
+      if (meta.first_page == kInvalidPageId ||
+          meta.first_page >= backend_->NumPages()) {
+        return Status::Corruption(
+            "table '" + meta.name + "': manifest roots its heap at page " +
+            std::to_string(meta.first_page) + ", beyond the file's " +
+            std::to_string(backend_->NumPages()) + " pages");
+      }
+      auto table_or = HeapTable::Open(meta.name, meta.schema, pool_.get(),
+                                      meta.first_page, meta.row_count);
+      if (!table_or.ok()) return table_or.status();
+      table = std::move(table_or).value();
+    }
+    SETM_RETURN_IF_ERROR(catalog_->AttachTable(std::move(table)));
+  }
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (!persistent_) return Status::OK();
+
+  CatalogSnapshot snapshot;
+  for (const std::string& name : catalog_->TableNames()) {
+    auto table_or = catalog_->GetTable(name);
+    if (!table_or.ok()) return table_or.status();
+    const Table* table = table_or.value();
+    PersistedTableMeta meta;
+    meta.name = name;
+    meta.schema = table->schema();
+    meta.row_count = table->num_rows();
+    meta.size_bytes = table->size_bytes();
+    meta.num_pages = table->num_pages();
+    if (const auto* heap = dynamic_cast<const HeapTable*>(table)) {
+      meta.backing = TableBacking::kHeap;
+      meta.first_page = heap->first_page();
+      meta.last_page = heap->last_page();
+    } else {
+      meta.backing = TableBacking::kMemory;
+    }
+    snapshot.tables.push_back(std::move(meta));
+  }
+
+  // Copy-on-write: the new manifest goes into the *retired* chain (fresh
+  // pages on the first rounds), never over the live one the on-disk
+  // superblock still references. On any failure below the written-to
+  // pages stay the spare for the retry and the live chain is untouched.
+  std::vector<PageId> chain = std::move(spare_manifest_pages_);
+  spare_manifest_pages_.clear();
+  auto root_or = WriteManifest(pool_.get(), EncodeCatalogSnapshot(snapshot),
+                               &chain);
+  if (!root_or.ok()) {
+    spare_manifest_pages_ = std::move(chain);
+    return root_or.status();
+  }
+
+  // Write ordering: flush the new chain and every data page *before* the
+  // superblock that references them. Combined with the chain alternation,
+  // a crash anywhere in this sequence leaves the old superblock pointing
+  // at the old, untouched chain — the previously checkpointed catalog
+  // survives intact. (The superblock page itself is still updated in
+  // place; a torn 4 KiB superblock write is the residual window, noted
+  // with the WAL follow-on in ROADMAP.)
+  Status flush = pool_->FlushAll();
+  if (!flush.ok()) {
+    spare_manifest_pages_ = std::move(chain);
+    return flush;
+  }
+
+  superblock_.manifest_root = root_or.value();
+  // The current live chain becomes the spare after the flip; record its
+  // root so a later process can reuse its pages too.
+  superblock_.spare_manifest_root =
+      manifest_pages_.empty() ? kInvalidPageId : manifest_pages_.front();
+  // Manifest writes may have allocated pages; record the count afterwards
+  // so the truncation check covers every page the manifest references.
+  superblock_.page_count = backend_->NumPages();
+  ++superblock_.checkpoint_seq;
+  {
+    auto guard_or = pool_->FetchPage(kSuperblockPageId);
+    if (!guard_or.ok()) {
+      spare_manifest_pages_ = std::move(chain);
+      return guard_or.status();
+    }
+    EncodeSuperblock(superblock_, guard_or.value().page());
+    guard_or.value().MarkDirty();
+  }
+  Status flip = pool_->FlushPage(kSuperblockPageId);
+  if (!flip.ok()) {
+    spare_manifest_pages_ = std::move(chain);
+    return flip;
+  }
+  spare_manifest_pages_ = std::move(manifest_pages_);
+  manifest_pages_ = std::move(chain);
+  return Status::OK();
 }
 
 }  // namespace setm

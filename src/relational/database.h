@@ -3,7 +3,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "persist/superblock.h"
 #include "relational/catalog.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
@@ -25,7 +27,15 @@ struct DatabaseOptions {
   /// Worker threads shared by parallel operators (0 = no pool; operators
   /// run serially unless a miner brings its own pool).
   size_t worker_threads = 0;
-  /// If non-empty, base tables live in this file instead of RAM.
+  /// If non-empty, base tables live in this file instead of RAM, and the
+  /// database is durable: page 0 is a versioned superblock, the catalog is
+  /// checkpointed into a manifest chain on every DDL and on close, and
+  /// reopening the same path rebuilds the catalog with every heap table
+  /// re-attached to its page chain. Memory-backed tables reopen with their
+  /// name and schema but empty (their rows never left RAM). Opening a file
+  /// that is not a SETM database — wrong magic, unsupported format version,
+  /// truncated — fails with a descriptive Status and leaves the file
+  /// untouched.
   std::string file_path;
 };
 
@@ -37,13 +47,25 @@ struct DatabaseOptions {
 ///     Database db;                       // in-memory, default sizes
 ///     Table* sales = db.catalog()->CreateTable(
 ///         "sales", SalesSchema(), TableBacking::kHeap).value();
+///
+/// File-backed databases survive restarts:
+///
+///     auto db = Database::Open({.file_path = "sales.db"}).value();
+///     // ... create tables, insert, mine ...
+///     // destructor checkpoints; a later Open() sees the same catalog
 class Database {
  public:
-  /// Creates the database; aborts the process on unrecoverable setup errors
-  /// only when file creation fails (see OpenResult for a checked variant).
+  /// Unchecked construction: aborts the process if setup fails (only
+  /// possible for file-backed databases — creation failure, or an existing
+  /// file that is corrupt or of a foreign format). Production call sites
+  /// with a file_path should use Open() and handle the Status.
   explicit Database(DatabaseOptions options = {});
 
-  /// Checked construction for file-backed databases.
+  /// Checked construction. For file-backed options this creates a fresh
+  /// database file (with superblock) or validates and reopens an existing
+  /// one; all failures — unreachable path, bad magic, unsupported format
+  /// version, truncated file, corrupt manifest — come back as a Status and
+  /// never reinitialize or modify the file.
   static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
 
   ~Database();
@@ -58,11 +80,39 @@ class Database {
   WorkerPool* worker_pool() { return workers_.get(); }
   const DatabaseOptions& options() const { return options_; }
 
+  /// True when this database persists to a file (and checkpoints apply).
+  bool persistent() const { return persistent_; }
+
+  /// Serializes the live catalog into the manifest chain, updates the
+  /// superblock and flushes every dirty page — after a successful return
+  /// the file on disk is a complete, reopenable image of the database.
+  /// Invoked automatically after each DDL and from the destructor; callers
+  /// may invoke it explicitly to bound data loss between DDLs (inserts do
+  /// not checkpoint on their own). No-op for in-memory databases.
+  Status Checkpoint();
+
+  /// Checkpoints written so far (diagnostics; 0 for in-memory databases).
+  uint64_t checkpoint_count() const { return superblock_.checkpoint_seq; }
+
   /// The cumulative I/O ledger for all page traffic (base + temp).
   IoStats* io_stats() { return &stats_; }
   const IoStats& io_stats() const { return stats_; }
 
  private:
+  struct UncheckedTag {};
+  explicit Database(UncheckedTag);  // defined out of line: members need
+                                    // complete types for their destructors
+
+  /// Builds the whole stack; called exactly once, from either constructor
+  /// path. Failure leaves the object unusable (Open() discards it).
+  Status Init(DatabaseOptions options);
+  /// First-open path: reserves page 0, writes the superblock and an empty
+  /// manifest.
+  Status InitializeFreshFile();
+  /// Reopen path: validates the superblock, reads the manifest and rebuilds
+  /// the catalog with every table re-attached.
+  Status LoadPersistentState();
+
   DatabaseOptions options_;
   IoStats stats_;
   std::unique_ptr<StorageBackend> backend_;
@@ -71,6 +121,16 @@ class Database {
   std::unique_ptr<BufferPool> temp_pool_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<WorkerPool> workers_;
+  bool persistent_ = false;
+  Superblock superblock_;
+  /// The two manifest chains, alternated copy-on-write: `manifest_pages_`
+  /// is the live chain the on-disk superblock references and is never
+  /// rewritten in place; each checkpoint writes into the retired
+  /// `spare_manifest_pages_` (allocating on the first round), flips the
+  /// superblock to it, then swaps the roles. A crash anywhere inside a
+  /// checkpoint therefore leaves the previous catalog image intact.
+  std::vector<PageId> manifest_pages_;
+  std::vector<PageId> spare_manifest_pages_;
 };
 
 }  // namespace setm

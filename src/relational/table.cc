@@ -1,5 +1,7 @@
 #include "relational/table.h"
 
+#include "common/logging.h"
+
 namespace setm {
 
 namespace {
@@ -77,13 +79,39 @@ Result<std::unique_ptr<HeapTable>> HeapTable::Create(std::string name,
       std::move(name), std::move(schema), pool, std::move(heap_or).value()));
 }
 
+Result<std::unique_ptr<HeapTable>> HeapTable::Open(std::string name,
+                                                   Schema schema,
+                                                   BufferPool* pool,
+                                                   PageId first_page,
+                                                   uint64_t expected_rows) {
+  auto heap_or = TableHeap::Open(pool, first_page);
+  if (!heap_or.ok()) return heap_or.status();
+  const uint64_t walked = heap_or.value().live_records();
+  if (walked < expected_rows) {
+    return Status::Corruption(
+        "table '" + name + "': catalog manifest records " +
+        std::to_string(expected_rows) + " rows but the heap chain holds " +
+        std::to_string(walked));
+  }
+  if (walked > expected_rows) {
+    // Rows appended after the last checkpoint whose dirty pages reached
+    // the file before an unclean exit. They are complete records; keep
+    // them rather than refusing to open what a crash left behind.
+    SETM_LOG(kInfo) << "table '" << name << "': heap chain holds " << walked
+                    << " rows, " << walked - expected_rows
+                    << " more than the last checkpoint recorded "
+                       "(un-checkpointed appends before an unclean exit)";
+  }
+  return std::unique_ptr<HeapTable>(new HeapTable(
+      std::move(name), std::move(schema), pool, std::move(heap_or).value()));
+}
+
 Status HeapTable::Insert(const Tuple& tuple) {
   SETM_RETURN_IF_ERROR(CheckArity(tuple));
   scratch_.clear();
   tuple.SerializeTo(schema(), &scratch_);
   auto rid_or = heap_.Insert(scratch_);
   if (!rid_or.ok()) return rid_or.status();
-  size_bytes_ += scratch_.size();
   return Status::OK();
 }
 
@@ -97,7 +125,6 @@ Status HeapTable::Truncate() {
   auto heap_or = TableHeap::Create(pool_);
   if (!heap_or.ok()) return heap_or.status();
   heap_ = std::move(heap_or).value();
-  size_bytes_ = 0;
   return Status::OK();
 }
 

@@ -100,12 +100,33 @@ class HeapTable : public Table {
                                                    Schema schema,
                                                    BufferPool* pool);
 
+  /// Re-attaches to an existing page chain (reopening a persisted table).
+  /// `expected_rows` (from the catalog manifest) is cross-checked against
+  /// the chain walk's live-record count. Fewer rows than the manifest
+  /// promises is Corruption — heap chains only grow between checkpoints, so
+  /// shrinkage means the file lost data. *More* rows is the signature of an
+  /// unclean exit after appends whose dirty pages were evicted to disk:
+  /// those rows are intact, so the walk's counts win and the table opens
+  /// (logged, not fatal — a crash must not make the file unopenable).
+  static Result<std::unique_ptr<HeapTable>> Open(std::string name,
+                                                 Schema schema,
+                                                 BufferPool* pool,
+                                                 PageId first_page,
+                                                 uint64_t expected_rows);
+
   Status Insert(const Tuple& tuple) override;
   std::unique_ptr<TupleIterator> Scan() const override;
   uint64_t num_rows() const override { return heap_.live_records(); }
-  uint64_t size_bytes() const override { return size_bytes_; }
+  /// Delegated to the heap's live-byte counter, which Open() rederives
+  /// from the chain itself — never stale relative to the stored rows.
+  uint64_t size_bytes() const override { return heap_.live_bytes(); }
   uint64_t num_pages() const override { return heap_.num_pages(); }
   Status Truncate() override;
+
+  /// Page-chain endpoints, serialized into the catalog manifest so the
+  /// table can be reopened by a later process.
+  PageId first_page() const { return heap_.first_page(); }
+  PageId last_page() const { return heap_.last_page(); }
 
  private:
   HeapTable(std::string name, Schema schema, BufferPool* pool, TableHeap heap)
@@ -115,7 +136,6 @@ class HeapTable : public Table {
 
   BufferPool* pool_;
   TableHeap heap_;
-  uint64_t size_bytes_ = 0;
   mutable std::string scratch_;
 };
 

@@ -90,6 +90,43 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   return PageGuard(this, idx, id, &f.page);
 }
 
+Result<PageGuard> BufferPool::FetchPageForOverwrite(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= backend_->NumPages()) {
+    return Status::InvalidArgument(
+        "overwrite-fetch of unallocated page " + std::to_string(id));
+  }
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Frame& f = frames_[it->second];
+    if (f.pin_count == 0 && f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return PageGuard(this, it->second, id, &f.page);
+  }
+
+  ++misses_;
+  auto victim = GetVictimFrameLocked();
+  if (!victim.ok()) return victim.status();
+  const size_t idx = victim.value();
+  Frame& f = frames_[idx];
+  f.page.Clear();
+  f.id = id;
+  f.pin_count = 1;
+  // Deliberately clean: the disk still holds the page's previous (valid)
+  // content, and the frame only diverges from it once the caller writes
+  // and MarkDirty()s. If the caller bails before that — say a later
+  // allocation in the same rewrite fails — eviction discards the zeroed
+  // frame instead of flushing zeros over live data.
+  f.dirty = false;
+  f.in_lru = false;
+  page_table_[id] = idx;
+  return PageGuard(this, idx, id, &f.page);
+}
+
 Result<PageGuard> BufferPool::NewPage() {
   std::lock_guard<std::mutex> lock(mutex_);
   auto id_or = backend_->AllocatePage();

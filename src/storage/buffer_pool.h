@@ -80,6 +80,20 @@ class BufferPool {
   /// Pins the given page, reading it from the backend on a miss.
   Result<PageGuard> FetchPage(PageId id);
 
+  /// Pins an already-allocated page *without* reading it from the backend
+  /// on a miss, for callers that fully overwrite the page (manifest
+  /// rewrites reusing a retired chain). Skipping the read keeps pointless
+  /// read traffic out of the IoStats ledger. The frame comes back zeroed
+  /// but *clean* — the caller pairs its overwrite with MarkDirty() as
+  /// usual — so abandoning the page before writing (a later step of the
+  /// rewrite failed) leaves the on-disk content untouched rather than
+  /// risking a flush of zeros over it. On a hit the cached contents are
+  /// returned unchanged. Caveat of the abandoned-miss case: the zeroed
+  /// frame stays cached, shadowing the disk content — only use this for
+  /// pages whose sole readers are future overwriters (retired manifest
+  /// chains qualify; heap pages would not).
+  Result<PageGuard> FetchPageForOverwrite(PageId id);
+
   /// Allocates a fresh zeroed page in the backend and pins it (dirty).
   Result<PageGuard> NewPage();
 

@@ -71,14 +71,26 @@ Result<TableHeap> TableHeap::Open(BufferPool* pool, PageId first_page) {
   PageId last = first_page;
   uint64_t pages = 0;
   uint64_t live = 0;
+  uint64_t bytes = 0;
   PageId cur = first_page;
+  const uint64_t max_pages = pool->backend()->NumPages();
   while (cur != kInvalidPageId) {
+    if (pages >= max_pages) {
+      return Status::Corruption(
+          "heap page chain starting at page " + std::to_string(first_page) +
+          " does not terminate within the file's " +
+          std::to_string(max_pages) + " pages (cycle or corrupt link)");
+    }
     auto guard_or = pool->FetchPage(cur);
     if (!guard_or.ok()) return guard_or.status();
     const Page* p = guard_or.value().page();
     const HeapPageHeader* h = Header(p);
     for (uint16_t i = 0; i < h->num_slots; ++i) {
-      if (SlotAt(p, i)->length != kTombstone) ++live;
+      const Slot* slot = SlotAt(p, i);
+      if (slot->length != kTombstone) {
+        ++live;
+        bytes += slot->length;
+      }
     }
     ++pages;
     last = cur;
@@ -86,6 +98,7 @@ Result<TableHeap> TableHeap::Open(BufferPool* pool, PageId first_page) {
   }
   TableHeap heap(pool, first_page, last, pages);
   heap.live_records_ = live;
+  heap.live_bytes_ = bytes;
   return heap;
 }
 
@@ -124,6 +137,7 @@ Result<Rid> TableHeap::Insert(std::string_view record) {
   ++h->num_slots;
   guard.MarkDirty();
   ++live_records_;
+  live_bytes_ += record.size();
   return Rid{guard.id(), slot_index};
 }
 
@@ -154,9 +168,11 @@ Status TableHeap::Delete(const Rid& rid) {
   }
   Slot* slot = SlotAt(p, rid.slot);
   if (slot->length != kTombstone) {
+    SETM_DCHECK(live_records_ > 0);
+    SETM_DCHECK(live_bytes_ >= slot->length);
+    live_bytes_ -= slot->length;
     slot->length = kTombstone;
     guard.MarkDirty();
-    SETM_DCHECK(live_records_ > 0);
     --live_records_;
   }
   return Status::OK();

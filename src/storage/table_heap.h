@@ -37,7 +37,10 @@ class TableHeap {
   static Result<TableHeap> Create(BufferPool* pool);
 
   /// Re-opens an existing heap rooted at `first_page`. The tail is located
-  /// by walking the chain (O(pages), done once at open).
+  /// by walking the chain (O(pages), done once at open). A chain that does
+  /// not terminate within the backend's page count — a cycle or a next
+  /// pointer into zeroed/foreign pages — fails with Corruption instead of
+  /// looping forever, so reopening a damaged file stays a clean error.
   static Result<TableHeap> Open(BufferPool* pool, PageId first_page);
 
   TableHeap(TableHeap&&) = default;
@@ -56,8 +59,16 @@ class TableHeap {
   /// Number of live (non-deleted) records.
   uint64_t live_records() const { return live_records_; }
 
+  /// Total bytes of live records (maintained on insert/delete; Open()
+  /// recomputes it from the chain walk, so it is always derived from the
+  /// heap itself rather than trusted from external metadata).
+  uint64_t live_bytes() const { return live_bytes_; }
+
   /// First page of the chain (persist this to re-open the heap).
   PageId first_page() const { return first_page_; }
+
+  /// Tail page of the chain (informational; Open() re-derives it).
+  PageId last_page() const { return last_page_; }
 
   /// Number of pages in the chain — the ||R|| of the paper's formulas.
   uint64_t num_pages() const { return num_pages_; }
@@ -105,6 +116,7 @@ class TableHeap {
   PageId last_page_;
   uint64_t num_pages_;
   uint64_t live_records_ = 0;
+  uint64_t live_bytes_ = 0;
 };
 
 }  // namespace setm

@@ -224,6 +224,42 @@ TEST_F(ExternalSortTest, CascadedMergeKeepsOrderAndStability) {
   }
 }
 
+// With workers present the independent merge groups of each cascade pass
+// run concurrently on the pool; order, stability and content must be
+// indistinguishable from the serial cascade.
+TEST_F(ExternalSortTest, ParallelCascadedMergeKeepsOrderAndStability) {
+  DatabaseOptions options;
+  options.temp_pool_frames = 8;  // effective fan-in: 8 - 4 = 4 runs
+  options.sort_memory_bytes = 256;
+  options.worker_threads = 4;
+  Database small(options);
+  ExecContext ctx = ExecContext::From(&small);
+  ASSERT_NE(ctx.workers, nullptr);
+
+  ExternalSort sort(ctx, TwoIntSchema(), TupleComparator({0}));  // key: a only
+  for (int round = 0; round < 400; ++round) {
+    for (int key = 0; key < 4; ++key) {
+      ASSERT_TRUE(sort.Add(Row(key, round)).ok());
+    }
+  }
+  auto it = sort.Finish();
+  ASSERT_TRUE(it.ok()) << it.status().ToString();
+  EXPECT_GT(sort.stats().spilled_runs, 16u);
+  EXPECT_GE(sort.stats().merge_passes, 2u);
+  auto rows = Drain(it.value().get());
+  ASSERT_EQ(rows.size(), 1600u);
+  int prev_key = -1, prev_payload = -1;
+  for (const auto& [key, payload] : rows) {
+    if (key == prev_key) {
+      EXPECT_GT(payload, prev_payload) << "stability violated at key " << key;
+    } else {
+      EXPECT_EQ(key, prev_key + 1);
+    }
+    prev_key = key;
+    prev_payload = payload;
+  }
+}
+
 // API misuse must surface as Status in every build mode, not corrupt state.
 TEST_F(ExternalSortTest, AddAfterFinishFailsWithStatus) {
   ExternalSort sort(ctx_, TwoIntSchema(), TupleComparator({0}));

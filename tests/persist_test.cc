@@ -1,0 +1,654 @@
+// Tests for the durable catalog subsystem (src/persist): superblock and
+// manifest codecs, and the Database-level create/populate/close/reopen
+// round trip — including the corruption paths that must fail with a
+// descriptive Status instead of reinitializing the file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/setm.h"
+#include "datagen/quest_generator.h"
+#include "incremental/delta_miner.h"
+#include "incremental/itemset_store.h"
+#include "persist/catalog_codec.h"
+#include "persist/manifest.h"
+#include "persist/superblock.h"
+#include "relational/database.h"
+#include "sql/engine.h"
+
+namespace setm {
+namespace {
+
+Schema TwoIntSchema() {
+  return Schema(
+      {Column{"a", ValueType::kInt32}, Column{"b", ValueType::kInt32}});
+}
+
+/// A scratch database file path, removed on destruction.
+class TempDbFile {
+ public:
+  explicit TempDbFile(const std::string& name)
+      : path_(testing::TempDir() + "/" + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempDbFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+DatabaseOptions FileOptions(const TempDbFile& file) {
+  DatabaseOptions options;
+  options.file_path = file.path();
+  return options;
+}
+
+// --------------------------------------------------------------------------
+// Record codec
+// --------------------------------------------------------------------------
+
+TEST(RecordCodecTest, RoundTripsAllWidths) {
+  RecordWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xCDEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutString("schema");
+  w.PutString("");
+
+  RecordReader r(w.bytes());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0xCDEF);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetString().value(), "schema");
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(RecordCodecTest, TruncationIsCorruptionNotUb) {
+  RecordWriter w;
+  w.PutU32(7);
+  RecordReader r(std::string_view(w.bytes()).substr(0, 2));
+  auto v = r.GetU32();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RecordCodecTest, CatalogSnapshotRoundTrip) {
+  CatalogSnapshot snapshot;
+  PersistedTableMeta heap;
+  heap.name = "sales";
+  heap.backing = TableBacking::kHeap;
+  heap.schema = SetmMiner::SalesSchema();
+  heap.first_page = 3;
+  heap.last_page = 17;
+  heap.num_pages = 9;
+  heap.row_count = 1234;
+  heap.size_bytes = 9872;
+  snapshot.tables.push_back(heap);
+  PersistedTableMeta mem;
+  mem.name = "scratch";
+  mem.backing = TableBacking::kMemory;
+  mem.schema = Schema({Column{"s", ValueType::kString},
+                       Column{"d", ValueType::kDouble}});
+  snapshot.tables.push_back(mem);
+
+  auto decoded = DecodeCatalogSnapshot(EncodeCatalogSnapshot(snapshot));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().tables.size(), 2u);
+  const PersistedTableMeta& h = decoded.value().tables[0];
+  EXPECT_EQ(h.name, "sales");
+  EXPECT_EQ(h.backing, TableBacking::kHeap);
+  EXPECT_EQ(h.schema, SetmMiner::SalesSchema());
+  EXPECT_EQ(h.first_page, 3u);
+  EXPECT_EQ(h.last_page, 17u);
+  EXPECT_EQ(h.num_pages, 9u);
+  EXPECT_EQ(h.row_count, 1234u);
+  EXPECT_EQ(h.size_bytes, 9872u);
+  const PersistedTableMeta& m = decoded.value().tables[1];
+  EXPECT_EQ(m.name, "scratch");
+  EXPECT_EQ(m.backing, TableBacking::kMemory);
+  EXPECT_EQ(m.schema.NumColumns(), 2u);
+}
+
+TEST(RecordCodecTest, SnapshotRejectsTruncationAndGarbage) {
+  CatalogSnapshot snapshot;
+  PersistedTableMeta t;
+  t.name = "t";
+  t.schema = TwoIntSchema();
+  snapshot.tables.push_back(t);
+  std::string bytes = EncodeCatalogSnapshot(snapshot);
+
+  auto truncated = DecodeCatalogSnapshot(
+      std::string_view(bytes).substr(0, bytes.size() - 3));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kCorruption);
+
+  auto trailing = DecodeCatalogSnapshot(bytes + "xx");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.status().code(), StatusCode::kCorruption);
+}
+
+// --------------------------------------------------------------------------
+// Superblock codec
+// --------------------------------------------------------------------------
+
+TEST(SuperblockTest, RoundTrip) {
+  Superblock sb;
+  sb.page_count = 42;
+  sb.manifest_root = 7;
+  sb.spare_manifest_root = 9;
+  sb.checkpoint_seq = 13;
+  Page page;
+  EncodeSuperblock(sb, &page);
+  Superblock out;
+  ASSERT_TRUE(DecodeSuperblock(page, &out).ok());
+  EXPECT_EQ(out.format_version, kFormatVersion);
+  EXPECT_EQ(out.page_count, 42u);
+  EXPECT_EQ(out.manifest_root, 7u);
+  EXPECT_EQ(out.spare_manifest_root, 9u);
+  EXPECT_EQ(out.checkpoint_seq, 13u);
+}
+
+TEST(SuperblockTest, RejectsWrongMagic) {
+  Page page;
+  page.Clear();
+  std::memcpy(page.data, "NOTADB!!", 8);
+  Superblock out;
+  Status s = DecodeSuperblock(page, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("magic"), std::string::npos);
+}
+
+TEST(SuperblockTest, RejectsUnsupportedVersion) {
+  Superblock sb;
+  Page page;
+  EncodeSuperblock(sb, &page);
+  page.data[8] = 9;  // format_version lives right after the 8-byte magic
+  Superblock out;
+  Status s = DecodeSuperblock(page, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotSupported);
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+}
+
+TEST(SuperblockTest, RejectsChecksumMismatch) {
+  Superblock sb;
+  sb.page_count = 5;
+  Page page;
+  EncodeSuperblock(sb, &page);
+  page.data[12] ^= 0x01;  // flip a bit inside page_count
+  Superblock out;
+  Status s = DecodeSuperblock(page, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.message().find("checksum"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Manifest chain
+// --------------------------------------------------------------------------
+
+TEST(ManifestTest, MultiPagePayloadRoundTripsAndReusesChain) {
+  Database db;  // memory backend is fine: the manifest only needs a pool
+  std::string payload(3 * kManifestPageCapacity + 123, 'x');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + i % 17);
+  }
+  std::vector<PageId> chain;
+  auto root = WriteManifest(db.pool(), payload, &chain);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(chain.size(), 4u);
+
+  auto read = ReadManifest(db.pool(), root.value(),
+                           db.pool()->backend()->NumPages(), nullptr);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), payload);
+
+  // Rewriting a smaller payload reuses the head of the old chain and does
+  // not allocate.
+  const uint64_t pages_before = db.pool()->backend()->NumPages();
+  std::string smaller(kManifestPageCapacity / 2, 'y');
+  auto root2 = WriteManifest(db.pool(), smaller, &chain);
+  ASSERT_TRUE(root2.ok());
+  EXPECT_EQ(root2.value(), root.value());
+  EXPECT_EQ(chain.size(), 1u);
+  EXPECT_EQ(db.pool()->backend()->NumPages(), pages_before);
+  auto read2 = ReadManifest(db.pool(), root2.value(),
+                            db.pool()->backend()->NumPages(), nullptr);
+  ASSERT_TRUE(read2.ok());
+  EXPECT_EQ(read2.value(), smaller);
+}
+
+TEST(ManifestTest, NonManifestPageIsCorruption) {
+  Database db;
+  auto guard = db.pool()->NewPage();
+  ASSERT_TRUE(guard.ok());
+  const PageId id = guard.value().id();
+  guard.value().Release();
+  auto read = ReadManifest(db.pool(), id, db.pool()->backend()->NumPages(),
+                           nullptr);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+// --------------------------------------------------------------------------
+// Database reopen round trips
+// --------------------------------------------------------------------------
+
+class PersistReopenTest : public testing::TestWithParam<TableBacking> {};
+
+INSTANTIATE_TEST_SUITE_P(Backings, PersistReopenTest,
+                         testing::Values(TableBacking::kMemory,
+                                         TableBacking::kHeap),
+                         [](const auto& param_info) {
+                           return param_info.param == TableBacking::kHeap
+                                      ? "Heap"
+                                      : "Memory";
+                         });
+
+TEST_P(PersistReopenTest, CreatePopulateCloseReopen) {
+  TempDbFile file("persist_roundtrip.db");
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto t = (*db)->catalog()->CreateTable("t", TwoIntSchema(), GetParam());
+    ASSERT_TRUE(t.ok());
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(
+          t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i * 2)}))
+              .ok());
+    }
+  }  // destructor checkpoints + flushes
+
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto t = (*db)->catalog()->GetTable("t");
+  ASSERT_TRUE(t.ok()) << "catalog lost table across reopen";
+  EXPECT_EQ(t.value()->schema(), TwoIntSchema());
+  if (GetParam() == TableBacking::kHeap) {
+    // Heap rows live in the file and come back; scan and verify contents.
+    ASSERT_EQ(t.value()->num_rows(), 2000u);
+    auto it = t.value()->Scan();
+    Tuple row;
+    int expect = 0;
+    while (true) {
+      auto more = it->Next(&row);
+      ASSERT_TRUE(more.ok());
+      if (!more.value()) break;
+      EXPECT_EQ(row.value(0).AsInt32(), expect);
+      EXPECT_EQ(row.value(1).AsInt32(), expect * 2);
+      ++expect;
+    }
+    EXPECT_EQ(expect, 2000);
+  } else {
+    // Memory rows never reach the file: schema survives, rows do not.
+    EXPECT_EQ(t.value()->num_rows(), 0u);
+  }
+}
+
+TEST_P(PersistReopenTest, InsertAcrossThreeGenerations) {
+  if (GetParam() == TableBacking::kMemory) {
+    GTEST_SKIP() << "memory rows do not persist";
+  }
+  TempDbFile file("persist_generations.db");
+  for (int generation = 0; generation < 3; ++generation) {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    Table* t;
+    if (generation == 0) {
+      auto created =
+          (*db)->catalog()->CreateTable("t", TwoIntSchema(), GetParam());
+      ASSERT_TRUE(created.ok());
+      t = created.value();
+    } else {
+      auto found = (*db)->catalog()->GetTable("t");
+      ASSERT_TRUE(found.ok());
+      t = found.value();
+    }
+    EXPECT_EQ(t->num_rows(), static_cast<uint64_t>(generation) * 100);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(t->Insert(Tuple({Value::Int32(generation),
+                                   Value::Int32(i)}))
+                      .ok());
+    }
+  }
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->catalog()->GetTable("t").value()->num_rows(), 300u);
+}
+
+TEST(PersistTest, DropTableDoesNotResurrectOnReopen) {
+  TempDbFile file("persist_drop.db");
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->catalog()
+                    ->CreateTable("keep", TwoIntSchema(), TableBacking::kHeap)
+                    .ok());
+    ASSERT_TRUE((*db)->catalog()
+                    ->CreateTable("drop_me", TwoIntSchema(),
+                                  TableBacking::kHeap)
+                    .ok());
+    ASSERT_TRUE((*db)->catalog()->DropTable("drop_me").ok());
+  }
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE((*db)->catalog()->HasTable("keep"));
+  EXPECT_FALSE((*db)->catalog()->HasTable("drop_me"));
+  // Creation order survives too.
+  EXPECT_EQ((*db)->catalog()->TableNames(),
+            std::vector<std::string>{"keep"});
+}
+
+TEST(PersistTest, EmptyDatabaseReopensEmpty) {
+  TempDbFile file("persist_empty.db");
+  { ASSERT_TRUE(Database::Open(FileOptions(file)).ok()); }
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE((*db)->catalog()->TableNames().empty());
+  EXPECT_GT((*db)->checkpoint_count(), 0u);
+}
+
+TEST(PersistTest, ExplicitCheckpointKeepsFileSizeStable) {
+  TempDbFile file("persist_checkpoint.db");
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db.ok());
+  auto t = (*db)->catalog()->CreateTable("t", TwoIntSchema(),
+                                         TableBacking::kHeap);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(
+      t.value()->Insert(Tuple({Value::Int32(1), Value::Int32(2)})).ok());
+  // Checkpoints alternate between two chains; once both exist, repeated
+  // checkpoints ping-pong between them with no page growth.
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  const uint64_t pages = (*db)->pool()->backend()->NumPages();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  EXPECT_EQ((*db)->pool()->backend()->NumPages(), pages);
+}
+
+TEST(PersistTest, ReopenedProcessesReuseManifestChains) {
+  TempDbFile file("persist_chain_reuse.db");
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->catalog()
+                    ->CreateTable("t", TwoIntSchema(), TableBacking::kHeap)
+                    .ok());
+    // Establish both chains before measuring.
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  uint64_t pages_after_first_close = 0;
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok());
+    pages_after_first_close = (*db)->pool()->backend()->NumPages();
+  }
+  // Several more process generations, each checkpointing on close: the
+  // retired chain's root is persisted in the superblock, so reopens reuse
+  // it instead of orphaning one chain per generation.
+  for (int generation = 0; generation < 5; ++generation) {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->pool()->backend()->NumPages(), pages_after_first_close)
+      << "file grew across reopen generations with an unchanged catalog";
+}
+
+// --------------------------------------------------------------------------
+// Corrupt / foreign files are rejected, never reinitialized
+// --------------------------------------------------------------------------
+
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(PersistTest, RejectsTruncatedSuperblockWithoutModifyingFile) {
+  TempDbFile file("persist_tiny.db");
+  WriteAll(file.path(), "not nearly a page of bytes");
+  const std::string before = ReadAll(file.path());
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(db.status().message().find("too small"), std::string::npos);
+  EXPECT_EQ(ReadAll(file.path()), before) << "open modified a rejected file";
+}
+
+TEST(PersistTest, RejectsForeignFileWithoutModifyingFile) {
+  TempDbFile file("persist_foreign.db");
+  WriteAll(file.path(), std::string(2 * kPageSize, '\x5A'));
+  const std::string before = ReadAll(file.path());
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(db.status().message().find("magic"), std::string::npos);
+  EXPECT_EQ(ReadAll(file.path()), before);
+}
+
+TEST(PersistTest, RejectsVersionMismatchWithoutModifyingFile) {
+  TempDbFile file("persist_version.db");
+  { ASSERT_TRUE(Database::Open(FileOptions(file)).ok()); }
+  std::string bytes = ReadAll(file.path());
+  bytes[8] = 9;  // format_version byte
+  WriteAll(file.path(), bytes);
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kNotSupported);
+  EXPECT_NE(db.status().message().find("version"), std::string::npos);
+  EXPECT_EQ(ReadAll(file.path()), bytes);
+}
+
+TEST(PersistTest, RejectsTruncatedDatabaseWithoutModifyingFile) {
+  TempDbFile file("persist_truncated.db");
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok());
+    auto t = (*db)->catalog()->CreateTable("t", TwoIntSchema(),
+                                           TableBacking::kHeap);
+    ASSERT_TRUE(t.ok());
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_TRUE(
+          t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+    }
+  }
+  std::string bytes = ReadAll(file.path());
+  ASSERT_GT(bytes.size(), 3 * kPageSize);
+  const std::string cut = bytes.substr(0, 3 * kPageSize);
+  WriteAll(file.path(), cut);
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(db.status().message().find("truncated"), std::string::npos);
+  EXPECT_EQ(ReadAll(file.path()), cut);
+}
+
+// A crash after appends (dirty pages evicted to the file, no checkpoint)
+// leaves the heap chain holding more rows than the manifest records. The
+// file must still open — refusing would turn the documented "lose
+// un-checkpointed data" contract into a permanently unopenable file — and
+// the walk's counts win.
+TEST(PersistTest, ReopenToleratesUncheckpointedAppends) {
+  TempDbFile file("persist_crash_appends.db");
+  TempDbFile crashed("persist_crash_appends_snapshot.db");
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok());
+    auto t = (*db)->catalog()->CreateTable("t", TwoIntSchema(),
+                                           TableBacking::kHeap);
+    ASSERT_TRUE(t.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+    }
+    ASSERT_TRUE((*db)->Checkpoint().ok());  // manifest records 100 rows
+    for (int i = 100; i < 150; ++i) {       // 50 more, never checkpointed
+      ASSERT_TRUE(
+          t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+    }
+    ASSERT_TRUE((*db)->pool()->FlushAll().ok());  // "evicted to disk"
+    // Snapshot the file as a crash would leave it: rows flushed, manifest
+    // stale. (The destructor of `db` would checkpoint; the copy escapes it.)
+    WriteAll(crashed.path(), ReadAll(file.path()));
+  }
+  auto db = Database::Open(FileOptions(crashed));
+  ASSERT_TRUE(db.ok()) << "crash image refused to open: "
+                       << db.status().ToString();
+  auto t = (*db)->catalog()->GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->num_rows(), 150u) << "flushed appends were lost";
+}
+
+// The whole of ItemsetStore::Save — K+1 DDL statements — runs under one
+// checkpoint deferral: a single durable transition from old store to new,
+// never an intermediate image, and none of the per-DDL flush storms.
+TEST(PersistTest, ItemsetStoreSaveCheckpointsOnce) {
+  TempDbFile file("persist_save_once.db");
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db.ok());
+
+  FrequentItemsets itemsets;
+  itemsets.Add({1}, 10);
+  itemsets.Add({2}, 8);
+  itemsets.Add({1, 2}, 6);
+  itemsets.Add({1, 2, 3}, 4);  // 3 level tables + meta = 4 DDLs
+  itemsets.num_transactions = 12;
+  StoredRunMeta meta;
+  meta.num_transactions = 12;
+  meta.min_support_count = 2;
+
+  ItemsetStore store(db->get(), "fi", TableBacking::kHeap);
+  const uint64_t before = (*db)->checkpoint_count();
+  ASSERT_TRUE(store.Save(itemsets, meta).ok());
+  EXPECT_EQ((*db)->checkpoint_count(), before + 1);
+
+  // Re-saving (drop of 4 + create of 4) is also one checkpoint.
+  const uint64_t before_resave = (*db)->checkpoint_count();
+  ASSERT_TRUE(store.Save(itemsets, meta).ok());
+  EXPECT_EQ((*db)->checkpoint_count(), before_resave + 1);
+
+  auto loaded = store.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().itemsets == itemsets);
+}
+
+// --------------------------------------------------------------------------
+// Cross-"process" mining workflows (close + fresh Open = new process)
+// --------------------------------------------------------------------------
+
+TransactionDb MakeQuestDb(uint64_t seed, uint32_t num_transactions) {
+  QuestOptions gen;
+  gen.seed = seed;
+  gen.num_transactions = num_transactions;
+  gen.avg_transaction_size = 5;
+  gen.num_items = 20;
+  gen.num_patterns = 15;
+  return QuestGenerator(gen).Generate();
+}
+
+TEST(PersistTest, ItemsetStoreSurvivesReopenAndFeedsDeltaMiner) {
+  TempDbFile file("persist_store.db");
+  TransactionDb base = MakeQuestDb(814, 200);
+  MiningOptions options;
+  options.min_support = 0.05;
+
+  FrequentItemsets stored_before;
+  // Process A: load SALES, mine, store, close.
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok());
+    auto sales = LoadSalesTable(db->get(), "sales", base,
+                                TableBacking::kHeap);
+    ASSERT_TRUE(sales.ok());
+    SetmMiner miner(db->get(), SetmOptions{TableBacking::kHeap});
+    auto mined = miner.MineTable(*sales.value(), options);
+    ASSERT_TRUE(mined.ok());
+    stored_before = mined.value().itemsets;
+    ItemsetStore store(db->get(), "fi", TableBacking::kHeap);
+    ASSERT_TRUE(store
+                    .Save(mined.value().itemsets,
+                          MakeRunMeta(mined.value().itemsets, options,
+                                      MaxTransactionId(base), "sales"))
+                    .ok());
+  }
+
+  // Process B: reopen, load the store (identical), run a delta batch.
+  TransactionDb batch = MakeQuestDb(815, 20);
+  for (Transaction& t : batch) t.id += MaxTransactionId(base);
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ItemsetStore store(db->get(), "fi", TableBacking::kHeap);
+    ASSERT_TRUE(store.Exists());
+    auto loaded = store.Load();
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(loaded.value().itemsets == stored_before)
+        << "stored run changed across restart";
+    EXPECT_EQ(loaded.value().meta.source_table, "sales");
+
+    auto sales = (*db)->catalog()->GetTable("sales");
+    ASSERT_TRUE(sales.ok());
+    DeltaMiner miner(db->get());
+    auto updated =
+        miner.AppendAndUpdate(&store, sales.value(), batch, options);
+    ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+    EXPECT_FALSE(updated.value().full_remine);
+
+    // Identity: the cross-process incremental result equals a one-process
+    // full remine of the combined database.
+    TransactionDb combined = base;
+    combined.insert(combined.end(), batch.begin(), batch.end());
+    Database mem_db;
+    auto remined = SetmMiner(&mem_db).Mine(combined, options);
+    ASSERT_TRUE(remined.ok());
+    EXPECT_TRUE(updated.value().result.itemsets ==
+                remined.value().itemsets)
+        << "cross-process incremental result diverged from full remine";
+  }
+
+  // Process C: the updated store reopens with the combined result and the
+  // SQL engine can scan the reopened relations.
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok());
+    ItemsetStore store(db->get(), "fi", TableBacking::kHeap);
+    auto loaded = store.Load();
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().itemsets.num_transactions,
+              static_cast<uint64_t>(220));
+
+    sql::SqlEngine engine(db->get());
+    auto rows = engine.Execute("SELECT item1, support FROM fi_f1");
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(rows.value().rows.size(),
+              loaded.value().itemsets.OfSize(1).size());
+  }
+}
+
+}  // namespace
+}  // namespace setm

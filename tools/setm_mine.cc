@@ -3,9 +3,9 @@
 //   setm_mine --input sales.csv [--minsup 1.0] [--minconf 50]
 //             [--algorithm setm|setm-sql|nested-loop|apriori|ais]
 //             [--storage memory|heap] [--threads N] [--rules single|subsets]
-//             [--max-k N] [--stats] [--format text|csv]
-//             [--store PREFIX] [--append FILE.csv] [--incremental]
-//             [--fallback PCT]
+//             [--max-k N] [--pool-frames N] [--stats] [--format text|csv]
+//             [--db FILE] [--store PREFIX] [--append FILE.csv]
+//             [--incremental] [--fallback PCT]
 //
 // Reads a (trans_id,item) CSV, mines frequent itemsets with the chosen
 // algorithm, and prints rules. With --format csv the rules come out as
@@ -18,6 +18,18 @@
 // the DeltaMiner with --incremental (falling back to a full remine when the
 // batch exceeds --fallback PCT percent of the combined database), or by a
 // plain full remine without it. Rules are printed for the final result.
+//
+// Persistence: --db FILE puts the whole database — SALES, the stored
+// itemset relations and the catalog — in a durable file, so store and
+// append can run in *separate invocations*:
+//
+//   setm_mine --db sales.db --input base.csv --store fi      # process A
+//   setm_mine --db sales.db --append delta.csv --incremental # process B
+//
+// Process B reopens the file, finds SALES and the stored run in the
+// catalog, and brings both up to date without --input (passing --input at
+// reopen is an error — the base data already lives in the file). --db
+// implies --storage heap; it requires store mode (--store and/or --append).
 
 #include <algorithm>
 #include <cstdio>
@@ -50,11 +62,14 @@ struct Args {
   std::string format = "text";
   std::string store_prefix;
   std::string append;
+  std::string db;
   double fallback_pct = 25.0;
   size_t max_k = 0;
+  size_t pool_frames = 0;  // 0 = DatabaseOptions default
   size_t threads = 1;
   bool stats = false;
   bool incremental = false;
+  bool storage_set = false;
 };
 
 void Usage(const char* argv0) {
@@ -64,9 +79,10 @@ void Usage(const char* argv0) {
       "          [--algorithm setm|setm-sql|nested-loop|apriori|ais]\n"
       "          [--storage memory|heap] [--threads N]\n"
       "          [--rules single|subsets]\n"
-      "          [--max-k N] [--stats] [--format text|csv]\n"
-      "          [--store PREFIX] [--append FILE.csv] [--incremental]\n"
-      "          [--fallback PCT]\n",
+      "          [--max-k N] [--pool-frames N] [--stats] [--format text|csv]\n"
+      "          [--db FILE] [--store PREFIX] [--append FILE.csv]\n"
+      "          [--incremental] [--fallback PCT]\n"
+      "(--input may be omitted when --db reopens an existing database)\n",
       argv0);
 }
 
@@ -99,6 +115,11 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = need_value("--storage");
       if (v == nullptr) return false;
       out->storage = v;
+      out->storage_set = true;
+    } else if (std::strcmp(argv[i], "--db") == 0) {
+      const char* v = need_value("--db");
+      if (v == nullptr) return false;
+      out->db = v;
     } else if (std::strcmp(argv[i], "--rules") == 0) {
       const char* v = need_value("--rules");
       if (v == nullptr) return false;
@@ -107,6 +128,15 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = need_value("--max-k");
       if (v == nullptr) return false;
       out->max_k = static_cast<size_t>(std::atol(v));
+    } else if (std::strcmp(argv[i], "--pool-frames") == 0) {
+      const char* v = need_value("--pool-frames");
+      if (v == nullptr) return false;
+      long n = std::atol(v);
+      if (n < 1) {
+        std::fprintf(stderr, "--pool-frames must be >= 1\n");
+        return false;
+      }
+      out->pool_frames = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = need_value("--threads");
       if (v == nullptr) return false;
@@ -141,18 +171,32 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       return false;
     }
   }
-  if (out->input.empty()) {
+  if (out->input.empty() && out->db.empty()) {
     std::fprintf(stderr, "--input is required\n");
     return false;
   }
-  if ((!out->store_prefix.empty() || !out->append.empty()) &&
+  if ((!out->store_prefix.empty() || !out->append.empty() ||
+       !out->db.empty()) &&
       out->algorithm != "setm") {
-    std::fprintf(stderr, "--store/--append require --algorithm setm\n");
+    std::fprintf(stderr, "--db/--store/--append require --algorithm setm\n");
     return false;
   }
   if (out->incremental && out->append.empty()) {
     std::fprintf(stderr, "--incremental requires --append\n");
     return false;
+  }
+  if (!out->db.empty()) {
+    if (out->store_prefix.empty() && out->append.empty()) {
+      std::fprintf(stderr, "--db requires --store and/or --append\n");
+      return false;
+    }
+    if (out->storage_set && out->storage != "heap") {
+      std::fprintf(stderr,
+                   "--db persists tables to the file and requires "
+                   "--storage heap (the default with --db)\n");
+      return false;
+    }
+    out->storage = "heap";  // memory-backed rows would not survive restart
   }
   return true;
 }
@@ -188,8 +232,12 @@ Result<MiningResult> RunAlgorithm(const Args& args, Database* db,
 /// catalog-resident SALES relation, materialize the result as itemset
 /// relations, then (with --append) bring store and result up to date with
 /// the second batch — incrementally via the DeltaMiner or by full remine.
+///
+/// `txns` is null when no --input was given: with --db the SALES relation
+/// and the stored run are expected to already live in the (reopened)
+/// database file, and the base result is loaded instead of remined.
 Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
-                                    const TransactionDb& txns,
+                                    const TransactionDb* txns,
                                     const MiningOptions& options) {
   const TableBacking backing = args.storage == "heap" ? TableBacking::kHeap
                                                       : TableBacking::kMemory;
@@ -197,30 +245,102 @@ Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
   setm_options.storage = backing;
   setm_options.num_threads = args.threads;
 
-  auto sales_or = LoadSalesTable(db, "sales", txns, backing);
-  if (!sales_or.ok()) return sales_or.status();
-  Table* sales = sales_or.value();
-
-  SetmMiner miner(db, setm_options);
-  auto base_or = miner.MineTable(*sales, options);
-  if (!base_or.ok()) return base_or.status();
-  MiningResult base = std::move(base_or).value();
-
   const std::string prefix =
       args.store_prefix.empty() ? "fi" : args.store_prefix;
   ItemsetStore store(db, prefix, backing);
-  SETM_RETURN_IF_ERROR(store.Save(
-      base.itemsets,
-      MakeRunMeta(base.itemsets, options, MaxTransactionId(txns), "sales")));
-  if (base.itemsets.MaxSize() == 0) {
-    std::fprintf(stderr, "stored empty result as relation %s\n",
-                 store.MetaTableName().c_str());
-  } else {
+
+  Table* sales = nullptr;
+  MiningResult base;
+  TransactionId watermark = 0;
+
+  const bool reopened = db->catalog()->HasTable("sales") && store.Exists();
+  if (reopened) {
+    if (txns != nullptr) {
+      return Status::InvalidArgument(
+          "database file already holds the SALES relation and stored run "
+          "'" + prefix + "'; omit --input when reopening with --db");
+    }
+    auto sales_or = db->catalog()->GetTable("sales");
+    if (!sales_or.ok()) return sales_or.status();
+    sales = sales_or.value();
+    auto loaded_or = store.Load();
+    if (!loaded_or.ok()) return loaded_or.status();
+    base.itemsets = std::move(loaded_or.value().itemsets);
+    watermark = loaded_or.value().meta.watermark;
     std::fprintf(stderr,
-                 "stored %zu patterns as relations %s, %s .. %s\n",
-                 base.itemsets.TotalPatterns(), store.MetaTableName().c_str(),
-                 store.LevelTableName(1).c_str(),
-                 store.LevelTableName(base.itemsets.MaxSize()).c_str());
+                 "reopened database: %llu rows in sales, %zu stored "
+                 "patterns under '%s' (watermark %d)\n",
+                 static_cast<unsigned long long>(sales->num_rows()),
+                 base.itemsets.TotalPatterns(), prefix.c_str(),
+                 static_cast<int>(watermark));
+  } else if (db->catalog()->HasTable("sales")) {
+    // SALES survived a previous invocation but the requested store did not
+    // (killed before store.Save, or a different --store prefix): remine
+    // the persisted rows and (re)build the store — the recovery path.
+    // Accepting --input here would double-load the base data.
+    if (txns != nullptr) {
+      return Status::InvalidArgument(
+          "database file already holds the SALES relation (but no stored "
+          "run '" + prefix + "'); omit --input to remine it and build the "
+          "store");
+    }
+    auto sales_or = db->catalog()->GetTable("sales");
+    if (!sales_or.ok()) return sales_or.status();
+    sales = sales_or.value();
+    std::fprintf(stderr,
+                 "reopened database: %llu rows in sales, no stored run "
+                 "under '%s' — remining\n",
+                 static_cast<unsigned long long>(sales->num_rows()),
+                 prefix.c_str());
+
+    SetmMiner miner(db, setm_options);
+    auto base_or = miner.MineTable(*sales, options);
+    if (!base_or.ok()) return base_or.status();
+    base = std::move(base_or).value();
+    {
+      // Watermark = highest trans_id in the persisted relation.
+      auto it = sales->Scan();
+      Tuple row;
+      while (true) {
+        auto more = it->Next(&row);
+        if (!more.ok()) return more.status();
+        if (!more.value()) break;
+        watermark = std::max(watermark, row.value(0).AsInt32());
+      }
+    }
+    SETM_RETURN_IF_ERROR(store.Save(
+        base.itemsets, MakeRunMeta(base.itemsets, options, watermark,
+                                   "sales")));
+  } else {
+    if (txns == nullptr) {
+      return Status::InvalidArgument(
+          "database file holds no stored run under '" + prefix +
+          "'; --input is required to build one");
+    }
+    auto sales_or = LoadSalesTable(db, "sales", *txns, backing);
+    if (!sales_or.ok()) return sales_or.status();
+    sales = sales_or.value();
+
+    SetmMiner miner(db, setm_options);
+    auto base_or = miner.MineTable(*sales, options);
+    if (!base_or.ok()) return base_or.status();
+    base = std::move(base_or).value();
+    watermark = MaxTransactionId(*txns);
+
+    SETM_RETURN_IF_ERROR(store.Save(
+        base.itemsets, MakeRunMeta(base.itemsets, options, watermark,
+                                   "sales")));
+    if (base.itemsets.MaxSize() == 0) {
+      std::fprintf(stderr, "stored empty result as relation %s\n",
+                   store.MetaTableName().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "stored %zu patterns as relations %s, %s .. %s\n",
+                   base.itemsets.TotalPatterns(),
+                   store.MetaTableName().c_str(),
+                   store.LevelTableName(1).c_str(),
+                   store.LevelTableName(base.itemsets.MaxSize()).c_str());
+    }
   }
 
   if (args.append.empty()) return base;
@@ -250,13 +370,12 @@ Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
   // Same watermark discipline as the incremental path: a reused or
   // duplicate id would silently merge two transactions in the remine.
   {
-    const TransactionId watermark = MaxTransactionId(txns);
     std::unordered_set<TransactionId> seen;
     for (const Transaction& t : delta) {
       if (t.id <= watermark || !seen.insert(t.id).second) {
         return Status::InvalidArgument(
             "append batch reuses transaction id " + std::to_string(t.id) +
-            " (ids must be unique and above the base file's)");
+            " (ids must be unique and above the stored watermark)");
       }
     }
   }
@@ -266,13 +385,15 @@ Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
           sales->Insert(Tuple({Value::Int32(t.id), Value::Int32(item)})));
     }
   }
+  SetmMiner miner(db, setm_options);
   auto remined = miner.MineTable(*sales, options);
   if (!remined.ok()) return remined.status();
-  const TransactionId watermark =
-      std::max(MaxTransactionId(txns), MaxTransactionId(delta));
+  const TransactionId new_watermark =
+      std::max(watermark, MaxTransactionId(delta));
   SETM_RETURN_IF_ERROR(store.Save(
       remined.value().itemsets,
-      MakeRunMeta(remined.value().itemsets, options, watermark, "sales")));
+      MakeRunMeta(remined.value().itemsets, options, new_watermark,
+                  "sales")));
   return remined;
 }
 
@@ -294,11 +415,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto txns = LoadTransactionsCsv(args.input);
-  if (!txns.ok()) {
-    std::fprintf(stderr, "cannot load %s: %s\n", args.input.c_str(),
-                 txns.status().ToString().c_str());
-    return 1;
+  TransactionDb txns;
+  bool have_txns = false;
+  if (!args.input.empty()) {
+    auto txns_or = LoadTransactionsCsv(args.input);
+    if (!txns_or.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", args.input.c_str(),
+                   txns_or.status().ToString().c_str());
+      return 1;
+    }
+    txns = std::move(txns_or).value();
+    have_txns = true;
   }
 
   MiningOptions options;
@@ -306,10 +433,27 @@ int main(int argc, char** argv) {
   options.min_confidence = args.minconf_pct / 100.0;
   options.max_pattern_length = args.max_k;
 
-  Database db;
+  // With --db the database lives in (and persists to) a file: Open()
+  // validates the superblock of an existing file and rebuilds its catalog,
+  // or initializes a fresh one; the destructor checkpoints on exit.
+  DatabaseOptions db_options;
+  db_options.file_path = args.db;
+  if (args.pool_frames > 0) db_options.pool_frames = args.pool_frames;
+  auto db_or = Database::Open(db_options);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "cannot open database %s: %s\n",
+                 args.db.empty() ? "(in-memory)" : args.db.c_str(),
+                 db_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Database> db = std::move(db_or).value();
+
   const bool store_mode = !args.store_prefix.empty() || !args.append.empty();
-  auto result = store_mode ? RunStoreAppend(args, &db, txns.value(), options)
-                           : RunAlgorithm(args, &db, txns.value(), options);
+  auto result =
+      store_mode
+          ? RunStoreAppend(args, db.get(), have_txns ? &txns : nullptr,
+                           options)
+          : RunAlgorithm(args, db.get(), txns, options);
   if (!result.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());
@@ -351,6 +495,11 @@ int main(int argc, char** argv) {
                    it.seconds * 1000.0);
     }
     std::fprintf(stderr, "io: %s\n", result.value().io.ToString().c_str());
+    // The whole-process ledger: with --db this additionally covers opening
+    // the file, rebuilding the catalog and loading the stored run — the
+    // fair basis for cross-invocation page-count comparisons.
+    std::fprintf(stderr, "db io: %s\n",
+                 db->io_stats()->ToString().c_str());
     std::fprintf(stderr, "total: %.3f s\n", result.value().total_seconds);
   }
   return 0;
