@@ -7,11 +7,14 @@
 // so the *shape* comparison is visible at a glance.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "core/miner_registry.h"
 #include "core/types.h"
 #include "datagen/retail_generator.h"
+#include "relational/database.h"
 
 namespace setm::bench {
 
@@ -28,6 +31,36 @@ inline const std::vector<double>& PaperMinSupSweep() {
 inline const TransactionDb& RetailDb() {
   static const TransactionDb db = RetailGenerator(RetailOptions{}).Generate();
   return db;
+}
+
+/// Runs one registry-registered algorithm over `txns` on a fresh Database
+/// and returns the result — the uniform way bench binaries construct
+/// miners, replacing per-bench construction boilerplate. `knobs` are the
+/// physical options (storage/count_method/num_threads); `db_options` shape
+/// the database (pool sizes, sort budget) for I/O-sensitive experiments.
+/// Benches have no error channel beyond stderr, so failures exit(1).
+inline MiningResult RunAlgo(const std::string& name,
+                            const TransactionDb& txns,
+                            const MiningOptions& options,
+                            const SetmOptions& knobs = {},
+                            const DatabaseOptions& db_options = {}) {
+  Database db(db_options);
+  auto miner = MinerRegistry::Create(name, &db, knobs);
+  if (!miner.ok()) {
+    std::fprintf(stderr, "RunAlgo(%s): %s\n", name.c_str(),
+                 miner.status().ToString().c_str());
+    std::exit(1);
+  }
+  MiningRequest request;
+  request.transactions = &txns;
+  request.options = options;
+  auto result = miner.value()->Mine(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "RunAlgo(%s): mining failed: %s\n", name.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
 }
 
 /// Prints a banner identifying the experiment.

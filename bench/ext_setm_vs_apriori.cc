@@ -9,11 +9,8 @@
 
 #include <cstdio>
 
-#include "baselines/ais.h"
-#include "baselines/apriori.h"
 #include "bench/bench_util.h"
 #include "common/timer.h"
-#include "core/setm.h"
 #include "datagen/quest_generator.h"
 
 namespace {
@@ -39,26 +36,20 @@ void RunSweep(const char* name, const TransactionDb& txns,
   for (double pct : sweep_pct) {
     MiningOptions options;
     options.min_support = pct / 100.0;
-    size_t patterns = 0;
 
-    const double setm_s = TimeBest([&] {
-      Database db;
-      SetmMiner miner(&db);
-      auto r = miner.Mine(txns, options);
-      if (r.ok()) patterns = r.value().itemsets.TotalPatterns();
-    });
-    size_t apriori_patterns = 0;
-    const double apriori_s = TimeBest([&] {
-      AprioriMiner miner;
-      auto r = miner.Mine(txns, options);
-      if (r.ok()) apriori_patterns = r.value().itemsets.TotalPatterns();
-    });
-    size_t ais_patterns = 0;
-    const double ais_s = TimeBest([&] {
-      AisMiner miner;
-      auto r = miner.Mine(txns, options);
-      if (r.ok()) ais_patterns = r.value().itemsets.TotalPatterns();
-    });
+    // One registry-driven timing lambda per algorithm — no per-miner
+    // construction boilerplate (bench::RunAlgo builds each through the
+    // MinerRegistry on a fresh database).
+    size_t patterns = 0, apriori_patterns = 0, ais_patterns = 0;
+    auto timed = [&](const char* algo, size_t* out_patterns) {
+      return TimeBest([&] {
+        *out_patterns =
+            bench::RunAlgo(algo, txns, options).itemsets.TotalPatterns();
+      });
+    };
+    const double setm_s = timed("setm", &patterns);
+    const double apriori_s = timed("apriori", &apriori_patterns);
+    const double ais_s = timed("ais", &ais_patterns);
 
     std::printf("%-10.2f %12.3f %12.3f %12.3f %10zu%s\n", pct, setm_s,
                 apriori_s, ais_s, patterns,

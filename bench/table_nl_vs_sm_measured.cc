@@ -12,8 +12,6 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "core/nested_loop_miner.h"
-#include "core/setm.h"
 #include "datagen/quest_generator.h"
 
 int main() {
@@ -37,35 +35,20 @@ int main() {
     MiningOptions options;
     options.min_support = 0.01;
 
-    IoStats nl_io, sm_io;
-    {
-      DatabaseOptions small;
-      small.pool_frames = 32;  // indexes won't fit: probes hit the backend
-      Database db(small);
-      NestedLoopMiner miner(&db);
-      auto result = miner.Mine(txns, options);
-      if (!result.ok()) {
-        std::fprintf(stderr, "NL mining failed: %s\n",
-                     result.status().ToString().c_str());
-        return 1;
-      }
-      nl_io = result.value().io;
-    }
-    {
-      DatabaseOptions small;
-      small.pool_frames = 32;
-      small.temp_pool_frames = 32;
-      small.sort_memory_bytes = 64 << 10;  // force external sorting
-      Database db(small);
-      SetmMiner miner(&db, SetmOptions{TableBacking::kHeap});
-      auto result = miner.Mine(txns, options);
-      if (!result.ok()) {
-        std::fprintf(stderr, "SETM mining failed: %s\n",
-                     result.status().ToString().c_str());
-        return 1;
-      }
-      sm_io = result.value().io;
-    }
+    // Both strategies run through the registry; only the knobs differ.
+    DatabaseOptions nl_db;
+    nl_db.pool_frames = 32;  // indexes won't fit: probes hit the backend
+    const IoStats nl_io =
+        bench::RunAlgo("nested-loop", txns, options, {}, nl_db).io;
+
+    DatabaseOptions sm_db;
+    sm_db.pool_frames = 32;
+    sm_db.temp_pool_frames = 32;
+    sm_db.sort_memory_bytes = 64 << 10;  // force external sorting
+    SetmOptions sm_knobs;
+    sm_knobs.storage = TableBacking::kHeap;
+    const IoStats sm_io =
+        bench::RunAlgo("setm", txns, options, sm_knobs, sm_db).io;
     auto row = [&](const char* name, const IoStats& io) {
       std::printf("%-8u %-12s %12llu %12llu %12llu %12llu %12.1f\n", n, name,
                   static_cast<unsigned long long>(io.TotalAccesses()),

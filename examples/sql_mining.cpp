@@ -39,9 +39,14 @@ int main() {
   }
 
   // 2. Run Algorithm SETM as the SQL loop of Section 4.1.
-  SetmSqlMiner miner(&db, "sales");
+  auto sales = db.catalog()->GetTable("sales");
+  if (!sales.ok()) {
+    std::fprintf(stderr, "%s\n", sales.status().ToString().c_str());
+    return 1;
+  }
+  SetmSqlMiner miner(&db);
   MiningOptions options = PaperExampleOptions();
-  auto result = miner.MineTable(options);
+  auto result = miner.MineTable(*sales.value(), options);
   if (!result.ok()) {
     std::fprintf(stderr, "SQL mining failed: %s\n",
                  result.status().ToString().c_str());

@@ -31,3 +31,10 @@ mine_bin="build/$preset/tools/setm_mine"
 if [[ -x "$mine_bin" ]]; then
   scripts/smoke_db_persist.sh "$mine_bin"
 fi
+
+# Cross-algorithm smoke: every algorithm in `setm_mine --algo list` must
+# reproduce the SETM golden rules on the paper example and match the SETM
+# output on a deterministic Quest-style workload.
+if [[ -x "$mine_bin" ]]; then
+  scripts/smoke_algos.sh "$mine_bin"
+fi

@@ -43,6 +43,7 @@ Result<MiningResult> AisMiner::Mine(const TransactionDb& transactions,
     stats.c_size = frontier.size();
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
   }
 
   // Passes k >= 2: extend frontier sets found in each transaction.
@@ -94,6 +95,7 @@ Result<MiningResult> AisMiner::Mine(const TransactionDb& transactions,
     stats.c_size = frontier.size();
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
   }
 
   result.itemsets.Normalize();

@@ -82,6 +82,7 @@ Result<MiningResult> AprioriMiner::Mine(const TransactionDb& transactions,
     stats.c_size = frontier.size();
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
   }
 
   for (size_t k = 2; !frontier.empty(); ++k) {
@@ -119,6 +120,7 @@ Result<MiningResult> AprioriMiner::Mine(const TransactionDb& transactions,
     stats.c_size = frontier.size();
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
   }
 
   result.itemsets.Normalize();

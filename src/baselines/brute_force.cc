@@ -56,6 +56,7 @@ Result<MiningResult> BruteForceMiner::Mine(const TransactionDb& transactions,
     stats.c_size = frontier.size();
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
     if (frontier.empty()) break;
   }
 

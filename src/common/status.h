@@ -22,6 +22,7 @@ enum class StatusCode {
   kOutOfRange,
   kResourceExhausted,
   kInternal,
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code, e.g. "IOError".
@@ -72,6 +73,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -90,6 +94,7 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// Renders "OK" or "<CodeName>: <message>" for logs and test failures.
   std::string ToString() const;

@@ -1,0 +1,70 @@
+#include "core/miner.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace setm {
+
+Status ValidateMiningRequest(const MiningRequest& request) {
+  if (request.transactions != nullptr && request.table != nullptr) {
+    return Status::InvalidArgument(
+        "MiningRequest sets both transactions and table; exactly one source "
+        "is allowed");
+  }
+  if (request.transactions == nullptr && request.table == nullptr) {
+    return Status::InvalidArgument(
+        "MiningRequest has no source; set transactions or table");
+  }
+  return Status::OK();
+}
+
+Result<TransactionDb> TransactionsFromTable(const Table& sales) {
+  if (sales.schema().NumColumns() != 2) {
+    return Status::InvalidArgument("SALES must have schema (trans_id, item)");
+  }
+  std::vector<std::pair<TransactionId, ItemId>> rows;
+  rows.reserve(sales.num_rows());
+  auto it = sales.Scan();
+  Tuple row;
+  while (true) {
+    auto more = it->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    rows.emplace_back(row.value(0).AsInt32(), row.value(1).AsInt32());
+  }
+  std::sort(rows.begin(), rows.end());
+  // Duplicate (trans_id, item) rows are rejected, not silently merged: the
+  // miners with a native table pipeline (setm, setm-sql) count every row,
+  // so deduplicating here would make the same MiningRequest yield
+  // different supports per algorithm. SALES is set-valued — a duplicate
+  // row is malformed input, and the caller should hear about it.
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i] == rows[i - 1]) {
+      return Status::InvalidArgument(
+          "SALES row (" + std::to_string(rows[i].first) + ", " +
+          std::to_string(rows[i].second) +
+          ") appears more than once; duplicate rows would be counted by "
+          "row-oriented miners and must be removed first");
+    }
+  }
+
+  TransactionDb txns;
+  for (size_t i = 0; i < rows.size();) {
+    Transaction t;
+    t.id = rows[i].first;
+    size_t j = i;
+    while (j < rows.size() && rows[j].first == t.id) {
+      t.items.push_back(rows[j].second);
+      ++j;
+    }
+    txns.push_back(std::move(t));
+    i = j;
+  }
+  SETM_RETURN_IF_ERROR(ValidateTransactions(txns));
+  return txns;
+}
+
+}  // namespace setm

@@ -80,6 +80,7 @@ Result<MiningResult> NestedLoopMiner::Mine(const TransactionDb& transactions,
     stats.c_size = result.itemsets.OfSize(1).size();
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
   }
 
   // --- C_k from C_{k-1} via index nested loops (steps 1-5). ---------------
@@ -153,6 +154,7 @@ Result<MiningResult> NestedLoopMiner::Mine(const TransactionDb& transactions,
     stats.c_size = added;
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
     if (added == 0) break;
   }
 

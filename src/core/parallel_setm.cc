@@ -9,9 +9,8 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "core/setm_pipeline.h"
 #include "exec/exec_context.h"
-#include "exec/external_sort.h"
-#include "exec/operators.h"
 #include "exec/worker_pool.h"
 
 namespace setm {
@@ -77,25 +76,46 @@ Result<std::unique_ptr<Table>> NewRelation(Database* db, TableBacking backing,
   return std::unique_ptr<Table>(std::move(t).value());
 }
 
+/// Adds one locally counted pattern occurrence (or a pre-aggregated group
+/// of `count` occurrences) into the partition's sharded count maps.
+void AddLocalCount(Partition* p, size_t num_shards,
+                   const std::vector<ItemId>& items, int64_t count) {
+  std::string key = ItemsetKey(items);
+  LocalPattern& lp = p->counts[ShardOf(key, num_shards)][std::move(key)];
+  if (lp.count == 0) lp.items = items;
+  lp.count += count;
+}
+
 /// Phase k=1: materialize the partition's R_1 slice (already sorted) and
-/// count single items locally, bucketed by key shard.
-Status BuildR1(Database* db, const SetmOptions& so, size_t index,
-               size_t num_shards, Partition* p) {
+/// count single items locally, bucketed by key shard. Under kSortMerge the
+/// counting runs as a sorted group-count over the materialized slice (the
+/// paper's physical plan, per partition); under kHash it folds into the
+/// insert pass.
+Status BuildR1(Database* db, const SetmOptions& so, ExecContext ctx,
+               size_t index, size_t num_shards, Partition* p) {
   auto r1_or = NewRelation(db, so.storage, "p" + std::to_string(index) + "_r1",
                            SetmMiner::RkSchema(1));
   if (!r1_or.ok()) return r1_or.status();
   p->r1 = std::move(r1_or).value();
   p->counts.assign(num_shards, CountMap());
+  std::vector<ItemId> item(1);
   for (const SalesRow& row : p->rows) {
     SETM_RETURN_IF_ERROR(
         p->r1->Insert(Tuple({Value::Int32(row.tid), Value::Int32(row.item)})));
-    std::string key = ItemsetKey({row.item});
-    LocalPattern& lp = p->counts[ShardOf(key, num_shards)][std::move(key)];
-    if (lp.count == 0) lp.items = {row.item};
-    ++lp.count;
+    if (so.count_method == CountMethod::kHash) {
+      item[0] = row.item;
+      AddLocalCount(p, num_shards, item, 1);
+    }
   }
   p->rows.clear();
   p->rows.shrink_to_fit();
+  if (so.count_method == CountMethod::kSortMerge) {
+    SETM_RETURN_IF_ERROR(CountInto(
+        ctx, *p->r1, 1, /*min_count=*/1, CountMethod::kSortMerge,
+        [&](std::vector<ItemId> items, int64_t count) {
+          AddLocalCount(p, num_shards, items, count);
+        }));
+  }
   return Status::OK();
 }
 
@@ -107,25 +127,20 @@ Status FilterR1(Database* db, const SetmOptions& so, size_t index,
                   SetmMiner::RkSchema(1));
   if (!filtered_or.ok()) return filtered_or.status();
   std::unique_ptr<Table> filtered = std::move(filtered_or).value();
-  auto it = p->r1->Scan();
-  Tuple row;
-  while (true) {
-    auto more = it->Next(&row);
-    if (!more.ok()) return more.status();
-    if (!more.value()) break;
-    if (CkContains(*c1, ItemsetKey({row.value(1).AsInt32()}))) {
-      SETM_RETURN_IF_ERROR(filtered->Insert(row));
-    }
-  }
+  SETM_RETURN_IF_ERROR(FilterR1Into(
+      *p->r1, [c1](const std::string& key) { return CkContains(*c1, key); },
+      filtered.get()));
   p->r1 = std::move(filtered);
   return Status::OK();
 }
 
-/// Phase A of iteration k: R'_k slice via merge-scan join plus local
-/// candidate counts (full counts — minsupport is applied globally after the
-/// merge, because support is a property of the whole database).
-Status JoinAndCount(Database* db, const SetmOptions& so, size_t index,
-                    size_t k, size_t num_shards, Partition* p) {
+/// Phase A of iteration k: R'_k slice via the shared merge-scan join body
+/// plus local candidate counts (full counts — minsupport is applied
+/// globally after the merge, because support is a property of the whole
+/// database). kHash counts in the join's count sink; kSortMerge counts by
+/// sorting the materialized slice, same as the serial pipeline would.
+Status JoinAndCount(Database* db, const SetmOptions& so, ExecContext ctx,
+                    size_t index, size_t k, size_t num_shards, Partition* p) {
   const Table* left = p->r_prev != nullptr ? p->r_prev.get() : p->r1.get();
   auto rkp_or = NewRelation(db, so.storage,
                             "p" + std::to_string(index) + "_r" +
@@ -135,36 +150,27 @@ Status JoinAndCount(Database* db, const SetmOptions& so, size_t index,
   p->rk_prime = std::move(rkp_or).value();
   p->counts.assign(num_shards, CountMap());
 
-  // Combined row: (trans_id, item_1..item_{k-1}, trans_id, item).
-  const size_t last_left_item = k - 1;  // index of item_{k-1}
-  const size_t right_item = k + 1;
-  ExprPtr residual = Binary(BinaryOp::kGt, Col(right_item, "q.item"),
-                            Col(last_left_item, "p.item_last"));
-  MergeJoinIterator join(left->Scan(), p->r1->Scan(), {0}, {0},
-                         std::move(residual));
-  Tuple row;
-  std::vector<Value> values;
-  std::vector<ItemId> items(k);
-  while (true) {
-    auto more = join.Next(&row);
-    if (!more.ok()) return more.status();
-    if (!more.value()) break;
-    values.clear();
-    for (size_t i = 0; i < k; ++i) values.push_back(row.value(i));
-    values.push_back(row.value(right_item));
-    Tuple out(values);
-    for (size_t i = 0; i < k; ++i) items[i] = out.value(i + 1).AsInt32();
-    SETM_RETURN_IF_ERROR(p->rk_prime->Insert(out));
-    std::string key = ItemsetKey(items);
-    LocalPattern& lp = p->counts[ShardOf(key, num_shards)][std::move(key)];
-    if (lp.count == 0) lp.items = items;
-    ++lp.count;
+  CountSink sink;
+  if (so.count_method == CountMethod::kHash) {
+    sink = [p, num_shards](const std::vector<ItemId>& items) {
+      AddLocalCount(p, num_shards, items, 1);
+    };
+  }
+  SETM_RETURN_IF_ERROR(
+      JoinIntoRkPrime(*left, *p->r1, k, p->rk_prime.get(), sink));
+  if (so.count_method == CountMethod::kSortMerge) {
+    SETM_RETURN_IF_ERROR(CountInto(
+        ctx, *p->rk_prime, k, /*min_count=*/1, CountMethod::kSortMerge,
+        [&](std::vector<ItemId> items, int64_t count) {
+          AddLocalCount(p, num_shards, items, count);
+        }));
   }
   return Status::OK();
 }
 
 /// Phase B of iteration k: R_k slice = R'_k filtered by the global C_k,
-/// sorted back on (trans_id, items).
+/// sorted back on (trans_id, items) — the shared filter body with the
+/// sharded-C_k membership probe.
 Status FilterAndSort(Database* db, const SetmOptions& so, ExecContext ctx,
                      size_t index, size_t k, const std::vector<CkShard>* ck,
                      Partition* p) {
@@ -178,23 +184,10 @@ Status FilterAndSort(Database* db, const SetmOptions& so, ExecContext ctx,
   for (const CkShard& shard : *ck) any_frequent |= !shard.keys.empty();
   if (!any_frequent) return Status::OK();
 
-  ExternalSort sort(ctx, SetmMiner::RkSchema(k),
-                    TupleComparator(SetmMiner::TidItemColumns(k)));
-  auto it = p->rk_prime->Scan();
-  Tuple row;
-  std::vector<ItemId> items(k);
-  while (true) {
-    auto more = it->Next(&row);
-    if (!more.ok()) return more.status();
-    if (!more.value()) break;
-    for (size_t i = 0; i < k; ++i) items[i] = row.value(i + 1).AsInt32();
-    if (CkContains(*ck, ItemsetKey(items))) {
-      SETM_RETURN_IF_ERROR(sort.Add(row));
-    }
-  }
-  auto sorted_or = sort.Finish();
-  if (!sorted_or.ok()) return sorted_or.status();
-  return MaterializeInto(sorted_or.value().get(), p->rk.get());
+  return FilterRkPrimeIntoRk(
+      ctx, *p->rk_prime, k,
+      [ck](const std::string& key) { return CkContains(*ck, key); },
+      p->rk.get());
 }
 
 /// Merges one shard: sums every partition's partial map for this shard
@@ -281,7 +274,7 @@ Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
     pool = owned_pool.get();
   }
   // Workers must not re-enter the pool: partition tasks run *on* it, so the
-  // per-partition sorts get a context without workers.
+  // per-partition sorts and group-counts get a context without workers.
   ExecContext worker_ctx;
   worker_ctx.temp_pool = db->temp_pool();
   worker_ctx.sort_memory_bytes = db->options().sort_memory_bytes;
@@ -297,8 +290,9 @@ Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
     TaskGroup group(pool);
     for (size_t i = 0; i < parts.size(); ++i) {
       Partition* p = &parts[i];
-      group.Submit(
-          [db, &so, i, num_shards, p] { return BuildR1(db, so, i, num_shards, p); });
+      group.Submit([db, &so, worker_ctx, i, num_shards, p] {
+        return BuildR1(db, so, worker_ctx, i, num_shards, p);
+      });
     }
     SETM_RETURN_IF_ERROR(group.Wait());
   }
@@ -325,6 +319,7 @@ Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
     }
     stats.seconds = iter1_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
   }
 
   if (options.filter_r1) {
@@ -355,8 +350,8 @@ Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
       TaskGroup group(pool);
       for (size_t i = 0; i < parts.size(); ++i) {
         Partition* p = &parts[i];
-        group.Submit([db, &so, i, k, num_shards, p] {
-          return JoinAndCount(db, so, i, k, num_shards, p);
+        group.Submit([db, &so, worker_ctx, i, k, num_shards, p] {
+          return JoinAndCount(db, so, worker_ctx, i, k, num_shards, p);
         });
       }
       SETM_RETURN_IF_ERROR(group.Wait());
@@ -395,6 +390,7 @@ Result<MiningResult> RunPartitioned(Database* db, const SetmOptions& so,
     }
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
     const uint64_t rk_rows = stats.r_rows;
     for (Partition& p : parts) {
       p.r_prev = std::move(p.rk);

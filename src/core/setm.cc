@@ -5,39 +5,12 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/parallel_setm.h"
+#include "core/setm_pipeline.h"
 #include "exec/exec_context.h"
 #include "exec/external_sort.h"
-#include "exec/hash_operators.h"
 #include "exec/operators.h"
 
 namespace setm {
-
-namespace {
-
-/// Key columns (item_1 .. item_k) of an R_k row.
-std::vector<size_t> ItemColumns(size_t k) {
-  std::vector<size_t> cols;
-  cols.reserve(k);
-  for (size_t i = 1; i <= k; ++i) cols.push_back(i);
-  return cols;
-}
-
-/// The C_k aggregation pipeline under either physical strategy. Both emit
-/// identical rows (group columns + count, ordered by the group columns).
-std::unique_ptr<TupleIterator> MakeGroupCount(
-    ExecContext ctx, std::unique_ptr<TupleIterator> input,
-    std::vector<size_t> group_columns, int64_t min_count, CountMethod method) {
-  if (method == CountMethod::kHash) {
-    return std::make_unique<HashGroupCountIterator>(
-        std::move(input), std::move(group_columns), min_count);
-  }
-  auto sorted = std::make_unique<SortIterator>(
-      ctx, std::move(input), TupleComparator(group_columns));
-  return std::make_unique<SortedGroupCountIterator>(
-      std::move(sorted), std::move(group_columns), min_count);
-}
-
-}  // namespace
 
 Schema SetmMiner::SalesSchema() {
   return Schema({Column{"trans_id", ValueType::kInt32},
@@ -148,22 +121,16 @@ Result<MiningResult> SetmMiner::MineTable(const Table& sales,
   result.itemsets.num_transactions = num_transactions;
   const int64_t minsup = ResolveMinSupportCount(options, num_transactions);
 
-  // --- C_1: sort R_1 on item, stream-count, keep count >= minsupport. ----
+  // --- C_1: group-count R_1 on item, keep count >= minsupport. -----------
   std::unordered_set<std::string> frequent_keys;
   {
     WallTimer iter_timer;
-    auto counts = MakeGroupCount(ctx, r1->Scan(), {1}, minsup,
-                                 setm_options_.count_method);
-    Tuple row;
-    while (true) {
-      auto more = counts->Next(&row);
-      if (!more.ok()) return more.status();
-      if (!more.value()) break;
-      const ItemId item = row.value(0).AsInt32();
-      const int64_t count = row.value(1).AsInt64();
-      result.itemsets.Add({item}, count);
-      frequent_keys.insert(ItemsetKey({item}));
-    }
+    SETM_RETURN_IF_ERROR(CountInto(
+        ctx, *r1, 1, minsup, setm_options_.count_method,
+        [&](std::vector<ItemId> items, int64_t count) {
+          frequent_keys.insert(ItemsetKey(items));
+          result.itemsets.Add(std::move(items), count);
+        }));
     IterationStats stats;
     stats.k = 1;
     stats.r_prime_rows = r1->num_rows();
@@ -173,6 +140,7 @@ Result<MiningResult> SetmMiner::MineTable(const Table& sales,
     stats.c_size = result.itemsets.OfSize(1).size();
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
   }
 
   // Optional ablation: restrict R_1 to frequent items before the loop.
@@ -180,16 +148,9 @@ Result<MiningResult> SetmMiner::MineTable(const Table& sales,
     auto filtered_or = NewRelation("r1f", RkSchema(1));
     if (!filtered_or.ok()) return filtered_or.status();
     std::unique_ptr<Table> filtered = std::move(filtered_or).value();
-    auto it = r1->Scan();
-    Tuple row;
-    while (true) {
-      auto more = it->Next(&row);
-      if (!more.ok()) return more.status();
-      if (!more.value()) break;
-      if (frequent_keys.count(ItemsetKey({row.value(1).AsInt32()})) != 0) {
-        SETM_RETURN_IF_ERROR(filtered->Insert(row));
-      }
-    }
+    SETM_RETURN_IF_ERROR(FilterR1Into(
+        *r1, [&](const std::string& key) { return frequent_keys.count(key) != 0; },
+        filtered.get()));
     r1 = std::move(filtered);
   }
 
@@ -210,71 +171,28 @@ Result<MiningResult> SetmMiner::MineTable(const Table& sales,
     auto rk_prime_or = NewRelation("r" + std::to_string(k) + "p", RkSchema(k));
     if (!rk_prime_or.ok()) return rk_prime_or.status();
     std::unique_ptr<Table> rk_prime = std::move(rk_prime_or).value();
-    {
-      // Combined row: (trans_id, item_1..item_{k-1}, trans_id, item).
-      const size_t last_left_item = k - 1;  // index of item_{k-1}
-      const size_t right_item = k + 1;
-      ExprPtr residual = Binary(BinaryOp::kGt, Col(right_item, "q.item"),
-                                Col(last_left_item, "p.item_last"));
-      MergeJoinIterator join(left_table->Scan(), r1->Scan(), {0}, {0},
-                             std::move(residual));
-      // Project to (trans_id, item_1 .. item_k).
-      Tuple row;
-      std::vector<Value> values;
-      while (true) {
-        auto more = join.Next(&row);
-        if (!more.ok()) return more.status();
-        if (!more.value()) break;
-        values.clear();
-        for (size_t i = 0; i < k; ++i) values.push_back(row.value(i));
-        values.push_back(row.value(right_item));
-        SETM_RETURN_IF_ERROR(rk_prime->Insert(Tuple(values)));
-      }
-    }
+    SETM_RETURN_IF_ERROR(
+        JoinIntoRkPrime(*left_table, *r1, k, rk_prime.get(), {}));
 
-    // C_k := sort R'_k on items, stream-count, keep count >= minsupport.
+    // C_k := group-count R'_k on items, keep count >= minsupport.
     std::unordered_set<std::string> ck_keys;
     std::vector<PatternCount> ck_rows;
-    {
-      auto counts = MakeGroupCount(ctx, rk_prime->Scan(), ItemColumns(k),
-                                   minsup, setm_options_.count_method);
-      Tuple row;
-      while (true) {
-        auto more = counts->Next(&row);
-        if (!more.ok()) return more.status();
-        if (!more.value()) break;
-        std::vector<ItemId> items;
-        items.reserve(k);
-        for (size_t i = 0; i < k; ++i) {
-          items.push_back(row.value(i).AsInt32());
-        }
-        ck_keys.insert(ItemsetKey(items));
-        ck_rows.push_back(
-            PatternCount{std::move(items), row.value(k).AsInt64()});
-      }
-    }
+    SETM_RETURN_IF_ERROR(CountInto(
+        ctx, *rk_prime, k, minsup, setm_options_.count_method,
+        [&](std::vector<ItemId> items, int64_t count) {
+          ck_keys.insert(ItemsetKey(items));
+          ck_rows.push_back(PatternCount{std::move(items), count});
+        }));
 
     // R_k := filter R'_k by C_k membership, sorted on (trans_id, items).
     auto rk_or = NewRelation("r" + std::to_string(k), RkSchema(k));
     if (!rk_or.ok()) return rk_or.status();
     std::unique_ptr<Table> rk = std::move(rk_or).value();
     if (!ck_keys.empty()) {
-      ExternalSort sort(ctx, RkSchema(k), TupleComparator(TidItemColumns(k)));
-      auto it = rk_prime->Scan();
-      Tuple row;
-      std::vector<ItemId> items(k);
-      while (true) {
-        auto more = it->Next(&row);
-        if (!more.ok()) return more.status();
-        if (!more.value()) break;
-        for (size_t i = 0; i < k; ++i) items[i] = row.value(i + 1).AsInt32();
-        if (ck_keys.count(ItemsetKey(items)) != 0) {
-          SETM_RETURN_IF_ERROR(sort.Add(row));
-        }
-      }
-      auto sorted_or = sort.Finish();
-      if (!sorted_or.ok()) return sorted_or.status();
-      SETM_RETURN_IF_ERROR(MaterializeInto(sorted_or.value().get(), rk.get()));
+      SETM_RETURN_IF_ERROR(FilterRkPrimeIntoRk(
+          ctx, *rk_prime, k,
+          [&](const std::string& key) { return ck_keys.count(key) != 0; },
+          rk.get()));
     }
 
     IterationStats stats;
@@ -290,6 +208,7 @@ Result<MiningResult> SetmMiner::MineTable(const Table& sales,
     for (PatternCount& pc : ck_rows) {
       result.itemsets.Add(std::move(pc.items), pc.count);
     }
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
     if (rk->num_rows() == 0) break;
     r_prev = std::move(rk);
   }

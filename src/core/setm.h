@@ -3,46 +3,15 @@
 
 #include <memory>
 
+#include "core/miner.h"
 #include "core/types.h"
 #include "relational/database.h"
 
 namespace setm {
 
-/// How the support counts C_k are produced from R'_k.
-enum class CountMethod {
-  /// The paper's pipeline: sort R'_k on its item columns, then one
-  /// streaming group-count scan (Figure 4's "sort R'_k on item_1..item_k;
-  /// C_k := generate counts").
-  kSortMerge,
-  /// Hash aggregation, the post-1995 alternative; skips the sort entirely.
-  /// Results are identical (the ablation `ablation_count_method` compares
-  /// the physical behaviour).
-  kHash,
-};
-
-/// Physical knobs of the SETM run.
-struct SetmOptions {
-  /// Where SALES/R_k relations live. kHeap stores them in paged tables so
-  /// every scan, spill and materialization is visible in the IoStats ledger
-  /// (the configuration the paper's Section 4.3 analysis describes);
-  /// kMemory mirrors the paper's Section 6 implementation, which "ran in
-  /// main memory" for the timing experiments.
-  TableBacking storage = TableBacking::kMemory;
-  /// Physical strategy for the C_k aggregation. Only consulted by the
-  /// serial pipeline: the partitioned executor always hash-aggregates its
-  /// partition-local counts (partial maps must merge globally before the
-  /// minsupport filter, so a per-partition sort buys nothing), making the
-  /// sort-merge/hash ablation meaningful at num_threads == 1 only.
-  CountMethod count_method = CountMethod::kSortMerge;
-  /// Degree of partition parallelism. 1 runs the classic single-threaded
-  /// pipeline; > 1 routes to the partitioned executor (parallel_setm.h):
-  /// SALES is range-partitioned on trans_id, candidate generation and
-  /// counting run per partition on a worker pool, and partial C_k counts
-  /// are merged before the global minsupport filter. Itemsets and rules
-  /// are identical to the serial pipeline for any thread count (physical
-  /// knobs like count_method may be overridden, see above).
-  size_t num_threads = 1;
-};
+// CountMethod and SetmOptions — the physical knobs of a SETM run, now the
+// uniform knob set of the whole mining API — live in core/miner.h and are
+// re-exported here for the many existing call sites.
 
 /// Algorithm SETM (Figure 4 of the paper), implemented directly on the
 /// engine's two primitives: external sort and merge-scan join.

@@ -1,5 +1,8 @@
 #include "core/setm_sql.h"
 
+#include <cctype>
+
+#include "common/logging.h"
 #include "common/timer.h"
 
 namespace setm {
@@ -32,24 +35,99 @@ std::string ItemColumnsDdl(size_t k) {
 
 }  // namespace
 
+bool IsSetmSqlScratchName(const std::string& name) {
+  if (name.rfind("setm_", 0) != 0) return false;
+  size_t i = 5;
+  if (i >= name.size() || (name[i] != 'r' && name[i] != 'c')) return false;
+  const char kind = name[i];
+  ++i;
+  size_t digits = 0;
+  while (i < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[i])) != 0) {
+    ++i;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  if (i == name.size()) return true;
+  return kind == 'r' && name[i] == 'p' && i + 1 == name.size();
+}
+
 Result<sql::QueryResult> SetmSqlMiner::Run(const std::string& statement,
                                            const sql::Params& params) {
   statements_.push_back(statement);
   return engine_.Execute(statement, params);
 }
 
-Status SetmSqlMiner::DropScratchTables() {
+Status SetmSqlMiner::CreateScratch(const std::string& ddl,
+                                   const std::string& name) {
+  auto r = Run(ddl);
+  if (!r.ok()) return r.status();
+  created_.insert(name);
+  return Status::OK();
+}
+
+Status SetmSqlMiner::PrepareScratch() {
   for (const std::string& name : db_->catalog()->TableNames()) {
-    if (name.rfind("setm_", 0) == 0) {
-      SETM_RETURN_IF_ERROR(db_->catalog()->DropTable(name));
+    if (!IsSetmSqlScratchName(name)) continue;
+    if (created_.count(name) == 0) {
+      return Status::AlreadyExists(
+          "table '" + name + "' occupies the setm-sql scratch namespace "
+          "(setm_r<k>/setm_r<k>p/setm_c<k>) but was not created by this "
+          "miner; drop or rename it before mining");
     }
+    SETM_RETURN_IF_ERROR(db_->catalog()->DropTable(name));
+    created_.erase(name);
   }
   return Status::OK();
 }
 
-Result<MiningResult> SetmSqlMiner::MineTable(const MiningOptions& options) {
+Status SetmSqlMiner::DropOwnScratch() {
+  for (const std::string& name : created_) {
+    if (db_->catalog()->HasTable(name)) {
+      SETM_RETURN_IF_ERROR(db_->catalog()->DropTable(name));
+    }
+  }
+  created_.clear();
+  return Status::OK();
+}
+
+Result<MiningResult> SetmSqlMiner::MineTable(const Table& sales,
+                                             const MiningOptions& options) {
+  const std::string& sales_table = sales.name();
+  if (IsSetmSqlScratchName(sales_table)) {
+    return Status::InvalidArgument(
+        "source table '" + sales_table + "' is named inside the setm-sql "
+        "scratch namespace and would collide with the miner's relations");
+  }
+  auto resident = db_->catalog()->GetTable(sales_table);
+  if (!resident.ok() || resident.value() != &sales) {
+    return Status::InvalidArgument(
+        "setm-sql mines catalog-resident tables (its SQL names the source "
+        "by table name); '" + sales_table + "' is not in this database's "
+        "catalog");
+  }
+  if (sales.schema().NumColumns() != 2) {
+    return Status::InvalidArgument("SALES must have schema (trans_id, item)");
+  }
   statements_.clear();
-  SETM_RETURN_IF_ERROR(DropScratchTables());
+  SETM_RETURN_IF_ERROR(PrepareScratch());
+
+  // On cancellation the scratch relations are useless (no result to
+  // inspect), so drop them before surfacing the Cancelled status. A failed
+  // drop must not mask the cancellation — callers branch on IsCancelled()
+  // to tell a deliberate abort from a mining failure — so it is logged and
+  // the Cancelled status wins.
+  auto notify = [&](const IterationStats& stats) -> Status {
+    Status s = NotifyIteration(options, stats);
+    if (s.IsCancelled()) {
+      Status drop = DropOwnScratch();
+      if (!drop.ok()) {
+        SETM_LOG(kWarn) << "cancelled setm-sql run could not drop its "
+                        << "scratch tables: " << drop.ToString();
+      }
+    }
+    return s;
+  };
 
   WallTimer total_timer;
   const IoStats io_before = *db_->io_stats();
@@ -58,7 +136,7 @@ Result<MiningResult> SetmSqlMiner::MineTable(const MiningOptions& options) {
 
   // Number of transactions (for the support threshold).
   {
-    auto r = Run("SELECT DISTINCT trans_id FROM " + sales_table_);
+    auto r = Run("SELECT DISTINCT trans_id FROM " + sales_table);
     if (!r.ok()) return r.status();
     result.itemsets.num_transactions = r.value().rows.size();
   }
@@ -69,13 +147,14 @@ Result<MiningResult> SetmSqlMiner::MineTable(const MiningOptions& options) {
   // R_1 := SALES sorted on (trans_id, item); C_1 := supported items.
   {
     WallTimer iter_timer;
-    auto r = Run("CREATE " + mem + "TABLE setm_r1 (trans_id INT, item1 INT)");
+    SETM_RETURN_IF_ERROR(CreateScratch(
+        "CREATE " + mem + "TABLE setm_r1 (trans_id INT, item1 INT)",
+        "setm_r1"));
+    auto r = Run("INSERT INTO setm_r1 SELECT s.trans_id, s.item FROM " +
+                 sales_table + " s ORDER BY s.trans_id, s.item");
     if (!r.ok()) return r.status();
-    r = Run("INSERT INTO setm_r1 SELECT s.trans_id, s.item FROM " +
-            sales_table_ + " s ORDER BY s.trans_id, s.item");
-    if (!r.ok()) return r.status();
-    r = Run("CREATE MEMORY TABLE setm_c1 (item1 INT, cnt BIGINT)");
-    if (!r.ok()) return r.status();
+    SETM_RETURN_IF_ERROR(CreateScratch(
+        "CREATE MEMORY TABLE setm_c1 (item1 INT, cnt BIGINT)", "setm_c1"));
     r = Run(
         "INSERT INTO setm_c1 SELECT p.item1, COUNT(*) FROM setm_r1 p "
         "GROUP BY p.item1 HAVING COUNT(*) >= :minsupport",
@@ -97,6 +176,7 @@ Result<MiningResult> SetmSqlMiner::MineTable(const MiningOptions& options) {
     stats.c_size = c1.value().rows.size();
     stats.seconds = iter_timer.ElapsedSeconds();
     result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(notify(stats));
   }
 
   // Main loop: the three statements of Section 4.1 per iteration.
@@ -110,22 +190,24 @@ Result<MiningResult> SetmSqlMiner::MineTable(const MiningOptions& options) {
     const std::string rk = "setm_r" + std::to_string(k);
     const std::string ck = "setm_c" + std::to_string(k);
 
-    auto r = Run("CREATE " + mem + "TABLE " + rkp + " (trans_id INT, " +
-                 ItemColumnsDdl(k) + ")");
-    if (!r.ok()) return r.status();
+    SETM_RETURN_IF_ERROR(CreateScratch(
+        "CREATE " + mem + "TABLE " + rkp + " (trans_id INT, " +
+            ItemColumnsDdl(k) + ")",
+        rkp));
     // INSERT INTO R'_k SELECT p.trans_id, p.item_1.., q.item
     //   FROM R_{k-1} p, SALES q
     //   WHERE q.trans_id = p.trans_id AND q.item > p.item_{k-1}.
-    r = Run("INSERT INTO " + rkp + " SELECT p.trans_id, " +
-            ItemList(k - 1, "p") + ", q.item FROM " + rk_prev + " p, " +
-            sales_table_ +
-            " q WHERE q.trans_id = p.trans_id AND q.item > p.item" +
-            std::to_string(k - 1));
+    auto r = Run("INSERT INTO " + rkp + " SELECT p.trans_id, " +
+                 ItemList(k - 1, "p") + ", q.item FROM " + rk_prev + " p, " +
+                 sales_table +
+                 " q WHERE q.trans_id = p.trans_id AND q.item > p.item" +
+                 std::to_string(k - 1));
     if (!r.ok()) return r.status();
 
-    r = Run("CREATE MEMORY TABLE " + ck + " (" + ItemColumnsDdl(k) +
-            ", cnt BIGINT)");
-    if (!r.ok()) return r.status();
+    SETM_RETURN_IF_ERROR(CreateScratch(
+        "CREATE MEMORY TABLE " + ck + " (" + ItemColumnsDdl(k) +
+            ", cnt BIGINT)",
+        ck));
     // INSERT INTO C_k SELECT items, COUNT(*) FROM R'_k
     //   GROUP BY items HAVING COUNT(*) >= :minsupport.
     r = Run("INSERT INTO " + ck + " SELECT " + ItemList(k, "p") +
@@ -139,9 +221,10 @@ Result<MiningResult> SetmSqlMiner::MineTable(const MiningOptions& options) {
 
     // INSERT INTO R_k SELECT p.trans_id, p.items FROM R'_k p, C_k q
     //   WHERE p.item_i = q.item_i ... ORDER BY p.trans_id, p.items.
-    r = Run("CREATE " + mem + "TABLE " + rk + " (trans_id INT, " +
-            ItemColumnsDdl(k) + ")");
-    if (!r.ok()) return r.status();
+    SETM_RETURN_IF_ERROR(CreateScratch(
+        "CREATE " + mem + "TABLE " + rk + " (trans_id INT, " +
+            ItemColumnsDdl(k) + ")",
+        rk));
     std::string filter_sql = "INSERT INTO " + rk + " SELECT p.trans_id, " +
                              ItemList(k, "p") + " FROM " + rkp + " p, " + ck +
                              " q WHERE ";
@@ -175,6 +258,7 @@ Result<MiningResult> SetmSqlMiner::MineTable(const MiningOptions& options) {
       for (size_t i = 0; i < k; ++i) items.push_back(row.value(i).AsInt32());
       result.itemsets.Add(std::move(items), row.value(k).AsInt64());
     }
+    SETM_RETURN_IF_ERROR(notify(stats));
 
     if (rk_table.value()->num_rows() == 0) break;
   }

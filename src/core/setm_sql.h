@@ -2,6 +2,7 @@
 #define SETM_CORE_SETM_SQL_H_
 
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/types.h"
@@ -16,7 +17,7 @@ namespace setm {
 /// languages such as SQL" made concrete.
 ///
 /// For each iteration the miner emits and runs the three statements of
-/// Section 4.1 against a SALES table in the catalog:
+/// Section 4.1 against a SALES-shaped table in the catalog:
 ///
 ///   INSERT INTO setm_r2p SELECT p.trans_id, p.item1, q.item
 ///     FROM setm_r1 p, sales q
@@ -31,38 +32,61 @@ namespace setm {
 /// The planner turns these into sort + merge-scan joins, i.e. exactly the
 /// physical plan of Figure 4. Every executed statement is recorded and can
 /// be inspected afterwards (see executed_statements()).
+///
+/// The source table comes per MineTable call (from the MiningRequest when
+/// driven through the registry), not at construction. Scratch relations
+/// (setm_r<k>, setm_r<k>p, setm_c<k>) stay in the catalog after a
+/// successful run so they can be inspected with ad-hoc SQL; a rerun on the
+/// same miner instance drops its own leftovers first. Scratch-named tables
+/// this miner did *not* create are never dropped: mining with such a table
+/// present fails with AlreadyExists (and a source table whose own name
+/// falls in the scratch namespace is InvalidArgument) instead of silently
+/// clobbering user relations, and a cancelled run drops everything it
+/// created before returning.
 class SetmSqlMiner {
  public:
-  /// `sales_table` must exist in `db`'s catalog with schema
-  /// (trans_id INT32, item INT32). Intermediate R tables use `backing`.
-  SetmSqlMiner(Database* db, std::string sales_table,
-               TableBacking backing = TableBacking::kMemory)
-      : db_(db),
-        engine_(db),
-        sales_table_(std::move(sales_table)),
-        backing_(backing) {}
+  /// Intermediate R tables use `backing`; C tables are always MEMORY.
+  explicit SetmSqlMiner(Database* db,
+                        TableBacking backing = TableBacking::kMemory)
+      : db_(db), engine_(db), backing_(backing) {}
 
-  /// Runs the full SETM loop; returns itemsets, per-iteration stats and the
-  /// I/O delta, like every other miner in the library.
-  Result<MiningResult> MineTable(const MiningOptions& options);
+  /// Runs the full SETM loop over `sales`, which must be a catalog-resident
+  /// table of `db` with schema (trans_id INT32, item INT32) — the SQL
+  /// statements reference it by name. Returns itemsets, per-iteration stats
+  /// and the I/O delta, like every other miner in the library.
+  Result<MiningResult> MineTable(const Table& sales,
+                                 const MiningOptions& options);
 
   /// The SQL statements executed by the last MineTable call, in order.
   const std::vector<std::string>& executed_statements() const {
     return statements_;
   }
 
+  /// Drops every scratch table this miner instance created. Runs
+  /// automatically on cancellation; the registry adapter also calls it
+  /// after each run, since registry-driven callers never inspect scratch.
+  Status DropOwnScratch();
+
  private:
   Result<sql::QueryResult> Run(const std::string& statement,
                                const sql::Params& params = {});
-  /// Drops every table named with the setm_ prefix from earlier runs.
-  Status DropScratchTables();
+  /// CREATE TABLE through the engine, recording the name as owned scratch.
+  Status CreateScratch(const std::string& ddl, const std::string& name);
+  /// Drops this miner's leftover scratch tables from earlier runs; any
+  /// foreign table in the scratch namespace is AlreadyExists, not a drop.
+  Status PrepareScratch();
 
   Database* db_;
   sql::SqlEngine engine_;
-  std::string sales_table_;
   TableBacking backing_;
   std::vector<std::string> statements_;
+  /// Catalog names of scratch tables created by this instance.
+  std::unordered_set<std::string> created_;
 };
+
+/// True iff `name` falls in SetmSqlMiner's scratch namespace:
+/// setm_r<digits>, setm_r<digits>p or setm_c<digits>.
+bool IsSetmSqlScratchName(const std::string& name);
 
 }  // namespace setm
 

@@ -65,6 +65,14 @@ int64_t ResolveMinSupportCount(const MiningOptions& options,
   return std::max<int64_t>(count, 1);
 }
 
+Status NotifyIteration(const MiningOptions& options,
+                       const IterationStats& stats) {
+  if (options.observer == nullptr) return Status::OK();
+  if (options.observer->OnIteration(stats)) return Status::OK();
+  return Status::Cancelled("mining cancelled by observer after iteration k=" +
+                           std::to_string(stats.k));
+}
+
 Status ValidateTransactions(const TransactionDb& db) {
   for (size_t i = 0; i < db.size(); ++i) {
     const Transaction& t = db[i];

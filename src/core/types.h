@@ -92,6 +92,24 @@ struct AssociationRule {
   }
 };
 
+struct IterationStats;
+
+/// Per-iteration hook shared by every miner. Implementations receive the
+/// finished iteration's IterationStats and decide whether mining continues:
+/// returning false requests cooperative cancellation — the miner stops
+/// before starting the next iteration, releases its scratch state (SQL
+/// miners drop their catalog scratch relations) and returns a Status with
+/// code kCancelled. Callbacks run on the thread driving the mining loop;
+/// they must not re-enter the miner.
+class MiningObserver {
+ public:
+  virtual ~MiningObserver() = default;
+
+  /// Called once per completed iteration, in k order. Return true to
+  /// continue, false to cancel.
+  virtual bool OnIteration(const IterationStats& stats) = 0;
+};
+
 /// Mining parameters shared by every miner in this library.
 struct MiningOptions {
   /// Minimum support as a fraction of transactions (e.g. 0.01 = 1%).
@@ -107,7 +125,18 @@ struct MiningOptions {
   /// The paper's Figure 4 joins with the unfiltered R1; this switch enables
   /// the obvious optimization for comparison.
   bool filter_r1 = false;
+  /// Optional per-iteration observer (not owned; must outlive the Mine
+  /// call). Not part of the mining "question": stored-run compatibility and
+  /// result identity ignore it. See MiningObserver for the cancellation
+  /// contract.
+  MiningObserver* observer = nullptr;
 };
+
+/// Reports a finished iteration to options.observer, if any. Returns a
+/// kCancelled Status when the observer vetoes continuing — miners propagate
+/// it as the result of the whole Mine call.
+Status NotifyIteration(const MiningOptions& options,
+                       const IterationStats& stats);
 
 /// Resolves the effective support threshold in transactions (>= 1).
 int64_t ResolveMinSupportCount(const MiningOptions& options,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "core/miner_registry.h"
 #include "exec/exec_context.h"
 #include "exec/external_sort.h"
 
@@ -179,10 +180,16 @@ Result<DeltaMineResult> DeltaMiner::AppendAndUpdate(
       options_.full_remine_fraction *
           static_cast<double>(std::max<uint64_t>(combined_transactions, 1));
   if (too_large || !OptionsCompatible(stored.meta, options)) {
-    // Full remine of the combined relation through the regular executors.
+    // Full remine of the combined relation through the polymorphic mining
+    // interface — the same surface the CLI and benches drive, so observer
+    // callbacks and cancellation work on the fallback path too.
     SETM_RETURN_IF_ERROR(append_batch());
-    SetmMiner miner(db_, options_.setm);
-    auto remined = miner.MineTable(*sales, options);
+    auto miner_or = MinerRegistry::Create("setm", db_, options_.setm);
+    if (!miner_or.ok()) return miner_or.status();
+    MiningRequest request;
+    request.table = sales;
+    request.options = options;
+    auto remined = miner_or.value()->Mine(request);
     if (!remined.ok()) return remined.status();
     out.result = std::move(remined).value();
     out.full_remine = true;

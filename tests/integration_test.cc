@@ -73,8 +73,8 @@ TEST(IntegrationTest, CsvToSqlToRulesPipeline) {
   MiningOptions options;
   options.min_support = 0.05;
   options.min_confidence = 0.5;
-  SetmSqlMiner miner(&db, "sales", TableBacking::kHeap);
-  auto result = miner.MineTable(options);
+  SetmSqlMiner miner(&db, TableBacking::kHeap);
+  auto result = miner.MineTable(*sales.value(), options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   auto rules = GenerateRules(result.value().itemsets, options);
   for (const auto& r : rules) {
@@ -123,11 +123,12 @@ TEST(IntegrationTest, SqlEngineSurvivesMiningScratchReuse) {
   auto sales = LoadSalesTable(&db, "sales", QuestGenerator(gen).Generate(),
                               TableBacking::kMemory);
   ASSERT_TRUE(sales.ok());
-  SetmSqlMiner miner(&db, "sales");
+  SetmSqlMiner miner(&db);
   MiningOptions options;
   options.min_support = 0.05;
   for (int round = 0; round < 3; ++round) {
-    ASSERT_TRUE(miner.MineTable(options).ok()) << "round " << round;
+    ASSERT_TRUE(miner.MineTable(*sales.value(), options).ok())
+        << "round " << round;
     auto count = engine.Execute("SELECT DISTINCT trans_id FROM sales");
     ASSERT_TRUE(count.ok());
     EXPECT_EQ(count.value().rows.size(), 100u);

@@ -1,22 +1,70 @@
-// Cross-miner integration tests: SETM (direct), SETM-via-SQL, the nested-
-// loop strategy, Apriori and AIS must all find exactly the same frequent
-// itemsets as the brute-force oracle.
+// Cross-miner integration tests, driven entirely through the MinerRegistry:
+// every registered algorithm (the seven built-ins, plus anything a future
+// PR registers) must find exactly the same frequent itemsets as the
+// brute-force oracle, across table backings, thread counts, count methods
+// and both MiningRequest sources. No miner is constructed by hand here —
+// registering an algorithm is what opts it into this suite.
 
 #include <gtest/gtest.h>
 
-#include "baselines/ais.h"
-#include "baselines/apriori.h"
-#include "baselines/brute_force.h"
-#include "core/nested_loop_miner.h"
+#include <string>
+#include <vector>
+
+#include "core/miner_registry.h"
 #include "core/paper_example.h"
-#include "core/parallel_setm.h"
 #include "core/rules.h"
 #include "core/setm.h"
 #include "core/setm_sql.h"
 #include "datagen/quest_generator.h"
+#include "sql/engine.h"
 
 namespace setm {
 namespace {
+
+Result<MiningResult> MineVia(const std::string& algo, Database* db,
+                             const TransactionDb* txns, const Table* table,
+                             const MiningOptions& options,
+                             const SetmOptions& knobs = {}) {
+  auto miner = MinerRegistry::Create(algo, db, knobs);
+  if (!miner.ok()) return miner.status();
+  MiningRequest request;
+  request.transactions = txns;
+  request.table = table;
+  request.options = options;
+  return miner.value()->Mine(request);
+}
+
+/// The physical configurations worth sweeping for one algorithm, derived
+/// from its registry metadata — the knob axes it actually honors.
+std::vector<SetmOptions> KnobSweep(const MinerInfo& info) {
+  std::vector<TableBacking> backings = {TableBacking::kMemory};
+  if (info.honors_storage) backings.push_back(TableBacking::kHeap);
+  std::vector<size_t> threads = {1};
+  if (info.honors_threads) threads.push_back(3);
+  std::vector<CountMethod> methods = {CountMethod::kSortMerge};
+  if (info.honors_count_method) methods.push_back(CountMethod::kHash);
+
+  std::vector<SetmOptions> sweep;
+  for (TableBacking backing : backings) {
+    for (size_t t : threads) {
+      for (CountMethod method : methods) {
+        SetmOptions knobs;
+        knobs.storage = backing;
+        knobs.num_threads = t;
+        knobs.count_method = method;
+        sweep.push_back(knobs);
+      }
+    }
+  }
+  return sweep;
+}
+
+std::string KnobLabel(const SetmOptions& knobs) {
+  std::string label = knobs.storage == TableBacking::kHeap ? "heap" : "memory";
+  label += knobs.count_method == CountMethod::kHash ? "/hash" : "/sort-merge";
+  label += "/threads=" + std::to_string(knobs.num_threads);
+  return label;
+}
 
 struct Case {
   uint64_t seed;
@@ -44,55 +92,54 @@ class AllMinersTest : public testing::TestWithParam<Case> {
   }
 };
 
-TEST_P(AllMinersTest, SetmSqlMatchesOracle) {
+// Every registered algorithm, under every knob combination its metadata
+// claims to honor, must reproduce the oracle bit-for-bit.
+TEST_P(AllMinersTest, EveryRegisteredMinerMatchesOracle) {
   TransactionDb txns = MakeDb();
-  BruteForceMiner oracle;
-  auto expected = oracle.Mine(txns, Options());
-  ASSERT_TRUE(expected.ok());
+  Database oracle_db;
+  auto expected =
+      MineVia("brute-force", &oracle_db, &txns, nullptr, Options());
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
-  Database db;
-  auto sales = LoadSalesTable(&db, "sales", txns, TableBacking::kHeap);
-  ASSERT_TRUE(sales.ok());
-  SetmSqlMiner miner(&db, "sales");
-  auto result = miner.MineTable(Options());
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
-  EXPECT_EQ(result.value().itemsets.num_transactions, txns.size());
+  for (const MinerInfo& info : MinerRegistry::List()) {
+    for (const SetmOptions& knobs : KnobSweep(info)) {
+      Database db;
+      auto result = MineVia(info.name, &db, &txns, nullptr, Options(), knobs);
+      ASSERT_TRUE(result.ok())
+          << info.name << " [" << KnobLabel(knobs)
+          << "]: " << result.status().ToString();
+      EXPECT_TRUE(result.value().itemsets == expected.value().itemsets)
+          << info.name << " [" << KnobLabel(knobs)
+          << "] diverges from the oracle: "
+          << result.value().itemsets.TotalPatterns() << " vs "
+          << expected.value().itemsets.TotalPatterns() << " patterns";
+      EXPECT_EQ(result.value().itemsets.num_transactions, txns.size())
+          << info.name << " [" << KnobLabel(knobs) << "]";
+    }
+  }
 }
 
-TEST_P(AllMinersTest, NestedLoopMatchesOracle) {
+// The MiningRequest::table source must be equivalent to the transactions
+// source for every algorithm — the baselines' MineTable path included.
+TEST_P(AllMinersTest, TableSourceMatchesTransactionsSource) {
   TransactionDb txns = MakeDb();
-  BruteForceMiner oracle;
-  auto expected = oracle.Mine(txns, Options());
-  ASSERT_TRUE(expected.ok());
+  for (const MinerInfo& info : MinerRegistry::List()) {
+    Database txn_db;
+    auto from_txns = MineVia(info.name, &txn_db, &txns, nullptr, Options());
+    ASSERT_TRUE(from_txns.ok())
+        << info.name << ": " << from_txns.status().ToString();
 
-  Database db;
-  NestedLoopMiner miner(&db);
-  auto result = miner.Mine(txns, Options());
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
-}
-
-TEST_P(AllMinersTest, AprioriMatchesOracle) {
-  TransactionDb txns = MakeDb();
-  BruteForceMiner oracle;
-  auto expected = oracle.Mine(txns, Options());
-  ASSERT_TRUE(expected.ok());
-  AprioriMiner miner;
-  auto result = miner.Mine(txns, Options());
-  ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
-}
-
-TEST_P(AllMinersTest, AisMatchesOracle) {
-  TransactionDb txns = MakeDb();
-  BruteForceMiner oracle;
-  auto expected = oracle.Mine(txns, Options());
-  ASSERT_TRUE(expected.ok());
-  AisMiner miner;
-  auto result = miner.Mine(txns, Options());
-  ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
+    Database table_db;
+    auto sales = LoadSalesTable(&table_db, "sales_src", txns,
+                                TableBacking::kHeap);
+    ASSERT_TRUE(sales.ok());
+    auto from_table =
+        MineVia(info.name, &table_db, nullptr, sales.value(), Options());
+    ASSERT_TRUE(from_table.ok())
+        << info.name << ": " << from_table.status().ToString();
+    EXPECT_TRUE(from_table.value().itemsets == from_txns.value().itemsets)
+        << info.name << ": table source diverges from transactions source";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -102,58 +149,15 @@ INSTANTIATE_TEST_SUITE_P(
                     Case{15, 0.04, 200, 5, 18}));
 
 // --------------------------------------------------------------------------
-// Deterministic-seed smoke test: the direct SETM miner vs. the brute-force
-// oracle on fixed Quest seeds, across both TableBacking modes and both
-// CountMethods (2 x 2 physical configurations per seed).
+// Parallel partitioned SETM: any thread count, either storage backing and
+// either count method must reproduce the serial miner bit-for-bit — same
+// itemsets, same rules, same per-iteration relation sizes. (kSortMerge at
+// num_threads > 1 is the per-partition sort-based counting path.)
 // --------------------------------------------------------------------------
 
-class SetmSmokeTest : public testing::TestWithParam<
-                          std::tuple<uint64_t, TableBacking, CountMethod>> {};
-
-TEST_P(SetmSmokeTest, MatchesOracleOnFixedSeed) {
-  QuestOptions gen;
-  gen.seed = std::get<0>(GetParam());
-  gen.num_transactions = 180;
-  gen.avg_transaction_size = 5;
-  gen.num_items = 20;
-  gen.num_patterns = 15;
-  TransactionDb txns = QuestGenerator(gen).Generate();
-
-  MiningOptions options;
-  options.min_support = 0.05;
-
-  BruteForceMiner oracle;
-  auto expected = oracle.Mine(txns, options);
-  ASSERT_TRUE(expected.ok());
-
-  SetmOptions setm_options;
-  setm_options.storage = std::get<1>(GetParam());
-  setm_options.count_method = std::get<2>(GetParam());
-  Database db;
-  SetmMiner miner(&db, setm_options);
-  auto result = miner.Mine(txns, options);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
-  EXPECT_EQ(result.value().itemsets.num_transactions, txns.size());
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    FixedSeeds, SetmSmokeTest,
-    testing::Combine(testing::Values(uint64_t{101}, uint64_t{202},
-                                     uint64_t{303}),
-                     testing::Values(TableBacking::kMemory,
-                                     TableBacking::kHeap),
-                     testing::Values(CountMethod::kSortMerge,
-                                     CountMethod::kHash)));
-
-// --------------------------------------------------------------------------
-// Parallel partitioned SETM: any thread count and either storage backing
-// must reproduce the serial miner bit-for-bit — same itemsets, same rules,
-// same per-iteration relation sizes.
-// --------------------------------------------------------------------------
-
-class ParallelSetmTest : public testing::TestWithParam<
-                             std::tuple<uint64_t, TableBacking, size_t>> {};
+class ParallelSetmTest
+    : public testing::TestWithParam<
+          std::tuple<uint64_t, TableBacking, size_t, CountMethod>> {};
 
 TEST_P(ParallelSetmTest, IdenticalToSerialMiner) {
   QuestOptions gen;
@@ -169,17 +173,19 @@ TEST_P(ParallelSetmTest, IdenticalToSerialMiner) {
 
   SetmOptions serial_opts;
   serial_opts.storage = std::get<1>(GetParam());
+  serial_opts.count_method = std::get<3>(GetParam());
   Database serial_db;
-  SetmMiner serial(&serial_db, serial_opts);
-  auto expected = serial.Mine(txns, options);
+  auto expected =
+      MineVia("setm", &serial_db, &txns, nullptr, options, serial_opts);
   ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
   SetmOptions parallel_opts = serial_opts;
   parallel_opts.num_threads = std::get<2>(GetParam());
   Database parallel_db;
-  // Routed through SetmMiner so the num_threads knob is covered too.
-  SetmMiner parallel(&parallel_db, parallel_opts);
-  auto result = parallel.Mine(txns, options);
+  // Through "setm" (not "setm-parallel") so the num_threads routing knob is
+  // covered too.
+  auto result =
+      MineVia("setm", &parallel_db, &txns, nullptr, options, parallel_opts);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
   EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
@@ -210,11 +216,12 @@ TEST_P(ParallelSetmTest, IdenticalToSerialMiner) {
 
 INSTANTIATE_TEST_SUITE_P(
     ThreadSweep, ParallelSetmTest,
-    testing::Combine(testing::Values(uint64_t{101}, uint64_t{202},
-                                     uint64_t{303}),
+    testing::Combine(testing::Values(uint64_t{101}, uint64_t{303}),
                      testing::Values(TableBacking::kMemory,
                                      TableBacking::kHeap),
-                     testing::Values(size_t{2}, size_t{4}, size_t{8})));
+                     testing::Values(size_t{2}, size_t{4}, size_t{8}),
+                     testing::Values(CountMethod::kSortMerge,
+                                     CountMethod::kHash)));
 
 TEST(ParallelSetmTest, SharedDatabaseWorkerPoolAndOptions) {
   QuestOptions gen;
@@ -231,7 +238,7 @@ TEST(ParallelSetmTest, SharedDatabaseWorkerPoolAndOptions) {
   options.max_pattern_length = 3;
 
   Database serial_db;
-  auto expected = SetmMiner(&serial_db).Mine(txns, options);
+  auto expected = MineVia("setm", &serial_db, &txns, nullptr, options);
   ASSERT_TRUE(expected.ok());
 
   DatabaseOptions db_options;
@@ -240,8 +247,8 @@ TEST(ParallelSetmTest, SharedDatabaseWorkerPoolAndOptions) {
   ASSERT_NE(db.worker_pool(), nullptr);
   SetmOptions setm_options;
   setm_options.num_threads = 3;
-  ParallelSetmMiner miner(&db, setm_options);
-  auto result = miner.Mine(txns, options);
+  auto result =
+      MineVia("setm-parallel", &db, &txns, nullptr, options, setm_options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
 }
@@ -249,14 +256,15 @@ TEST(ParallelSetmTest, SharedDatabaseWorkerPoolAndOptions) {
 TEST(ParallelSetmTest, MoreThreadsThanTransactions) {
   TransactionDb txns = PaperExampleTransactions();
   Database serial_db;
-  auto expected = SetmMiner(&serial_db).Mine(txns, PaperExampleOptions());
+  auto expected =
+      MineVia("setm", &serial_db, &txns, nullptr, PaperExampleOptions());
   ASSERT_TRUE(expected.ok());
 
   Database db;
   SetmOptions setm_options;
   setm_options.num_threads = 64;  // far more than the example's transactions
-  ParallelSetmMiner miner(&db, setm_options);
-  auto result = miner.Mine(txns, PaperExampleOptions());
+  auto result = MineVia("setm-parallel", &db, &txns, nullptr,
+                        PaperExampleOptions(), setm_options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result.value().itemsets == expected.value().itemsets);
 }
@@ -265,14 +273,16 @@ TEST(ParallelSetmTest, EmptyDatabase) {
   Database db;
   SetmOptions setm_options;
   setm_options.num_threads = 4;
-  ParallelSetmMiner miner(&db, setm_options);
-  auto result = miner.Mine(TransactionDb{}, MiningOptions{});
+  TransactionDb empty;
+  auto result =
+      MineVia("setm-parallel", &db, &empty, nullptr, MiningOptions{},
+              setm_options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().itemsets.TotalPatterns(), 0u);
 }
 
 // --------------------------------------------------------------------------
-// SETM-via-SQL specifics.
+// SETM-via-SQL specifics (the direct class API; registry coverage above).
 // --------------------------------------------------------------------------
 
 TEST(SetmSqlTest, PaperExampleThroughSql) {
@@ -280,8 +290,8 @@ TEST(SetmSqlTest, PaperExampleThroughSql) {
   auto sales = LoadSalesTable(&db, "sales", PaperExampleTransactions(),
                               TableBacking::kMemory);
   ASSERT_TRUE(sales.ok());
-  SetmSqlMiner miner(&db, "sales");
-  auto result = miner.MineTable(PaperExampleOptions());
+  SetmSqlMiner miner(&db);
+  auto result = miner.MineTable(*sales.value(), PaperExampleOptions());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().itemsets.OfSize(1).size(), 6u);
   EXPECT_EQ(result.value().itemsets.OfSize(2).size(), 6u);
@@ -294,8 +304,8 @@ TEST(SetmSqlTest, ExecutedStatementsFollowSection41) {
   auto sales = LoadSalesTable(&db, "sales", PaperExampleTransactions(),
                               TableBacking::kMemory);
   ASSERT_TRUE(sales.ok());
-  SetmSqlMiner miner(&db, "sales");
-  ASSERT_TRUE(miner.MineTable(PaperExampleOptions()).ok());
+  SetmSqlMiner miner(&db);
+  ASSERT_TRUE(miner.MineTable(*sales.value(), PaperExampleOptions()).ok());
   const auto& stmts = miner.executed_statements();
   ASSERT_FALSE(stmts.empty());
   // The three statement shapes of Section 4.1 must all appear.
@@ -311,33 +321,73 @@ TEST(SetmSqlTest, ExecutedStatementsFollowSection41) {
   EXPECT_TRUE(contains("ORDER BY p.trans_id, p.item1, p.item2"));
 }
 
-TEST(SetmSqlTest, RerunAfterDroppedScratchTables) {
+TEST(SetmSqlTest, RerunDropsOnlyItsOwnScratchTables) {
   Database db;
   auto sales = LoadSalesTable(&db, "sales", PaperExampleTransactions(),
                               TableBacking::kMemory);
   ASSERT_TRUE(sales.ok());
-  SetmSqlMiner miner(&db, "sales");
-  ASSERT_TRUE(miner.MineTable(PaperExampleOptions()).ok());
-  // A second run must clean up its own scratch tables and succeed.
-  auto again = miner.MineTable(PaperExampleOptions());
+  SetmSqlMiner miner(&db);
+  ASSERT_TRUE(miner.MineTable(*sales.value(), PaperExampleOptions()).ok());
+  // A second run on the same instance must clean up its own scratch tables
+  // and succeed.
+  auto again = miner.MineTable(*sales.value(), PaperExampleOptions());
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_EQ(again.value().itemsets.OfSize(2).size(), 6u);
 }
 
-TEST(SetmSqlTest, MissingSalesTableFails) {
+TEST(SetmSqlTest, ForeignScratchTableIsAlreadyExistsNotClobbered) {
   Database db;
-  SetmSqlMiner miner(&db, "no_such_table");
-  EXPECT_FALSE(miner.MineTable(MiningOptions{}).ok());
+  auto sales = LoadSalesTable(&db, "sales", PaperExampleTransactions(),
+                              TableBacking::kMemory);
+  ASSERT_TRUE(sales.ok());
+  // A user relation that happens to sit in the scratch namespace.
+  Schema schema({Column{"x", ValueType::kInt32}});
+  auto user = db.catalog()->CreateTable("setm_r1", schema,
+                                        TableBacking::kMemory);
+  ASSERT_TRUE(user.ok());
+  ASSERT_TRUE(user.value()->Insert(Tuple({Value::Int32(7)})).ok());
+
+  SetmSqlMiner miner(&db);
+  auto result = miner.MineTable(*sales.value(), PaperExampleOptions());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists)
+      << result.status().ToString();
+  // The user table survived, contents intact.
+  auto still = db.catalog()->GetTable("setm_r1");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still.value()->num_rows(), 1u);
+}
+
+TEST(SetmSqlTest, ScratchNamedSourceIsInvalidArgument) {
+  Database db;
+  auto sales = LoadSalesTable(&db, "setm_r7", PaperExampleTransactions(),
+                              TableBacking::kMemory);
+  ASSERT_TRUE(sales.ok());
+  SetmSqlMiner miner(&db);
+  auto result = miner.MineTable(*sales.value(), PaperExampleOptions());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(db.catalog()->HasTable("setm_r7"));  // never dropped
+}
+
+TEST(SetmSqlTest, NonCatalogTableFails) {
+  Database db;
+  MemTable detached("sales", SetmMiner::SalesSchema());
+  SetmSqlMiner miner(&db);
+  auto result = miner.MineTable(detached, MiningOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 // --------------------------------------------------------------------------
-// Nested-loop miner specifics.
+// Nested-loop miner specifics (I/O behaviour; correctness covered above).
 // --------------------------------------------------------------------------
 
 TEST(NestedLoopTest, PaperExample) {
   Database db;
-  NestedLoopMiner miner(&db);
-  auto result = miner.Mine(PaperExampleTransactions(), PaperExampleOptions());
+  TransactionDb txns = PaperExampleTransactions();
+  auto result = MineVia("nested-loop", &db, &txns, nullptr,
+                        PaperExampleOptions());
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().itemsets.OfSize(2).size(), 6u);
   EXPECT_EQ(result.value().itemsets.OfSize(3).size(), 1u);
@@ -354,10 +404,9 @@ TEST(NestedLoopTest, SmallPoolForcesRealIo) {
   DatabaseOptions small;
   small.pool_frames = 8;  // far smaller than the indexes
   Database db(small);
-  NestedLoopMiner miner(&db);
   MiningOptions options;
   options.min_support = 0.02;
-  auto result = miner.Mine(txns, options);
+  auto result = MineVia("nested-loop", &db, &txns, nullptr, options);
   ASSERT_TRUE(result.ok());
   // The strategy's probes must show up as (mostly random) page reads.
   EXPECT_GT(result.value().io.page_reads, 1000u);

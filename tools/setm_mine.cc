@@ -1,14 +1,18 @@
 // setm_mine — command-line association-rule miner.
 //
 //   setm_mine --input sales.csv [--minsup 1.0] [--minconf 50]
-//             [--algorithm setm|setm-sql|nested-loop|apriori|ais]
-//             [--storage memory|heap] [--threads N] [--rules single|subsets]
+//             [--algo NAME|list] [--storage memory|heap] [--threads N]
+//             [--rules single|subsets]
 //             [--max-k N] [--pool-frames N] [--stats] [--format text|csv]
 //             [--db FILE] [--store PREFIX] [--append FILE.csv]
 //             [--incremental] [--fallback PCT]
 //
 // Reads a (trans_id,item) CSV, mines frequent itemsets with the chosen
-// algorithm, and prints rules. With --format csv the rules come out as
+// algorithm, and prints rules. Algorithms are dispatched uniformly through
+// the MinerRegistry: `--algo list` enumerates every registered algorithm
+// (one "name<TAB>description" line each), and `--algo NAME` runs it —
+// a newly registered algorithm needs no CLI change. `--algorithm` is the
+// backward-compatible alias. With --format csv the rules come out as
 // machine-readable rows; --stats adds per-iteration and I/O accounting.
 //
 // Incremental modes (SETM only): --store PREFIX materializes the mined
@@ -38,12 +42,9 @@
 #include <string>
 #include <unordered_set>
 
-#include "baselines/ais.h"
-#include "baselines/apriori.h"
-#include "core/nested_loop_miner.h"
+#include "core/miner_registry.h"
 #include "core/rules.h"
 #include "core/setm.h"
-#include "core/setm_sql.h"
 #include "datagen/transaction_io.h"
 #include "incremental/delta_miner.h"
 #include "incremental/itemset_store.h"
@@ -76,13 +77,14 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --input FILE.csv [--minsup PCT] [--minconf PCT]\n"
-      "          [--algorithm setm|setm-sql|nested-loop|apriori|ais]\n"
+      "          [--algo NAME|list] (--algorithm is an alias)\n"
       "          [--storage memory|heap] [--threads N]\n"
       "          [--rules single|subsets]\n"
       "          [--max-k N] [--pool-frames N] [--stats] [--format text|csv]\n"
       "          [--db FILE] [--store PREFIX] [--append FILE.csv]\n"
       "          [--incremental] [--fallback PCT]\n"
-      "(--input may be omitted when --db reopens an existing database)\n",
+      "(--input may be omitted when --db reopens an existing database;\n"
+      " --algo list prints the registered algorithms and exits)\n",
       argv0);
 }
 
@@ -107,8 +109,9 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = need_value("--minconf");
       if (v == nullptr) return false;
       out->minconf_pct = std::atof(v);
-    } else if (std::strcmp(argv[i], "--algorithm") == 0) {
-      const char* v = need_value("--algorithm");
+    } else if (std::strcmp(argv[i], "--algo") == 0 ||
+               std::strcmp(argv[i], "--algorithm") == 0) {
+      const char* v = need_value("--algo");
       if (v == nullptr) return false;
       out->algorithm = v;
     } else if (std::strcmp(argv[i], "--storage") == 0) {
@@ -171,6 +174,7 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       return false;
     }
   }
+  if (out->algorithm == "list") return true;  // no input needed to list
   if (out->input.empty() && out->db.empty()) {
     std::fprintf(stderr, "--input is required\n");
     return false;
@@ -178,7 +182,7 @@ bool ParseArgs(int argc, char** argv, Args* out) {
   if ((!out->store_prefix.empty() || !out->append.empty() ||
        !out->db.empty()) &&
       out->algorithm != "setm") {
-    std::fprintf(stderr, "--db/--store/--append require --algorithm setm\n");
+    std::fprintf(stderr, "--db/--store/--append require --algo setm\n");
     return false;
   }
   if (out->incremental && out->append.empty()) {
@@ -201,31 +205,29 @@ bool ParseArgs(int argc, char** argv, Args* out) {
   return true;
 }
 
+/// Uniform dispatch: every algorithm — built-in or registered later — runs
+/// through the MinerRegistry with one MiningRequest. The CLI knows nothing
+/// about individual miners.
 Result<MiningResult> RunAlgorithm(const Args& args, Database* db,
                                   const TransactionDb& txns,
                                   const MiningOptions& options) {
-  const TableBacking backing = args.storage == "heap" ? TableBacking::kHeap
-                                                      : TableBacking::kMemory;
-  if (args.algorithm == "setm") {
-    SetmOptions setm_options;
-    setm_options.storage = backing;
-    setm_options.num_threads = args.threads;
-    return SetmMiner(db, setm_options).Mine(txns, options);
+  auto info = MinerRegistry::Info(args.algorithm);
+  if (!info.ok()) return info.status();
+  if (args.threads > 1 && !info.value().honors_threads) {
+    return Status::InvalidArgument(
+        "--threads needs a partition-parallel algorithm; '" +
+        args.algorithm + "' is not (see --algo list)");
   }
-  if (args.threads > 1) {
-    return Status::InvalidArgument("--threads requires --algorithm setm");
-  }
-  if (args.algorithm == "setm-sql") {
-    auto sales = LoadSalesTable(db, "sales", txns, backing);
-    if (!sales.ok()) return sales.status();
-    return SetmSqlMiner(db, "sales", backing).MineTable(options);
-  }
-  if (args.algorithm == "nested-loop") {
-    return NestedLoopMiner(db).Mine(txns, options);
-  }
-  if (args.algorithm == "apriori") return AprioriMiner().Mine(txns, options);
-  if (args.algorithm == "ais") return AisMiner().Mine(txns, options);
-  return Status::InvalidArgument("unknown algorithm '" + args.algorithm + "'");
+  SetmOptions knobs;
+  knobs.storage = args.storage == "heap" ? TableBacking::kHeap
+                                         : TableBacking::kMemory;
+  knobs.num_threads = args.threads;
+  auto miner = MinerRegistry::Create(args.algorithm, db, knobs);
+  if (!miner.ok()) return miner.status();
+  MiningRequest request;
+  request.transactions = &txns;
+  request.options = options;
+  return miner.value()->Mine(request);
 }
 
 /// The --store/--append path (SETM only): mine the base file through a
@@ -413,6 +415,13 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     Usage(argv[0]);
     return 2;
+  }
+
+  if (args.algorithm == "list") {
+    for (const MinerInfo& info : MinerRegistry::List()) {
+      std::printf("%s\t%s\n", info.name.c_str(), info.description.c_str());
+    }
+    return 0;
   }
 
   TransactionDb txns;
