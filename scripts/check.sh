@@ -32,6 +32,13 @@ if [[ -x "$mine_bin" ]]; then
   scripts/smoke_db_persist.sh "$mine_bin"
 fi
 
+# Crash-recovery smoke: SIGKILL setm_mine mid-append at varied points, retry
+# each interrupted batch, and assert the recovered database is bit-identical
+# to a never-killed control.
+if [[ -x "$mine_bin" ]]; then
+  scripts/smoke_crash_recovery.sh "$mine_bin"
+fi
+
 # Cross-algorithm smoke: every algorithm in `setm_mine --algo list` must
 # reproduce the SETM golden rules on the paper example and match the SETM
 # output on a deterministic Quest-style workload.

@@ -147,6 +147,41 @@ Result<DeltaMineResult> DeltaMiner::AppendAndUpdate(
     }
   }
 
+  // Crash-interrupted append detection: rows beyond the stored watermark
+  // mean a previous AppendAndUpdate committed its batch but died before the
+  // store update checkpointed. Commit() marks whole batches only, so such
+  // orphans are complete transactions; the retry contract is that the
+  // caller re-submits the same batch, in which case each orphan is skipped
+  // on insert instead of duplicated. An orphan id the batch does *not*
+  // re-submit means the table and the retry diverged — refuse rather than
+  // silently mix two different batches.
+  std::unordered_set<TransactionId> orphans;
+  {
+    auto it = sales->Scan();
+    Tuple row;
+    while (true) {
+      auto more = it->Next(&row);
+      if (!more.ok()) return more.status();
+      if (!more.value()) break;
+      const TransactionId tid = row.value(0).AsInt32();
+      if (tid > stored.meta.watermark) orphans.insert(tid);
+    }
+  }
+  if (!orphans.empty()) {
+    std::unordered_set<TransactionId> batch_ids;
+    for (const Transaction& t : delta) batch_ids.insert(t.id);
+    for (TransactionId tid : orphans) {
+      if (batch_ids.count(tid) == 0) {
+        return Status::InvalidArgument(
+            "table '" + sales->name() + "' already holds transaction " +
+            std::to_string(tid) + " beyond the stored watermark " +
+            std::to_string(stored.meta.watermark) +
+            " (a crash-interrupted append), and this batch does not "
+            "re-submit it — retry the interrupted batch first");
+      }
+    }
+  }
+
   TransactionId new_watermark = stored.meta.watermark;
   uint64_t delta_transactions = 0;
   for (const Transaction& t : delta) {
@@ -158,12 +193,17 @@ Result<DeltaMineResult> DeltaMiner::AppendAndUpdate(
   // untouched (see the AppendAndUpdate contract).
   auto append_batch = [&]() -> Status {
     for (const Transaction& t : delta) {
+      if (orphans.count(t.id) != 0) continue;  // already in the table
       for (ItemId item : t.items) {
         SETM_RETURN_IF_ERROR(
             sales->Insert(Tuple({Value::Int32(t.id), Value::Int32(item)})));
       }
     }
-    return Status::OK();
+    // Batch boundary: the rows are crash-durable — and replay-atomic as a
+    // unit — from here, even though the store update below still has to
+    // checkpoint. A kill in between leaves exactly the orphan state the
+    // scan above repairs on retry.
+    return db_->Commit();
   };
 
   const uint64_t combined_transactions =

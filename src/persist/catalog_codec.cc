@@ -7,10 +7,21 @@ namespace setm {
 namespace {
 
 /// Bumped when the snapshot layout changes; decode rejects unknown versions
-/// so an old engine never misparses a newer manifest.
-constexpr uint32_t kSnapshotVersion = 1;
+/// so an old engine never misparses a newer manifest. v2 appended the free
+/// page list (v1 snapshots only exist inside format-v1 files, which the
+/// superblock already rejects).
+constexpr uint32_t kSnapshotVersion = 2;
 
 }  // namespace
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 // ---------------------------------------------------------------------------
 // RecordWriter
@@ -116,6 +127,8 @@ std::string EncodeCatalogSnapshot(const CatalogSnapshot& snapshot) {
     w.PutU64(t.row_count);
     w.PutU64(t.size_bytes);
   }
+  w.PutU32(static_cast<uint32_t>(snapshot.free_pages.size()));
+  for (PageId id : snapshot.free_pages) w.PutU32(id);
   return w.bytes();
 }
 
@@ -185,6 +198,14 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(std::string_view payload) {
     if (!bytes.ok()) return bytes.status();
     t.size_bytes = bytes.value();
     out.tables.push_back(std::move(t));
+  }
+  auto free_count = r.GetU32();
+  if (!free_count.ok()) return free_count.status();
+  // No reserve: untrusted count, same reasoning as the table loop above.
+  for (uint32_t i = 0; i < free_count.value(); ++i) {
+    auto id = r.GetU32();
+    if (!id.ok()) return id.status();
+    out.free_pages.push_back(id.value());
   }
   if (!r.AtEnd()) {
     return Status::Corruption("catalog snapshot carries " +

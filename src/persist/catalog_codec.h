@@ -59,6 +59,11 @@ class RecordReader {
   size_t pos_ = 0;
 };
 
+/// FNV-1a over `data`. Not cryptographic — it catches torn writes and
+/// foreign bytes, which is all the persisted-metadata checksums (superblock
+/// slots, WAL records) need.
+uint64_t Fnv1a64(std::string_view data);
+
 /// Everything the catalog must remember about one table to reopen it:
 /// identity (name, backing, schema) plus, for heap tables, the page chain
 /// root and the counters that cannot be cheaply recomputed. Memory tables
@@ -77,9 +82,17 @@ struct PersistedTableMeta {
 };
 
 /// The catalog state serialized into the manifest: one entry per table, in
-/// creation order (reopen preserves TableNames() ordering).
+/// creation order (reopen preserves TableNames() ordering), plus the free
+/// page list. Keeping the free list inside the copy-on-write manifest —
+/// rather than as on-page link chains — means freeing a page never writes
+/// into it, so the previous checkpoint's image stays byte-intact until the
+/// superblock flips.
 struct CatalogSnapshot {
   std::vector<PersistedTableMeta> tables;
+  /// Pages no checkpointed structure references, available for reuse by
+  /// later allocations (retired manifest-chain surplus, dropped-table heap
+  /// chains). Sorted ascending for a deterministic encoding.
+  std::vector<PageId> free_pages;
 };
 
 /// Serializes a snapshot into the manifest payload format.

@@ -59,7 +59,8 @@ Status ReadHeader(const Page& page, PageId id, ManifestHeader* out) {
 }  // namespace
 
 Result<PageId> WriteManifest(BufferPool* pool, std::string_view payload,
-                             std::vector<PageId>* chain) {
+                             std::vector<PageId>* chain,
+                             std::vector<PageId>* released) {
   // A manifest always occupies at least one page: the superblock's root
   // pointer distinguishes "empty catalog" (zero-length payload) from "never
   // checkpointed" (kInvalidPageId).
@@ -103,6 +104,14 @@ Result<PageId> WriteManifest(BufferPool* pool, std::string_view payload,
     guards[i].MarkDirty();
   }
 
+  // Surplus of a shrinking chain: input pages beyond what this manifest
+  // needed were neither reused nor referenced — report them for the free
+  // list rather than silently orphaning one page per shrink.
+  if (released != nullptr) {
+    for (size_t i = num_pages; i < chain->size(); ++i) {
+      released->push_back((*chain)[i]);
+    }
+  }
   chain->clear();
   chain->reserve(num_pages);
   for (const PageGuard& g : guards) chain->push_back(g.id());

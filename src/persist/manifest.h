@@ -22,9 +22,10 @@ namespace setm {
 /// pages of the *retired* chain (so steady-state checkpoints do not grow
 /// the file) and the superblock only flips to a chain once it is fully
 /// flushed — the live chain is never modified in place, keeping the
-/// previous catalog image intact through a crash at any point. Pages of a
-/// shrinking chain are abandoned — free-page reclamation is a known
-/// follow-on, tracked in ROADMAP.md.
+/// previous catalog image intact through a crash at any point. When a
+/// rewrite needs fewer pages than the retired chain held, the surplus is
+/// reported through `released` so the caller can move those pages to the
+/// free list instead of leaking them.
 
 /// Payload bytes one manifest page can carry.
 constexpr size_t kManifestPageCapacity = kPageSize - 12;
@@ -35,9 +36,12 @@ constexpr size_t kManifestPageCapacity = kPageSize - 12;
 /// empty on the first write), on successful return the pages now holding
 /// the manifest, in chain order. Returns the root page id. The chain pages
 /// are written and marked dirty but not flushed — the caller's checkpoint
-/// sequence flushes after the superblock is updated.
+/// sequence flushes after the superblock is updated. When `released` is
+/// non-null, input-chain pages the shrunken manifest no longer needs are
+/// appended to it (only on success; untouched on failure).
 Result<PageId> WriteManifest(BufferPool* pool, std::string_view payload,
-                             std::vector<PageId>* chain);
+                             std::vector<PageId>* chain,
+                             std::vector<PageId>* released = nullptr);
 
 /// Reads a manifest chain rooted at `root` back into one payload string.
 ///

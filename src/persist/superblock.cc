@@ -9,18 +9,10 @@ namespace setm {
 
 namespace {
 
-/// FNV-1a over the encoded header bytes. Not cryptographic — it catches
-/// torn writes and foreign files, which is all a superblock checksum is for.
-uint64_t Fnv1a(const char* data, size_t n) {
-  uint64_t h = 1469598103934665603ULL;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= static_cast<uint8_t>(data[i]);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 /// Serialized header: magic + fields, checksum appended over these bytes.
+/// Field order keeps the version and page-count bytes at the same offsets
+/// as format v1 (magic @0, version @8, page_count @12), so a v1 engine
+/// reading a v2 file still reports a clean version mismatch.
 std::string EncodeHeader(const Superblock& sb) {
   RecordWriter w;
   for (char c : kSuperblockMagic) w.PutU8(static_cast<uint8_t>(c));
@@ -29,6 +21,7 @@ std::string EncodeHeader(const Superblock& sb) {
   w.PutU32(sb.manifest_root);
   w.PutU32(sb.spare_manifest_root);
   w.PutU64(sb.checkpoint_seq);
+  w.PutU64(sb.free_page_count);
   return w.bytes();
 }
 
@@ -37,7 +30,7 @@ std::string EncodeHeader(const Superblock& sb) {
 void EncodeSuperblock(const Superblock& sb, Page* page) {
   const std::string header = EncodeHeader(sb);
   RecordWriter tail;
-  tail.PutU64(Fnv1a(header.data(), header.size()));
+  tail.PutU64(Fnv1a64(header));
   page->Clear();
   std::memcpy(page->data, header.data(), header.size());
   std::memcpy(page->data + header.size(), tail.bytes().data(),
@@ -60,10 +53,16 @@ Status DecodeSuperblock(const Page& page, Superblock* out) {
   if (!version.ok()) return version.status();
   sb.format_version = version.value();
   if (sb.format_version != kFormatVersion) {
-    return Status::NotSupported(
-        "database format version " + std::to_string(sb.format_version) +
-        " is not supported by this build (expected " +
-        std::to_string(kFormatVersion) + ")");
+    std::string msg = "database format version " +
+                      std::to_string(sb.format_version) +
+                      " is not supported by this build (expected " +
+                      std::to_string(kFormatVersion) + ")";
+    if (sb.format_version == 1) {
+      msg +=
+          "; v1 files predate the dual-superblock/WAL layout — re-export "
+          "the data (dump with a v1 build, reload the CSV)";
+    }
+    return Status::NotSupported(msg);
   }
   auto pages = r.GetU64();
   if (!pages.ok()) return pages.status();
@@ -77,11 +76,14 @@ Status DecodeSuperblock(const Page& page, Superblock* out) {
   auto seq = r.GetU64();
   if (!seq.ok()) return seq.status();
   sb.checkpoint_seq = seq.value();
+  auto free_count = r.GetU64();
+  if (!free_count.ok()) return free_count.status();
+  sb.free_page_count = free_count.value();
 
   const std::string header = EncodeHeader(sb);
   auto checksum = r.GetU64();
   if (!checksum.ok()) return checksum.status();
-  if (checksum.value() != Fnv1a(header.data(), header.size())) {
+  if (checksum.value() != Fnv1a64(header)) {
     return Status::Corruption(
         "superblock checksum mismatch (torn write or corrupted file)");
   }

@@ -8,23 +8,36 @@
 
 namespace setm {
 
-/// Page 0 of every file-backed database is the superblock — the fixed,
-/// versioned entry point that makes the file self-describing:
+/// The first two pages of every file-backed database are *superblock
+/// slots* — two alternating copies of the fixed, versioned entry point that
+/// makes the file self-describing:
 ///
-///   page 0        superblock (magic, version, catalog manifest root)
-///   page 1..      manifest chain + heap pages, interleaved
+///   page 0        superblock slot A (checkpoints with even seq)
+///   page 1        superblock slot B (checkpoints with odd seq)
+///   page 2..      manifest chain + heap pages, interleaved
 ///
-/// A reader validates the superblock before trusting anything else in the
-/// file; wrong magic, an unknown format version or a checksum mismatch each
-/// fail with a distinct, descriptive Status and the file is left untouched.
+/// Checkpoint N writes slot N % 2, so the previous checkpoint's superblock
+/// is never overwritten while it is the latest durable one: a write torn by
+/// power loss mid-superblock destroys only the slot being replaced, and the
+/// reopening process falls back to the intact sibling. A reader decodes
+/// both slots and trusts whichever valid one carries the higher
+/// checkpoint_seq; wrong magic, an unknown format version or a checksum
+/// mismatch each fail with a distinct, descriptive Status and the file is
+/// left untouched.
 constexpr PageId kSuperblockPageId = 0;
+
+/// The sibling slot; see kSuperblockPageId.
+constexpr PageId kSuperblockSlotBPageId = 1;
 
 /// First bytes of a SETM database file.
 constexpr char kSuperblockMagic[8] = {'S', 'E', 'T', 'M', 'D', 'B', 'F', '0'};
 
 /// On-disk format version this engine reads and writes. Bump on any
-/// incompatible change to the superblock or manifest layout.
-constexpr uint32_t kFormatVersion = 1;
+/// incompatible change to the superblock or manifest layout. v2 added the
+/// second superblock slot (page 1), the free-page list in the catalog
+/// snapshot and the sidecar write-ahead log; v1 files must be re-exported
+/// (mine with a v1 build, reload the CSV) — there is no in-place upgrade.
+constexpr uint32_t kFormatVersion = 2;
 
 /// Decoded superblock contents.
 struct Superblock {
@@ -40,8 +53,14 @@ struct Superblock {
   /// the retired pages instead of orphaning one chain per process
   /// generation; purely an allocation hint — readers never need it.
   PageId spare_manifest_root = kInvalidPageId;
-  /// Monotonic checkpoint counter, for diagnostics and tests.
+  /// Monotonic checkpoint counter. Not just diagnostics anymore: it picks
+  /// the live slot (highest valid seq wins), selects which slot the next
+  /// checkpoint writes (seq % 2), and stamps WAL records so replay applies
+  /// exactly the epoch that follows this superblock.
   uint64_t checkpoint_seq = 0;
+  /// Entries in the catalog snapshot's free-page list at checkpoint time
+  /// (informational; the authoritative list lives in the manifest payload).
+  uint64_t free_page_count = 0;
 };
 
 /// Renders `sb` into `*page` (magic, fields, trailing checksum; the rest of
@@ -52,7 +71,7 @@ void EncodeSuperblock(const Superblock& sb, Page* page);
 ///  * Corruption   — magic mismatch ("not a SETM database file") or
 ///                   checksum mismatch (torn/garbage superblock);
 ///  * NotSupported — good magic but a format version this engine does not
-///                   understand.
+///                   understand (v1 gets a migration hint).
 Status DecodeSuperblock(const Page& page, Superblock* out);
 
 }  // namespace setm

@@ -1,0 +1,196 @@
+#ifndef SETM_PERSIST_WAL_H_
+#define SETM_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/storage_backend.h"
+
+namespace setm {
+
+/// Write-ahead log for file-backed databases: the crash-consistency piece
+/// that closes the gap between "pwrite returned" and "the bytes survive
+/// power loss".
+///
+/// The main database file is *immutable between checkpoints*. Every page
+/// write the buffer pool issues is redirected (via WalBackend) into a
+/// sidecar log file `<db>.wal` as a physical after-image:
+///
+///   page record    [type=1 u8 | seq u64 | page_id u32 | crc u64 | 4096 B]
+///   commit record  [type=2 u8 | seq u64 | crc u64]
+///
+/// `seq` is the epoch tag: records written while the durable superblock
+/// carries checkpoint_seq S are stamped S+1 — the seq the *next* checkpoint
+/// will publish. Reopening after a crash replays exactly the records whose
+/// seq is one past the live superblock's, up to the last intact commit
+/// record; everything else in the log (a stale epoch left by a crash
+/// between superblock flip and log truncation, or a torn tail) is ignored
+/// and discarded. Replay is pure redo of full page images, so running it
+/// twice — or over pages a crashed checkpoint already wrote — is harmless.
+///
+/// Durability boundary: a batch of work becomes crash-durable when its
+/// commit record is fsync'd (Database::Commit). Group commit batches that
+/// fsync: with a commit window, several commit records ride one sync, and a
+/// crash forgets at most the un-synced window — never tears a batch in
+/// half, because replay stops at the last *durable* commit record.
+
+/// Byte sizes of the two record types (header fields + payload).
+constexpr size_t kWalPageRecordSize = 1 + 8 + 4 + 8 + kPageSize;
+constexpr size_t kWalCommitRecordSize = 1 + 8 + 8;
+/// Offset of the page payload within a page record.
+constexpr size_t kWalPagePayloadOffset = 1 + 8 + 4 + 8;
+
+/// Append-only byte file under the WAL. Abstract so crash tests can model
+/// power loss (volatile vs durable bytes) without touching the Wal logic.
+class WalFile {
+ public:
+  virtual ~WalFile() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Reads up to `n` bytes starting at `offset` into `*out` (replaces its
+  /// contents; short reads near EOF return fewer bytes, not an error).
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) = 0;
+
+  /// Current file size in bytes.
+  virtual Result<uint64_t> Size() = 0;
+
+  /// Forces appended bytes to stable storage.
+  virtual Status Sync() = 0;
+
+  /// Shrinks the file to `size` bytes (Reset truncates to zero).
+  virtual Status Truncate(uint64_t size) = 0;
+};
+
+/// POSIX implementation over a real file.
+class PosixWalFile : public WalFile {
+ public:
+  static Result<std::unique_ptr<PosixWalFile>> Open(const std::string& path);
+  ~PosixWalFile() override;
+
+  Status Append(std::string_view data) override;
+  Status Read(uint64_t offset, size_t n, std::string* out) override;
+  Result<uint64_t> Size() override;
+  Status Sync() override;
+  Status Truncate(uint64_t size) override;
+
+ private:
+  PosixWalFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t size_;  // append offset; kept in memory, seeded from lseek
+};
+
+/// The runtime WAL: appends records, tracks the in-epoch page overlay
+/// (latest after-image per page, so reads see epoch writes even after the
+/// buffer pool evicts them), and materializes the overlay into the main
+/// file at checkpoint time. Thread-safe — the buffer pool calls in from
+/// whichever thread triggers an eviction.
+class Wal {
+ public:
+  explicit Wal(std::unique_ptr<WalFile> file) : file_(std::move(file)) {}
+
+  /// Sets the epoch tag stamped on subsequent records: the checkpoint_seq
+  /// the *next* checkpoint will publish (live superblock seq + 1).
+  void SetEpoch(uint64_t seq);
+
+  /// Logs the after-image of `id` and updates the overlay.
+  Status AppendPage(PageId id, const Page& page);
+
+  /// Logs a commit record: everything appended so far (this epoch) becomes
+  /// replayable once the log is synced.
+  Status AppendCommit();
+
+  /// fsyncs the log. After OK, every record appended before the call is
+  /// crash-durable.
+  Status Sync();
+
+  /// Serves `id` from the overlay if this epoch wrote it: returns true and
+  /// fills `*out`, or false (untouched) when the main file is current.
+  Result<bool> TryReadImage(PageId id, Page* out);
+
+  /// Writes every overlay page into `target` (the main file's backend).
+  /// Part of the checkpoint: by this point the log is synced, so a crash
+  /// mid-materialize is repaired by replay.
+  Status Materialize(StorageBackend* target);
+
+  /// Truncates the log to zero and syncs — the epoch's records are now
+  /// reflected in the main file and must not replay again. Clears the
+  /// overlay; the caller advances the epoch via SetEpoch.
+  Status Reset();
+
+  /// Open-time crash recovery over this WAL's file: see ReplayWal below.
+  /// Leaves the log empty and the in-memory state pristine.
+  Status Recover(uint64_t expect_seq, StorageBackend* inner,
+                 uint64_t* replayed_pages = nullptr);
+
+  /// True when this epoch logged at least one page.
+  bool HasRecords() const;
+
+  /// True when pages were logged after the last commit record — i.e. a
+  /// commit record is required before those pages may replay.
+  bool NeedsCommitMarker() const;
+
+  /// True when records were appended after the last Sync.
+  bool HasUnsyncedData() const;
+
+ private:
+  std::unique_ptr<WalFile> file_;
+  mutable std::mutex mutex_;
+  uint64_t epoch_ = 0;
+  uint64_t append_offset_ = 0;
+  /// page id -> byte offset of its latest after-image payload in the file.
+  std::unordered_map<PageId, uint64_t> overlay_;
+  bool needs_commit_ = false;
+  bool unsynced_ = false;
+};
+
+/// StorageBackend decorator that makes the decorated (inner) file
+/// append-only-immutable between checkpoints: writes divert to the WAL,
+/// reads prefer the WAL overlay, allocations extend the inner file directly
+/// (extending with zeroes is crash-safe — an unreferenced tail page is
+/// invisible to the previous catalog image). Owns the IoStats accounting;
+/// build the inner backend with stats == nullptr or pages count twice.
+class WalBackend : public StorageBackend {
+ public:
+  WalBackend(StorageBackend* inner, Wal* wal, IoStats* stats)
+      : StorageBackend(stats), inner_(inner), wal_(wal) {}
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  uint64_t NumPages() const override { return inner_->NumPages(); }
+  /// Durability of *logged* state is the WAL's job; the inner file is only
+  /// synced by the checkpoint itself.
+  Status Sync() override { return wal_->Sync(); }
+
+  StorageBackend* inner() const { return inner_; }
+
+ private:
+  StorageBackend* inner_;
+  Wal* wal_;
+};
+
+/// Crash recovery: scans `file`, finds the last intact commit record of
+/// epoch `expect_seq` (CRC-guarded — a torn tail ends the scan cleanly),
+/// applies the committed page images to `inner` last-wins (extending the
+/// file for images past its end), syncs `inner`, then truncates the log.
+/// Idempotent; a log with no committed records of the expected epoch just
+/// gets truncated. `replayed_pages` (optional) reports distinct pages
+/// applied.
+Status ReplayWal(WalFile* file, uint64_t expect_seq, StorageBackend* inner,
+                 uint64_t* replayed_pages = nullptr);
+
+}  // namespace setm
+
+#endif  // SETM_PERSIST_WAL_H_

@@ -92,6 +92,22 @@ Status Catalog::DropTable(const std::string& name) {
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
+  // Reclaim a heap table's page chain before erasing it. Collection failure
+  // (a corrupt chain link) downgrades to a leak, not a failed drop — the
+  // pages merely stay unreferenced, which was the status quo.
+  if (free_pages_hook_) {
+    if (auto* heap = dynamic_cast<HeapTable*>(it->second.get())) {
+      std::vector<PageId> pages;
+      Status walk = heap->AppendChainPages(&pages);
+      if (walk.ok()) {
+        free_pages_hook_(std::move(pages));
+      } else {
+        SETM_LOG(kWarn) << "dropping '" << key
+                           << "' without reclaiming its pages: "
+                           << walk.ToString();
+      }
+    }
+  }
   tables_.erase(it);
   creation_order_.erase(
       std::remove(creation_order_.begin(), creation_order_.end(), key),

@@ -61,6 +61,14 @@ class Catalog {
     checkpoint_hook_ = std::move(hook);
   }
 
+  /// Installs (or clears) the sink for pages a dropped heap table used to
+  /// own. DropTable hands the whole chain over *before* the post-DDL
+  /// checkpoint, so the checkpoint that makes the drop durable also records
+  /// the reclaimed pages in its free list.
+  void SetFreePagesHook(std::function<void(std::vector<PageId>)> hook) {
+    free_pages_hook_ = std::move(hook);
+  }
+
   /// Defers hook invocations: while the depth is non-zero, DDL records that
   /// a checkpoint is owed instead of running one. End runs the single owed
   /// checkpoint once the depth returns to zero. Used (via
@@ -80,6 +88,7 @@ class Catalog {
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> creation_order_;
   std::function<Status()> checkpoint_hook_;
+  std::function<void(std::vector<PageId>)> free_pages_hook_;
   size_t checkpoint_defer_depth_ = 0;
   bool checkpoint_pending_ = false;
 };

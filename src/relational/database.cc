@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
@@ -12,8 +13,24 @@
 
 namespace setm {
 
+namespace {
+
+/// Clears an atomic flag on scope exit (Checkpoint's many error returns).
+class ScopedFlag {
+ public:
+  explicit ScopedFlag(std::atomic<bool>* flag) : flag_(flag) {
+    flag_->store(true, std::memory_order_release);
+  }
+  ~ScopedFlag() { flag_->store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>* flag_;
+};
+
+}  // namespace
+
 Database::~Database() {
-  if (persistent_ && catalog_ != nullptr) {
+  if (persistent_ && !closed_ && catalog_ != nullptr) {
     Status s = Checkpoint();
     if (!s.ok()) {
       SETM_LOG(kError) << "checkpoint on close failed (data since the last "
@@ -43,32 +60,82 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
 Status Database::Init(DatabaseOptions options) {
   options_ = std::move(options);
   const bool file_backed = !options_.file_path.empty();
+  bool fresh = false;
   if (file_backed) {
-    // Refuse to touch existing files that cannot possibly be SETM
-    // databases before open() gets a chance to modify them. A partial
-    // superblock (size below one page) or a size that is not a whole
-    // number of pages means truncation or a foreign file.
-    struct stat st;
-    if (::stat(options_.file_path.c_str(), &st) == 0 && st.st_size > 0) {
-      const uint64_t size = static_cast<uint64_t>(st.st_size);
-      if (size < kPageSize) {
-        return Status::Corruption(
-            "file '" + options_.file_path + "' holds " +
-            std::to_string(size) +
-            " bytes — too small for a superblock; refusing to reinitialize");
-      }
-      if (size % kPageSize != 0) {
-        return Status::Corruption(
-            "file '" + options_.file_path + "' holds " +
-            std::to_string(size) +
-            " bytes, not a whole number of " + std::to_string(kPageSize) +
-            "-byte pages (truncated?)");
+    if (!options_.backend_factory) {
+      // Refuse to touch existing files that cannot possibly be SETM
+      // databases before open() gets a chance to modify them. A partial
+      // superblock (size below one page) or a size that is not a whole
+      // number of pages means truncation or a foreign file.
+      struct stat st;
+      if (::stat(options_.file_path.c_str(), &st) == 0 && st.st_size > 0) {
+        const uint64_t size = static_cast<uint64_t>(st.st_size);
+        if (size < kPageSize) {
+          return Status::Corruption(
+              "file '" + options_.file_path + "' holds " +
+              std::to_string(size) +
+              " bytes — too small for a superblock; refusing to "
+              "reinitialize");
+        }
+        if (size % kPageSize != 0) {
+          return Status::Corruption(
+              "file '" + options_.file_path + "' holds " +
+              std::to_string(size) + " bytes, not a whole number of " +
+              std::to_string(kPageSize) + "-byte pages (truncated?)");
+        }
       }
     }
-    auto backend_or =
-        FileBackend::Open(options_.file_path, &stats_, /*truncate=*/false);
-    if (!backend_or.ok()) return backend_or.status();
-    backend_ = std::move(backend_or).value();
+    // The inner backend carries no IoStats — all accounting happens in the
+    // WAL decorator, or pages written both to the log and (at checkpoint)
+    // to the file would count twice.
+    if (options_.backend_factory) {
+      auto inner_or = options_.backend_factory(options_.file_path);
+      if (!inner_or.ok()) return inner_or.status();
+      inner_backend_ = std::move(inner_or).value();
+    } else {
+      auto inner_or = FileBackend::Open(options_.file_path,
+                                        /*stats=*/nullptr,
+                                        /*truncate=*/false);
+      if (!inner_or.ok()) return inner_or.status();
+      inner_backend_ = std::move(inner_or).value();
+    }
+    if (options_.wal_factory) {
+      auto wal_or = options_.wal_factory(options_.file_path);
+      if (!wal_or.ok()) return wal_or.status();
+      wal_ = std::make_unique<Wal>(std::move(wal_or).value());
+    } else {
+      auto wal_or = PosixWalFile::Open(options_.file_path + ".wal");
+      if (!wal_or.ok()) return wal_or.status();
+      wal_ = std::make_unique<Wal>(std::move(wal_or).value());
+    }
+
+    fresh = inner_backend_->NumPages() == 0;
+    if (!fresh) {
+      SETM_RETURN_IF_ERROR(ReadLiveSuperblock());
+      // Replay the epoch the crash interrupted: records stamped one past
+      // the live superblock's seq, up to their last durable commit record.
+      wal_->SetEpoch(superblock_.checkpoint_seq + 1);
+      uint64_t replayed = 0;
+      SETM_RETURN_IF_ERROR(wal_->Recover(superblock_.checkpoint_seq + 1,
+                                         inner_backend_.get(), &replayed));
+      if (replayed > 0) {
+        SETM_LOG(kInfo) << "WAL replay restored " << replayed
+                        << " committed page(s) into '" << options_.file_path
+                        << "'";
+      }
+      // Replay can only have grown the file, so this still catches
+      // externally truncated files.
+      if (superblock_.page_count > inner_backend_->NumPages()) {
+        return Status::Corruption(
+            "file '" + options_.file_path +
+            "' was truncated: superblock records " +
+            std::to_string(superblock_.page_count) + " pages but only " +
+            std::to_string(inner_backend_->NumPages()) + " remain");
+      }
+    }
+    backend_ =
+        std::make_unique<WalBackend>(inner_backend_.get(), wal_.get(),
+                                     &stats_);
   } else {
     backend_ = std::make_unique<MemoryBackend>(&stats_);
   }
@@ -82,7 +149,8 @@ Status Database::Init(DatabaseOptions options) {
   }
 
   if (file_backed) {
-    if (backend_->NumPages() == 0) {
+    last_wal_sync_ = std::chrono::steady_clock::now();
+    if (fresh) {
       persistent_ = true;  // Checkpoint() below needs it; the file is ours
       SETM_RETURN_IF_ERROR(InitializeFreshFile());
     } else {
@@ -93,49 +161,99 @@ Status Database::Init(DatabaseOptions options) {
       persistent_ = true;
     }
     catalog_->SetCheckpointHook([this] { return Checkpoint(); });
+    catalog_->SetFreePagesHook([this](std::vector<PageId> pages) {
+      std::lock_guard<std::mutex> lock(free_mutex_);
+      pending_free_.insert(pending_free_.end(), pages.begin(), pages.end());
+    });
+    pool_->SetAllocationHook([this]() -> PageId {
+      // Stand down during checkpoints: the free list was already serialized
+      // into the manifest payload being written, so popping from it now
+      // would hand out a page the durable-in-a-moment image calls free.
+      if (in_checkpoint_.load(std::memory_order_acquire)) {
+        return kInvalidPageId;
+      }
+      std::lock_guard<std::mutex> lock(free_mutex_);
+      if (free_pages_.empty()) return kInvalidPageId;
+      PageId id = free_pages_.back();
+      free_pages_.pop_back();
+      return id;
+    });
   }
   return Status::OK();
 }
 
-Status Database::InitializeFreshFile() {
-  auto guard_or = pool_->NewPage();
-  if (!guard_or.ok()) return guard_or.status();
-  if (guard_or.value().id() != kSuperblockPageId) {
-    return Status::Internal(
-        "superblock allocation landed on page " +
-        std::to_string(guard_or.value().id()) +
-        " of a supposedly empty file");
+Status Database::ReadLiveSuperblock() {
+  Superblock slots[2];
+  Status status[2] = {Status::OK(), Status::OK()};
+  Page page;
+  for (PageId id : {kSuperblockPageId, kSuperblockSlotBPageId}) {
+    if (id >= inner_backend_->NumPages()) {
+      status[id] = Status::Corruption("superblock slot " + std::to_string(id) +
+                                      " lies beyond the file");
+      continue;
+    }
+    status[id] = inner_backend_->ReadPage(id, &page);
+    if (status[id].ok()) {
+      status[id] = DecodeSuperblock(page, &slots[id]);
+    }
   }
-  EncodeSuperblock(superblock_, guard_or.value().page());
-  guard_or.value().MarkDirty();
-  guard_or.value().Release();
-  // First checkpoint: writes the (empty) manifest, points the superblock at
-  // it and flushes, so even an immediately-closed database reopens cleanly.
+  // A cleanly decoded slot of a foreign format version is not crash damage
+  // — never "fall back" past it to the sibling.
+  for (const Status& s : status) {
+    if (s.code() == StatusCode::kNotSupported) return s;
+  }
+  int live = -1;
+  for (int i = 0; i < 2; ++i) {
+    if (!status[i].ok()) continue;
+    if (live < 0 || slots[i].checkpoint_seq > slots[live].checkpoint_seq) {
+      live = i;
+    }
+  }
+  if (live < 0) {
+    // Both slots bad: slot A's diagnosis is the canonical one (it is what a
+    // foreign or garbage file trips first).
+    return status[0];
+  }
+  superblock_ = slots[live];
+  return Status::OK();
+}
+
+Status Database::InitializeFreshFile() {
+  // A stale sidecar log (the database file was deleted, its .wal not) must
+  // not replay into this unrelated fresh file.
+  SETM_RETURN_IF_ERROR(wal_->Reset());
+  // Reserve both slots before writing either, so every later checkpoint
+  // can write its slot without extending the file. A crash in between
+  // leaves a file with no valid slot, which correctly refuses to open.
+  for (PageId expect : {kSuperblockPageId, kSuperblockSlotBPageId}) {
+    auto id_or = inner_backend_->AllocatePage();
+    if (!id_or.ok()) return id_or.status();
+    if (id_or.value() != expect) {
+      return Status::Internal("superblock slot allocation landed on page " +
+                              std::to_string(id_or.value()) +
+                              " of a supposedly empty file");
+    }
+  }
+  superblock_.page_count = inner_backend_->NumPages();
+  Page page;
+  EncodeSuperblock(superblock_, &page);  // seq 0 -> slot A
+  SETM_RETURN_IF_ERROR(inner_backend_->WritePage(kSuperblockPageId, page));
+  SETM_RETURN_IF_ERROR(inner_backend_->Sync());
+  wal_->SetEpoch(superblock_.checkpoint_seq + 1);
+  // First checkpoint: writes the (empty) manifest, publishes slot B with
+  // seq 1, so even an immediately-killed process leaves a reopenable file.
   return Checkpoint();
 }
 
 Status Database::LoadPersistentState() {
-  {
-    auto guard_or = pool_->FetchPage(kSuperblockPageId);
-    if (!guard_or.ok()) return guard_or.status();
-    SETM_RETURN_IF_ERROR(
-        DecodeSuperblock(*guard_or.value().page(), &superblock_));
-  }
-  if (superblock_.page_count > backend_->NumPages()) {
-    return Status::Corruption(
-        "file '" + options_.file_path + "' was truncated: superblock records " +
-        std::to_string(superblock_.page_count) + " pages but only " +
-        std::to_string(backend_->NumPages()) + " remain");
-  }
   if (superblock_.manifest_root == kInvalidPageId) {
     return Status::OK();  // checkpointed before any DDL: empty catalog
   }
   if (superblock_.manifest_root >= backend_->NumPages()) {
     return Status::Corruption(
         "superblock points the catalog manifest at page " +
-        std::to_string(superblock_.manifest_root) +
-        ", beyond the file's " + std::to_string(backend_->NumPages()) +
-        " pages");
+        std::to_string(superblock_.manifest_root) + ", beyond the file's " +
+        std::to_string(backend_->NumPages()) + " pages");
   }
   auto payload_or =
       ReadManifest(pool_.get(), superblock_.manifest_root,
@@ -157,7 +275,7 @@ Status Database::LoadPersistentState() {
                                  backend_->NumPages(), &spare);
     if (spare_or.ok()) {
       for (PageId id : spare) {
-        const bool live = id == kSuperblockPageId ||
+        const bool live = id <= kSuperblockSlotBPageId ||
                           std::find(manifest_pages_.begin(),
                                     manifest_pages_.end(),
                                     id) != manifest_pages_.end();
@@ -187,11 +305,79 @@ Status Database::LoadPersistentState() {
     }
     SETM_RETURN_IF_ERROR(catalog_->AttachTable(std::move(table)));
   }
+
+  // Load the free-page list, but only after filtering it against every
+  // page something still reaches — superblock slots, both manifest chains
+  // and every attached heap chain. A free list entry that is actually live
+  // (conceivable only after corruption, or a bug) would otherwise get
+  // reused while referenced; dropping it merely leaks a page.
+  std::unordered_set<PageId> reachable = {kSuperblockPageId,
+                                          kSuperblockSlotBPageId};
+  reachable.insert(manifest_pages_.begin(), manifest_pages_.end());
+  reachable.insert(spare_manifest_pages_.begin(), spare_manifest_pages_.end());
+  for (const std::string& name : catalog_->TableNames()) {
+    auto table_or = catalog_->GetTable(name);
+    if (!table_or.ok()) return table_or.status();
+    if (const auto* heap = dynamic_cast<const HeapTable*>(table_or.value())) {
+      std::vector<PageId> chain;
+      SETM_RETURN_IF_ERROR(heap->AppendChainPages(&chain));
+      reachable.insert(chain.begin(), chain.end());
+    }
+  }
+  uint64_t filtered = 0;
+  {
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    for (PageId id : snapshot_or.value().free_pages) {
+      if (id <= kSuperblockSlotBPageId || id >= backend_->NumPages() ||
+          reachable.count(id) != 0) {
+        ++filtered;
+        continue;
+      }
+      free_pages_.push_back(id);
+    }
+  }
+  if (filtered > 0) {
+    SETM_LOG(kWarn) << "dropped " << filtered
+                       << " free-list entr(ies) that are reachable or out of "
+                          "range (leaked, not reused)";
+  }
+  last_manifest_payload_ = std::move(payload_or).value();
   return Status::OK();
+}
+
+Status Database::Commit() {
+  if (!persistent_) return Status::OK();
+  // Push this batch's dirty pages into the log, then mark the batch
+  // boundary. Replay applies whole marked batches only, so a crash between
+  // the records and the marker loses the batch as a unit, never half.
+  SETM_RETURN_IF_ERROR(pool_->FlushAll());
+  if (wal_->NeedsCommitMarker()) {
+    SETM_RETURN_IF_ERROR(wal_->AppendCommit());
+  }
+  if (wal_->HasUnsyncedData()) {
+    const auto now = std::chrono::steady_clock::now();
+    const bool window_elapsed =
+        options_.wal_commit_window_ms == 0 ||
+        now - last_wal_sync_ >=
+            std::chrono::milliseconds(options_.wal_commit_window_ms);
+    if (window_elapsed) {
+      SETM_RETURN_IF_ERROR(wal_->Sync());
+      last_wal_sync_ = now;
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (!persistent_) return Status::OK();
+  return Checkpoint();
 }
 
 Status Database::Checkpoint() {
   if (!persistent_) return Status::OK();
+  ScopedFlag checkpoint_scope(&in_checkpoint_);
 
   CatalogSnapshot snapshot;
   for (const std::string& name : catalog_->TableNames()) {
@@ -213,58 +399,129 @@ Status Database::Checkpoint() {
     }
     snapshot.tables.push_back(std::move(meta));
   }
-
-  // Copy-on-write: the new manifest goes into the *retired* chain (fresh
-  // pages on the first rounds), never over the live one the on-disk
-  // superblock still references. On any failure below the written-to
-  // pages stay the spare for the retry and the live chain is untouched.
-  std::vector<PageId> chain = std::move(spare_manifest_pages_);
-  spare_manifest_pages_.clear();
-  auto root_or = WriteManifest(pool_.get(), EncodeCatalogSnapshot(snapshot),
-                               &chain);
-  if (!root_or.ok()) {
-    spare_manifest_pages_ = std::move(chain);
-    return root_or.status();
-  }
-
-  // Write ordering: flush the new chain and every data page *before* the
-  // superblock that references them. Combined with the chain alternation,
-  // a crash anywhere in this sequence leaves the old superblock pointing
-  // at the old, untouched chain — the previously checkpointed catalog
-  // survives intact. (The superblock page itself is still updated in
-  // place; a torn 4 KiB superblock write is the residual window, noted
-  // with the WAL follow-on in ROADMAP.)
-  Status flush = pool_->FlushAll();
-  if (!flush.ok()) {
-    spare_manifest_pages_ = std::move(chain);
-    return flush;
-  }
-
-  superblock_.manifest_root = root_or.value();
-  // The current live chain becomes the spare after the flip; record its
-  // root so a later process can reuse its pages too.
-  superblock_.spare_manifest_root =
-      manifest_pages_.empty() ? kInvalidPageId : manifest_pages_.front();
-  // Manifest writes may have allocated pages; record the count afterwards
-  // so the truncation check covers every page the manifest references.
-  superblock_.page_count = backend_->NumPages();
-  ++superblock_.checkpoint_seq;
+  // The durable free list: pages already free plus this epoch's pending
+  // ones — the checkpoint that is about to commit is exactly what makes
+  // the pending pages safe to reuse.
+  std::vector<PageId> pending_copy;
   {
-    auto guard_or = pool_->FetchPage(kSuperblockPageId);
-    if (!guard_or.ok()) {
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    pending_copy = pending_free_;
+    snapshot.free_pages = free_pages_;
+  }
+  snapshot.free_pages.insert(snapshot.free_pages.end(), pending_copy.begin(),
+                             pending_copy.end());
+  std::sort(snapshot.free_pages.begin(), snapshot.free_pages.end());
+  std::string payload = EncodeCatalogSnapshot(snapshot);
+
+  // Nothing changed since the last checkpoint? Then there is nothing to
+  // make durable: no manifest rewrite, no superblock flip, no file growth.
+  // (checkpoint_seq > 0 keeps the very first checkpoint unconditional.)
+  if (superblock_.checkpoint_seq > 0 && payload == last_manifest_payload_ &&
+      pool_->DirtyPageCount() == 0 && !wal_->HasRecords()) {
+    return Status::OK();
+  }
+
+  // Copy-on-write: when the catalog changed, the new manifest goes into
+  // the *retired* chain (fresh pages on the first rounds), never over the
+  // live one the on-disk superblock still references. On any failure below
+  // the written-to pages stay the spare for the retry and the live chain
+  // is untouched. When the payload is byte-identical to the live manifest
+  // (a data-only checkpoint), the rewrite is skipped entirely and the
+  // chains keep their roles.
+  const bool rewrite_manifest =
+      payload != last_manifest_payload_ || manifest_pages_.empty();
+  std::vector<PageId> chain;
+  std::vector<PageId> released;
+  PageId new_root = superblock_.manifest_root;
+  PageId new_spare_root = superblock_.spare_manifest_root;
+  if (rewrite_manifest) {
+    chain = std::move(spare_manifest_pages_);
+    spare_manifest_pages_.clear();
+    auto root_or = WriteManifest(pool_.get(), payload, &chain, &released);
+    if (!root_or.ok()) {
       spare_manifest_pages_ = std::move(chain);
-      return guard_or.status();
+      return root_or.status();
     }
-    EncodeSuperblock(superblock_, guard_or.value().page());
-    guard_or.value().MarkDirty();
+    new_root = root_or.value();
+    new_spare_root =
+        manifest_pages_.empty() ? kInvalidPageId : manifest_pages_.front();
   }
-  Status flip = pool_->FlushPage(kSuperblockPageId);
-  if (!flip.ok()) {
-    spare_manifest_pages_ = std::move(chain);
-    return flip;
+  auto restore_spare = [&] {
+    if (rewrite_manifest) spare_manifest_pages_ = std::move(chain);
+  };
+
+  // From here the ordering is the whole point; each step is durable before
+  // the next starts:
+  //   1. every dirty page -> WAL, commit record, fsync the log;
+  //   2. logged images -> main file, fsync it;
+  //   3. new superblock -> the *other* slot, fsync again;
+  //   4. truncate the log.
+  // A crash after 1 replays into the old image (old superblock still
+  // live); after 2 likewise (replay rewrites the same bytes); after 3 the
+  // new superblock wins and the stale log is ignored by its epoch tag;
+  // after 4 the checkpoint simply happened.
+  Status step = pool_->FlushAll();
+  if (step.ok() && wal_->NeedsCommitMarker()) step = wal_->AppendCommit();
+  if (step.ok()) step = wal_->Sync();
+  if (step.ok()) step = wal_->Materialize(inner_backend_.get());
+  if (step.ok()) step = inner_backend_->Sync();
+  if (!step.ok()) {
+    restore_spare();
+    return step;
   }
-  spare_manifest_pages_ = std::move(manifest_pages_);
-  manifest_pages_ = std::move(chain);
+
+  Superblock next = superblock_;
+  next.manifest_root = new_root;
+  next.spare_manifest_root = new_spare_root;
+  next.page_count = inner_backend_->NumPages();
+  next.checkpoint_seq = superblock_.checkpoint_seq + 1;
+  next.free_page_count = snapshot.free_pages.size();
+  Page slot_page;
+  EncodeSuperblock(next, &slot_page);
+  // Alternating slots: the previous checkpoint's superblock is never the
+  // write target, so a torn write here can only damage a slot that was
+  // already dead. A failed retry recomputes the same seq and hits the same
+  // slot — the live one stays untouched no matter how often this fails.
+  const PageId slot = static_cast<PageId>(next.checkpoint_seq % 2);
+  step = inner_backend_->WritePage(slot, slot_page);
+  if (step.ok()) step = inner_backend_->Sync();
+  if (!step.ok()) {
+    restore_spare();
+    return step;
+  }
+  superblock_ = next;
+
+  // The epoch is sealed: drop the log and stamp the next epoch's records
+  // with the seq a future replay (against the just-published superblock)
+  // will look for. A failure here is reported but not fatal to the image —
+  // the stale log cannot replay (wrong epoch) and the next checkpoint
+  // retries the truncation.
+  Status reset = wal_->Reset();
+  wal_->SetEpoch(superblock_.checkpoint_seq + 1);
+  if (!reset.ok()) {
+    SETM_LOG(kWarn) << "WAL truncation after checkpoint failed "
+                          "(harmless for consistency, retried next "
+                          "checkpoint): "
+                       << reset.ToString();
+  }
+
+  if (rewrite_manifest) {
+    spare_manifest_pages_ = std::move(manifest_pages_);
+    manifest_pages_ = std::move(chain);
+  }
+  last_manifest_payload_ = std::move(payload);
+  {
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    // The pending pages this checkpoint recorded are now allocatable; the
+    // manifest shrink's surplus joins the *next* checkpoint's pending set.
+    pending_free_.erase(pending_free_.begin(),
+                        pending_free_.begin() +
+                            static_cast<ptrdiff_t>(pending_copy.size()));
+    free_pages_.insert(free_pages_.end(), pending_copy.begin(),
+                       pending_copy.end());
+    pending_free_.insert(pending_free_.end(), released.begin(),
+                         released.end());
+  }
   return Status::OK();
 }
 

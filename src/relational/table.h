@@ -128,6 +128,12 @@ class HeapTable : public Table {
   PageId first_page() const { return heap_.first_page(); }
   PageId last_page() const { return heap_.last_page(); }
 
+  /// Appends the full page chain to `*out` — lets DropTable hand the pages
+  /// to the database free list instead of leaking them in the file.
+  Status AppendChainPages(std::vector<PageId>* out) const {
+    return heap_.AppendChainPages(out);
+  }
+
  private:
   HeapTable(std::string name, Schema schema, BufferPool* pool, TableHeap heap)
       : Table(std::move(name), std::move(schema)),

@@ -129,9 +129,31 @@ Result<PageGuard> BufferPool::FetchPageForOverwrite(PageId id) {
 
 Result<PageGuard> BufferPool::NewPage() {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto id_or = backend_->AllocatePage();
-  if (!id_or.ok()) return id_or.status();
-  const PageId id = id_or.value();
+  PageId id = kInvalidPageId;
+  if (allocation_hook_) id = allocation_hook_();
+  if (id != kInvalidPageId) {
+    // Recycling a freed page. It may still be cached from its former life
+    // (a retired manifest page, say); that stale frame must be reset, not
+    // kept, or the new owner would see the old bytes.
+    auto it = page_table_.find(id);
+    if (it != page_table_.end()) {
+      Frame& f = frames_[it->second];
+      // Freed pages are unreferenced by contract, so nothing can hold a pin.
+      SETM_CHECK(f.pin_count == 0);
+      if (f.in_lru) {
+        lru_.erase(f.lru_pos);
+        f.in_lru = false;
+      }
+      f.page.Clear();
+      f.pin_count = 1;
+      f.dirty = true;  // the zeroed image must reach the backend eventually
+      return PageGuard(this, it->second, id, &f.page);
+    }
+  } else {
+    auto id_or = backend_->AllocatePage();
+    if (!id_or.ok()) return id_or.status();
+    id = id_or.value();
+  }
   auto victim = GetVictimFrameLocked();
   if (!victim.ok()) return victim.status();
   const size_t idx = victim.value();
@@ -176,6 +198,15 @@ uint64_t BufferPool::hits() const {
 uint64_t BufferPool::misses() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+uint64_t BufferPool::DirtyPageCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.id != kInvalidPageId && f.dirty) ++n;
+  }
+  return n;
 }
 
 void BufferPool::Unpin(size_t frame_index) {

@@ -2,6 +2,7 @@
 #define SETM_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <unordered_map>
@@ -95,7 +96,24 @@ class BufferPool {
   Result<PageGuard> FetchPageForOverwrite(PageId id);
 
   /// Allocates a fresh zeroed page in the backend and pins it (dirty).
+  /// When an allocation hook is set (see SetAllocationHook) and yields a
+  /// recycled page id, that page is reused instead of extending the backend.
   Result<PageGuard> NewPage();
+
+  /// Installs a recycler consulted by NewPage before the backend: return a
+  /// previously freed PageId to reuse it, or kInvalidPageId to fall through
+  /// to a fresh backend allocation. Called with the pool mutex held, so the
+  /// hook must not call back into the pool. A recycled page must be
+  /// *unreferenced*: no checkpointed structure may reach it and no guard may
+  /// still pin it (the database's free list guarantees both).
+  void SetAllocationHook(std::function<PageId()> hook) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    allocation_hook_ = std::move(hook);
+  }
+
+  /// Number of frames currently holding unflushed modifications — lets the
+  /// checkpoint detect "nothing changed" and skip the superblock flip.
+  uint64_t DirtyPageCount() const;
 
   /// Writes back one page if cached and dirty.
   Status FlushPage(PageId id);
@@ -139,6 +157,7 @@ class BufferPool {
   Result<size_t> GetVictimFrameLocked();
 
   StorageBackend* backend_;
+  std::function<PageId()> allocation_hook_;
   std::vector<Frame> frames_;
   mutable std::mutex mutex_;
   std::vector<size_t> free_frames_;

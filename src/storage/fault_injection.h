@@ -40,6 +40,10 @@ class FaultInjectionBackend : public StorageBackend {
     SETM_RETURN_IF_ERROR(MaybeFail("WritePage"));
     return inner_->WritePage(id, page);
   }
+  Status Sync() override {
+    SETM_RETURN_IF_ERROR(MaybeFail("Sync"));
+    return inner_->Sync();
+  }
   uint64_t NumPages() const override { return inner_->NumPages(); }
 
   /// Operations observed so far.

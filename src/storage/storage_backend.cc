@@ -162,4 +162,12 @@ Status FileBackend::WritePage(PageId id, const Page& page) {
   return Status::OK();
 }
 
+Status FileBackend::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync(" + path_ + "): " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 }  // namespace setm

@@ -48,6 +48,13 @@ class StorageBackend {
   /// Number of pages allocated so far.
   virtual uint64_t NumPages() const = 0;
 
+  /// Forces every completed write to stable storage before returning.
+  /// pwrite alone only reaches the OS page cache — a checkpoint's carefully
+  /// ordered "data pages, then superblock" sequence is not ordered at the
+  /// device until a sync sits between the two. Backends without a
+  /// durability boundary (memory) are a no-op.
+  virtual Status Sync() { return Status::OK(); }
+
   /// The shared I/O ledger (may be null).
   IoStats* stats() const { return stats_; }
 
@@ -114,6 +121,9 @@ class FileBackend : public StorageBackend {
   uint64_t NumPages() const override {
     return num_pages_.load(std::memory_order_acquire);
   }
+  /// fdatasync(2): file contents (and the size, which fdatasync covers when
+  /// it changed) are on the device when this returns OK.
+  Status Sync() override;
 
   const std::string& path() const { return path_; }
 

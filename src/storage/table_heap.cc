@@ -102,6 +102,26 @@ Result<TableHeap> TableHeap::Open(BufferPool* pool, PageId first_page) {
   return heap;
 }
 
+Status TableHeap::AppendChainPages(std::vector<PageId>* out) const {
+  PageId cur = first_page_;
+  uint64_t seen = 0;
+  const uint64_t max_pages = pool_->backend()->NumPages();
+  while (cur != kInvalidPageId) {
+    if (seen >= max_pages) {
+      return Status::Corruption(
+          "heap page chain starting at page " + std::to_string(first_page_) +
+          " does not terminate within the file's " +
+          std::to_string(max_pages) + " pages (cycle or corrupt link)");
+    }
+    out->push_back(cur);
+    auto guard_or = pool_->FetchPage(cur);
+    if (!guard_or.ok()) return guard_or.status();
+    cur = Header(guard_or.value().page())->next_page;
+    ++seen;
+  }
+  return Status::OK();
+}
+
 Result<Rid> TableHeap::Insert(std::string_view record) {
   if (record.size() > kMaxRecordSize) {
     return Status::InvalidArgument("record of " +

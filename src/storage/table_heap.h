@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -72,6 +73,11 @@ class TableHeap {
 
   /// Number of pages in the chain — the ||R|| of the paper's formulas.
   uint64_t num_pages() const { return num_pages_; }
+
+  /// Appends every page id of the chain to `*out` (walks the chain; same
+  /// cycle guard as Open). Used to reclaim a dropped table's pages into the
+  /// database free list.
+  Status AppendChainPages(std::vector<PageId>* out) const;
 
   /// Forward iterator over live records in storage order.
   ///

@@ -29,15 +29,21 @@ Schema TwoIntSchema() {
       {Column{"a", ValueType::kInt32}, Column{"b", ValueType::kInt32}});
 }
 
-/// A scratch database file path, removed on destruction.
+/// A scratch database file path (plus its WAL sidecar), removed on
+/// destruction.
 class TempDbFile {
  public:
   explicit TempDbFile(const std::string& name)
       : path_(testing::TempDir() + "/" + name) {
     std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
   }
-  ~TempDbFile() { std::remove(path_.c_str()); }
+  ~TempDbFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
   const std::string& path() const { return path_; }
+  std::string wal_path() const { return path_ + ".wal"; }
 
  private:
   std::string path_;
@@ -99,6 +105,7 @@ TEST(RecordCodecTest, CatalogSnapshotRoundTrip) {
   mem.schema = Schema({Column{"s", ValueType::kString},
                        Column{"d", ValueType::kDouble}});
   snapshot.tables.push_back(mem);
+  snapshot.free_pages = {5, 12, 40};
 
   auto decoded = DecodeCatalogSnapshot(EncodeCatalogSnapshot(snapshot));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -116,6 +123,7 @@ TEST(RecordCodecTest, CatalogSnapshotRoundTrip) {
   EXPECT_EQ(m.name, "scratch");
   EXPECT_EQ(m.backing, TableBacking::kMemory);
   EXPECT_EQ(m.schema.NumColumns(), 2u);
+  EXPECT_EQ(decoded.value().free_pages, (std::vector<PageId>{5, 12, 40}));
 }
 
 TEST(RecordCodecTest, SnapshotRejectsTruncationAndGarbage) {
@@ -488,12 +496,11 @@ TEST(PersistTest, RejectsTruncatedDatabaseWithoutModifyingFile) {
   EXPECT_EQ(ReadAll(file.path()), cut);
 }
 
-// A crash after appends (dirty pages evicted to the file, no checkpoint)
-// leaves the heap chain holding more rows than the manifest records. The
-// file must still open — refusing would turn the documented "lose
-// un-checkpointed data" contract into a permanently unopenable file — and
-// the walk's counts win.
-TEST(PersistTest, ReopenToleratesUncheckpointedAppends) {
+// A crash after *committed* appends (rows in the WAL with a synced commit
+// record, manifest stale) must lose nothing: replay restores the pages and
+// the heap chain holds more rows than the manifest records — the walk's
+// counts win and the table opens with every committed row.
+TEST(PersistTest, ReopenReplaysCommittedUncheckpointedAppends) {
   TempDbFile file("persist_crash_appends.db");
   TempDbFile crashed("persist_crash_appends_snapshot.db");
   {
@@ -511,17 +518,51 @@ TEST(PersistTest, ReopenToleratesUncheckpointedAppends) {
       ASSERT_TRUE(
           t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
     }
-    ASSERT_TRUE((*db)->pool()->FlushAll().ok());  // "evicted to disk"
-    // Snapshot the file as a crash would leave it: rows flushed, manifest
-    // stale. (The destructor of `db` would checkpoint; the copy escapes it.)
+    ASSERT_TRUE((*db)->Commit().ok());  // rows + commit record in the WAL
+    // Snapshot main file and WAL as a crash would leave them: main file
+    // stale (immutable between checkpoints), committed rows only in the
+    // log. (The destructor of `db` would checkpoint; the copy escapes it.)
     WriteAll(crashed.path(), ReadAll(file.path()));
+    WriteAll(crashed.wal_path(), ReadAll(file.wal_path()));
   }
   auto db = Database::Open(FileOptions(crashed));
   ASSERT_TRUE(db.ok()) << "crash image refused to open: "
                        << db.status().ToString();
   auto t = (*db)->catalog()->GetTable("t");
   ASSERT_TRUE(t.ok());
-  EXPECT_EQ(t.value()->num_rows(), 150u) << "flushed appends were lost";
+  EXPECT_EQ(t.value()->num_rows(), 150u) << "committed appends were lost";
+}
+
+// The same crash image *without* the WAL (or with the batch never
+// committed) rolls back to the checkpointed 100 rows — the main file alone
+// is always the last checkpoint's image, never a torn mix.
+TEST(PersistTest, ReopenWithoutWalRollsBackToCheckpoint) {
+  TempDbFile file("persist_crash_nowal.db");
+  TempDbFile crashed("persist_crash_nowal_snapshot.db");
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok());
+    auto t = (*db)->catalog()->CreateTable("t", TwoIntSchema(),
+                                           TableBacking::kHeap);
+    ASSERT_TRUE(t.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+    }
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    for (int i = 100; i < 150; ++i) {
+      ASSERT_TRUE(
+          t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+    }
+    ASSERT_TRUE((*db)->Commit().ok());
+    WriteAll(crashed.path(), ReadAll(file.path()));  // WAL "lost"
+  }
+  auto db = Database::Open(FileOptions(crashed));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto t = (*db)->catalog()->GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->num_rows(), 100u)
+      << "main file held rows that were never checkpointed into it";
 }
 
 // The whole of ItemsetStore::Save — K+1 DDL statements — runs under one

@@ -1,0 +1,681 @@
+// Crash-consistency tests for the write-ahead log (src/persist/wal) and the
+// dual-slot superblock protocol: a simulated disk with an operation fuse
+// cuts "power" after the K-th storage operation, for every K until the
+// workload completes — then the database is reopened from the durable bytes
+// alone and must (a) open, and (b) contain exactly a whole-batch prefix of
+// the committed work. Real-file tests cover byte-level damage the
+// operation-granular simulator cannot express: torn WAL tails, corrupt
+// records, scribbled superblock slots, and foreign format versions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "incremental/itemset_store.h"
+#include "persist/superblock.h"
+#include "persist/wal.h"
+#include "relational/database.h"
+#include "storage/storage_backend.h"
+
+namespace setm {
+namespace {
+
+Schema TwoIntSchema() {
+  return Schema(
+      {Column{"a", ValueType::kInt32}, Column{"b", ValueType::kInt32}});
+}
+
+// --------------------------------------------------------------------------
+// Simulated disk
+// --------------------------------------------------------------------------
+
+/// Shared state of one simulated device: the volatile view (what the
+/// process reads back) and the durable view (what survives the power cut).
+/// Every fallible operation ticks the fuse; once it reaches zero the device
+/// is dead — the operation fails *before* taking effect and the durable
+/// view is frozen.
+///
+/// Two durability models bracket real hardware:
+///   retain=false — nothing becomes durable except at an explicit Sync
+///                  (maximum write-back caching);
+///   retain=true  — every completed operation is durable instantly
+///                  (write-through, the strictest ordering).
+struct SimDisk {
+  bool retain = false;
+  int64_t fuse = -1;  ///< operations until power loss; -1 = reliable
+  bool crashed = false;
+  uint64_t wal_syncs = 0;
+
+  std::vector<Page> pages;
+  std::vector<Page> pages_durable;
+  std::string wal;
+  std::string wal_durable;
+
+  Status Tick(const char* op) {
+    if (crashed) {
+      return Status::IOError(std::string("simulated power loss (") + op +
+                             ")");
+    }
+    if (fuse >= 0) {
+      if (fuse == 0) {
+        crashed = true;
+        return Status::IOError(std::string("simulated power loss (") + op +
+                               ")");
+      }
+      --fuse;
+    }
+    return Status::OK();
+  }
+};
+
+class CrashSimBackend : public StorageBackend {
+ public:
+  explicit CrashSimBackend(std::shared_ptr<SimDisk> disk)
+      : StorageBackend(nullptr), disk_(std::move(disk)) {}
+
+  Result<PageId> AllocatePage() override {
+    SETM_RETURN_IF_ERROR(disk_->Tick("page alloc"));
+    disk_->pages.emplace_back();
+    disk_->pages.back().Clear();
+    if (disk_->retain) disk_->pages_durable = disk_->pages;
+    return static_cast<PageId>(disk_->pages.size() - 1);
+  }
+  Status ReadPage(PageId id, Page* out) override {
+    SETM_RETURN_IF_ERROR(disk_->Tick("page read"));
+    if (id >= disk_->pages.size()) {
+      return Status::InvalidArgument("page " + std::to_string(id) +
+                                     " was never allocated");
+    }
+    *out = disk_->pages[id];
+    return Status::OK();
+  }
+  Status WritePage(PageId id, const Page& page) override {
+    SETM_RETURN_IF_ERROR(disk_->Tick("page write"));
+    if (id >= disk_->pages.size()) {
+      return Status::InvalidArgument("page " + std::to_string(id) +
+                                     " was never allocated");
+    }
+    disk_->pages[id] = page;
+    if (disk_->retain) disk_->pages_durable = disk_->pages;
+    return Status::OK();
+  }
+  uint64_t NumPages() const override { return disk_->pages.size(); }
+  Status Sync() override {
+    SETM_RETURN_IF_ERROR(disk_->Tick("page-store sync"));
+    disk_->pages_durable = disk_->pages;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<SimDisk> disk_;
+};
+
+class CrashSimWalFile : public WalFile {
+ public:
+  explicit CrashSimWalFile(std::shared_ptr<SimDisk> disk)
+      : disk_(std::move(disk)) {}
+
+  Status Append(std::string_view data) override {
+    SETM_RETURN_IF_ERROR(disk_->Tick("wal append"));
+    disk_->wal.append(data.data(), data.size());
+    if (disk_->retain) disk_->wal_durable = disk_->wal;
+    return Status::OK();
+  }
+  Status Read(uint64_t offset, size_t n, std::string* out) override {
+    SETM_RETURN_IF_ERROR(disk_->Tick("wal read"));
+    out->clear();
+    if (offset >= disk_->wal.size()) return Status::OK();
+    out->assign(disk_->wal, offset,
+                std::min<size_t>(n, disk_->wal.size() - offset));
+    return Status::OK();
+  }
+  Result<uint64_t> Size() override {
+    SETM_RETURN_IF_ERROR(disk_->Tick("wal size"));
+    return static_cast<uint64_t>(disk_->wal.size());
+  }
+  Status Sync() override {
+    SETM_RETURN_IF_ERROR(disk_->Tick("wal sync"));
+    disk_->wal_durable = disk_->wal;
+    ++disk_->wal_syncs;
+    return Status::OK();
+  }
+  Status Truncate(uint64_t size) override {
+    SETM_RETURN_IF_ERROR(disk_->Tick("wal truncate"));
+    disk_->wal.resize(size);
+    if (disk_->retain) disk_->wal_durable = disk_->wal;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<SimDisk> disk_;
+};
+
+DatabaseOptions SimOptions(std::shared_ptr<SimDisk> disk,
+                           uint64_t window_ms = 0) {
+  DatabaseOptions options;
+  options.file_path = "sim.db";  // name only; the factories intercept all IO
+  options.pool_frames = 64;
+  options.temp_pool_frames = 16;
+  options.wal_commit_window_ms = window_ms;
+  options.backend_factory =
+      [disk](const std::string&) -> Result<std::unique_ptr<StorageBackend>> {
+    return std::unique_ptr<StorageBackend>(new CrashSimBackend(disk));
+  };
+  options.wal_factory =
+      [disk](const std::string&) -> Result<std::unique_ptr<WalFile>> {
+    return std::unique_ptr<WalFile>(new CrashSimWalFile(disk));
+  };
+  return options;
+}
+
+/// A fresh, reliable disk holding exactly what survived the power cut.
+std::shared_ptr<SimDisk> Revive(const SimDisk& dead) {
+  auto disk = std::make_shared<SimDisk>();
+  disk->pages = dead.pages_durable;
+  disk->pages_durable = dead.pages_durable;
+  disk->wal = dead.wal_durable;
+  disk->wal_durable = dead.wal_durable;
+  return disk;
+}
+
+Result<uint64_t> CountRows(Table* table) {
+  auto it = table->Scan();
+  Tuple row;
+  uint64_t n = 0;
+  while (true) {
+    auto more = it->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!more.value()) break;
+    ++n;
+  }
+  return n;
+}
+
+/// Silences the library logger entirely (one level past kError) for the
+/// fuse sweep: hundreds of intentionally-failing checkpoints would
+/// otherwise flood stderr with expected error lines.
+class ScopedLogSilence {
+ public:
+  ScopedLogSilence() : prev_(GetLogLevel()) {
+    SetLogLevel(
+        static_cast<LogLevel>(static_cast<int>(LogLevel::kError) + 1));
+  }
+  ~ScopedLogSilence() { SetLogLevel(prev_); }
+
+ private:
+  LogLevel prev_;
+};
+
+// --------------------------------------------------------------------------
+// Crash matrix
+// --------------------------------------------------------------------------
+
+constexpr int kBatch = 8;
+constexpr int kBatches = 3;
+
+struct RunOutcome {
+  bool open_ok = false;
+  bool created = false;
+  int committed_batches = 0;  ///< Commit() calls that returned OK
+  bool checkpoint_ok = false;
+  bool close_ok = false;
+};
+
+/// open -> create table -> three committed batches (with a checkpoint after
+/// the second) -> close. Stops at the first failed step; Close() is always
+/// invoked so the destructor stays quiet on the dead disk.
+RunOutcome RunWorkload(std::shared_ptr<SimDisk> disk) {
+  RunOutcome out;
+  auto db_or = Database::Open(SimOptions(disk));
+  if (!db_or.ok()) return out;
+  std::unique_ptr<Database> db = std::move(db_or).value();
+  out.open_ok = true;
+
+  auto table_or =
+      db->catalog()->CreateTable("t", TwoIntSchema(), TableBacking::kHeap);
+  if (!table_or.ok()) {
+    (void)db->Close();
+    return out;
+  }
+  out.created = true;
+  Table* t = table_or.value();
+  for (int b = 0; b < kBatches; ++b) {
+    for (int i = 0; i < kBatch; ++i) {
+      const int v = b * kBatch + i;
+      if (!t->Insert(Tuple({Value::Int32(v), Value::Int32(v * 7)})).ok()) {
+        (void)db->Close();
+        return out;
+      }
+    }
+    if (!db->Commit().ok()) {
+      (void)db->Close();
+      return out;
+    }
+    ++out.committed_batches;
+    if (b == 1) {
+      if (!db->Checkpoint().ok()) {
+        (void)db->Close();
+        return out;
+      }
+      out.checkpoint_ok = true;
+    }
+  }
+  out.close_ok = db->Close().ok();
+  return out;
+}
+
+TEST(WalCrashMatrixTest, PowerCutAtEveryOperationKeepsCommittedBatches) {
+  ScopedLogSilence quiet;
+  for (bool retain : {false, true}) {
+    bool completed = false;
+    int64_t fuse = 0;
+    for (; fuse < 5000 && !completed; ++fuse) {
+      auto disk = std::make_shared<SimDisk>();
+      disk->retain = retain;
+      disk->fuse = fuse;
+      const RunOutcome run = RunWorkload(disk);
+      completed = !disk->crashed;
+
+      // The very first open may have been cut before any superblock became
+      // durable; such a disk holds no database and may refuse to open.
+      if (!run.open_ok) continue;
+
+      auto revived = Database::Open(SimOptions(Revive(*disk)));
+      ASSERT_TRUE(revived.ok())
+          << "retain=" << retain << " fuse=" << fuse << ": "
+          << revived.status().ToString();
+      std::unique_ptr<Database> db = std::move(revived).value();
+
+      uint64_t rows = 0;
+      if (db->catalog()->HasTable("t")) {
+        auto t = db->catalog()->GetTable("t");
+        ASSERT_TRUE(t.ok()) << t.status().ToString();
+        auto n = CountRows(t.value());
+        ASSERT_TRUE(n.ok())
+            << "retain=" << retain << " fuse=" << fuse << ": "
+            << n.status().ToString();
+        rows = n.value();
+      } else {
+        // CreateTable returns only after its checkpoint is durable.
+        ASSERT_FALSE(run.created)
+            << "retain=" << retain << " fuse=" << fuse
+            << ": durably created table vanished";
+      }
+      EXPECT_EQ(rows % kBatch, 0u)
+          << "torn batch: retain=" << retain << " fuse=" << fuse;
+      EXPECT_GE(rows,
+                static_cast<uint64_t>(kBatch) * run.committed_batches)
+          << "committed batch lost: retain=" << retain << " fuse=" << fuse;
+      EXPECT_LE(rows, static_cast<uint64_t>(kBatch) * kBatches);
+      if (run.close_ok) {
+        EXPECT_EQ(rows, static_cast<uint64_t>(kBatch) * kBatches);
+      }
+      ASSERT_TRUE(db->Close().ok());
+    }
+    EXPECT_TRUE(completed)
+        << "retain=" << retain
+        << ": fuse sweep never reached a crash-free run";
+  }
+}
+
+// --------------------------------------------------------------------------
+// Group commit
+// --------------------------------------------------------------------------
+
+TEST(GroupCommitTest, ZeroWindowSyncsEveryCommit) {
+  auto disk = std::make_shared<SimDisk>();
+  auto db_or = Database::Open(SimOptions(disk, /*window_ms=*/0));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  std::unique_ptr<Database> db = std::move(db_or).value();
+  auto t = db->catalog()->CreateTable("t", TwoIntSchema(),
+                                      TableBacking::kHeap);
+  ASSERT_TRUE(t.ok());
+  const uint64_t before = disk->wal_syncs;
+  for (int b = 0; b < 5; ++b) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(t.value()
+                      ->Insert(Tuple({Value::Int32(b * 3 + i),
+                                      Value::Int32(i)}))
+                      .ok());
+    }
+    ASSERT_TRUE(db->Commit().ok());
+  }
+  EXPECT_EQ(disk->wal_syncs - before, 5u);
+  ASSERT_TRUE(db->Close().ok());
+}
+
+TEST(GroupCommitTest, WideWindowSharesOneFsyncAcrossBatches) {
+  auto disk = std::make_shared<SimDisk>();
+  auto db_or = Database::Open(SimOptions(disk, /*window_ms=*/3'600'000));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  std::unique_ptr<Database> db = std::move(db_or).value();
+  auto t = db->catalog()->CreateTable("t", TwoIntSchema(),
+                                      TableBacking::kHeap);
+  ASSERT_TRUE(t.ok());
+  const uint64_t before = disk->wal_syncs;
+  for (int b = 0; b < 5; ++b) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(t.value()
+                      ->Insert(Tuple({Value::Int32(b * 3 + i),
+                                      Value::Int32(i)}))
+                      .ok());
+    }
+    ASSERT_TRUE(db->Commit().ok());
+  }
+  // All five commits rode the window: no fsync of their own.
+  EXPECT_EQ(disk->wal_syncs - before, 0u);
+
+  // A cut now may lose the un-synced window, but only in whole batches.
+  {
+    auto mid = Database::Open(SimOptions(Revive(*disk)));
+    ASSERT_TRUE(mid.ok()) << mid.status().ToString();
+    auto mid_t = mid.value()->catalog()->GetTable("t");
+    ASSERT_TRUE(mid_t.ok());
+    auto n = CountRows(mid_t.value());
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value() % 3, 0u);
+    ASSERT_TRUE(mid.value()->Close().ok());
+  }
+
+  // Close checkpoints (checkpoints always sync): everything durable now.
+  ASSERT_TRUE(db->Close().ok());
+  auto after = Database::Open(SimOptions(Revive(*disk)));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  auto after_t = after.value()->catalog()->GetTable("t");
+  ASSERT_TRUE(after_t.ok());
+  auto n = CountRows(after_t.value());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 15u);
+  ASSERT_TRUE(after.value()->Close().ok());
+}
+
+// --------------------------------------------------------------------------
+// Real-file damage: torn WAL tails, corrupt records, scribbled slots
+// --------------------------------------------------------------------------
+
+/// A scratch database file path (plus its WAL sidecar), removed on
+/// destruction.
+class TempDbFile {
+ public:
+  explicit TempDbFile(const std::string& name)
+      : path_(testing::TempDir() + "/" + name) {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+  ~TempDbFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+  const std::string& path() const { return path_; }
+  std::string wal_path() const { return path_ + ".wal"; }
+
+ private:
+  std::string path_;
+};
+
+DatabaseOptions FileOptions(const TempDbFile& file) {
+  DatabaseOptions options;
+  options.file_path = file.path();
+  return options;
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<uint64_t>(in.tellg()) : 0;
+}
+
+void CopyFile(const std::string& src, const std::string& dst) {
+  std::ifstream in(src, std::ios::binary);
+  std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+}
+
+void TruncateTo(const std::string& path, uint64_t size) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  bytes.resize(size);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void FlipByteAt(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0xFF);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&b, 1);
+}
+
+void OverwriteRange(const std::string& path, uint64_t offset, size_t n,
+                    char fill) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  std::string bytes(n, fill);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(bytes.data(), static_cast<std::streamsize>(n));
+}
+
+/// Creates a db with two committed batches of kBatch rows each, snapshots
+/// file + WAL mid-flight into `snap`, then closes the original cleanly.
+void TwoCommittedBatchesSnapshot(const TempDbFile& file,
+                                 const TempDbFile& snap) {
+  auto db_or = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  std::unique_ptr<Database> db = std::move(db_or).value();
+  auto t = db->catalog()->CreateTable("t", TwoIntSchema(),
+                                      TableBacking::kHeap);
+  ASSERT_TRUE(t.ok());
+  for (int b = 0; b < 2; ++b) {
+    for (int i = 0; i < kBatch; ++i) {
+      const int v = b * kBatch + i;
+      ASSERT_TRUE(
+          t.value()->Insert(Tuple({Value::Int32(v), Value::Int32(v)})).ok());
+    }
+    ASSERT_TRUE(db->Commit().ok());
+  }
+  CopyFile(file.path(), snap.path());
+  CopyFile(file.wal_path(), snap.wal_path());
+  ASSERT_TRUE(db->Close().ok());
+}
+
+TEST(WalRecoveryTest, TornTailDropsOnlyTheUncommittedSuffix) {
+  TempDbFile file("wal_torn_tail.db");
+  TempDbFile snap("wal_torn_tail_snap.db");
+  ASSERT_NO_FATAL_FAILURE(TwoCommittedBatchesSnapshot(file, snap));
+
+  // The log ends with batch 2's commit record; tearing its last bytes off
+  // un-commits exactly that batch.
+  const uint64_t size = FileSize(snap.wal_path());
+  ASSERT_GT(size, 10u);
+  TruncateTo(snap.wal_path(), size - 10);
+
+  auto db_or = Database::Open(FileOptions(snap));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto t = db_or.value()->catalog()->GetTable("t");
+  ASSERT_TRUE(t.ok());
+  auto n = CountRows(t.value());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), static_cast<uint64_t>(kBatch))
+      << "replay must stop at the last intact commit record";
+  ASSERT_TRUE(db_or.value()->Close().ok());
+}
+
+TEST(WalRecoveryTest, CorruptRecordEndsReplayAtLastGoodCommit) {
+  TempDbFile file("wal_corrupt_record.db");
+  TempDbFile snap("wal_corrupt_record_snap.db");
+  ASSERT_NO_FATAL_FAILURE(TwoCommittedBatchesSnapshot(file, snap));
+
+  // Damage the last page record (it precedes the final commit record):
+  // its CRC fails, the scan ends there, and batch 2 loses its commit.
+  const uint64_t size = FileSize(snap.wal_path());
+  ASSERT_GT(size, kWalCommitRecordSize + 100);
+  FlipByteAt(snap.wal_path(), size - kWalCommitRecordSize - 100);
+
+  auto db_or = Database::Open(FileOptions(snap));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto t = db_or.value()->catalog()->GetTable("t");
+  ASSERT_TRUE(t.ok());
+  auto n = CountRows(t.value());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), static_cast<uint64_t>(kBatch));
+  ASSERT_TRUE(db_or.value()->Close().ok());
+}
+
+TEST(WalRecoveryTest, MissingSidecarRollsBackToLastCheckpoint) {
+  TempDbFile file("wal_missing_sidecar.db");
+  TempDbFile snap("wal_missing_sidecar_snap.db");
+  ASSERT_NO_FATAL_FAILURE(TwoCommittedBatchesSnapshot(file, snap));
+
+  // Losing the sidecar forfeits the committed-but-uncheckpointed batches —
+  // but never yields a torn or unopenable database.
+  std::remove(snap.wal_path().c_str());
+  auto db_or = Database::Open(FileOptions(snap));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto t = db_or.value()->catalog()->GetTable("t");
+  ASSERT_TRUE(t.ok());
+  auto n = CountRows(t.value());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u) << "the main file never holds uncommitted rows";
+  ASSERT_TRUE(db_or.value()->Close().ok());
+}
+
+TEST(SuperblockRecoveryTest, TornSlotFallsBackToPreviousCheckpoint) {
+  TempDbFile file("wal_torn_slot.db");
+  uint64_t seq = 0;
+  {
+    auto db_or = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    auto t = db_or.value()->catalog()->CreateTable("t", TwoIntSchema(),
+                                                   TableBacking::kHeap);
+    ASSERT_TRUE(t.ok());
+    for (int i = 0; i < kBatch; ++i) {
+      ASSERT_TRUE(
+          t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+    }
+    ASSERT_TRUE(db_or.value()->Close().ok());
+    seq = db_or.value()->checkpoint_count();
+  }
+  ASSERT_GE(seq, 2u);
+
+  // Scribble over the slot the latest checkpoint published (seq % 2); the
+  // sibling slot still holds the previous checkpoint and must win.
+  OverwriteRange(file.path(), (seq % 2) * kPageSize, kPageSize, '\xFF');
+  auto db_or = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  EXPECT_EQ(db_or.value()->checkpoint_count(), seq - 1);
+  EXPECT_TRUE(db_or.value()->catalog()->HasTable("t"));
+  ASSERT_TRUE(db_or.value()->Close().ok());
+}
+
+TEST(SuperblockRecoveryTest, BothSlotsCorruptRefusesToOpen) {
+  TempDbFile file("wal_both_slots_bad.db");
+  {
+    auto db_or = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    ASSERT_TRUE(db_or.value()->Close().ok());
+  }
+  OverwriteRange(file.path(), 0, 2 * kPageSize, '\xFF');
+  auto db_or = Database::Open(FileOptions(file));
+  ASSERT_FALSE(db_or.ok());
+  EXPECT_EQ(db_or.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SuperblockRecoveryTest, V1FormatGetsMigrationHintNotFallback) {
+  TempDbFile file("wal_v1_format.db");
+  {
+    auto db_or = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    ASSERT_TRUE(db_or.value()->Close().ok());
+  }
+  // Rewrite slot A's format-version field (u32 at byte 8) to 1. Even with
+  // a valid sibling slot, a cleanly-versioned foreign slot must propagate
+  // NotSupported — version mismatch is not crash damage.
+  OverwriteRange(file.path(), 8, 1, '\x01');
+  OverwriteRange(file.path(), 9, 3, '\x00');
+  auto db_or = Database::Open(FileOptions(file));
+  ASSERT_FALSE(db_or.ok());
+  EXPECT_EQ(db_or.status().code(), StatusCode::kNotSupported);
+  EXPECT_NE(db_or.status().ToString().find("re-export"), std::string::npos)
+      << db_or.status().ToString();
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint no-op + free-page reuse
+// --------------------------------------------------------------------------
+
+TEST(CheckpointTest, CleanCheckpointIsANoOpAndCloseIsIdempotent) {
+  TempDbFile file("wal_checkpoint_noop.db");
+  auto db_or = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  std::unique_ptr<Database> db = std::move(db_or).value();
+  auto t = db->catalog()->CreateTable("t", TwoIntSchema(),
+                                      TableBacking::kHeap);
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < kBatch; ++i) {
+    ASSERT_TRUE(
+        t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+  }
+  ASSERT_TRUE(db->Checkpoint().ok());
+  const uint64_t seq = db->checkpoint_count();
+  const uint64_t size = FileSize(file.path());
+
+  ASSERT_TRUE(db->Checkpoint().ok());
+  EXPECT_EQ(db->checkpoint_count(), seq) << "clean checkpoint must not flip";
+  EXPECT_EQ(FileSize(file.path()), size);
+
+  ASSERT_TRUE(db->Close().ok());
+  EXPECT_EQ(db->checkpoint_count(), seq);
+  ASSERT_TRUE(db->Close().ok());  // idempotent
+  EXPECT_EQ(FileSize(file.wal_path()), 0u)
+      << "a clean close leaves an empty log";
+}
+
+TEST(FreeListTest, SteadyStateStoreSavesDoNotGrowTheFile) {
+  TempDbFile file("wal_steady_state.db");
+  auto db_or = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  std::unique_ptr<Database> db = std::move(db_or).value();
+
+  ItemsetStore store(db.get(), "fi", TableBacking::kHeap);
+  FrequentItemsets itemsets;
+  itemsets.Add({1}, 10);
+  itemsets.Add({2}, 9);
+  itemsets.Add({1, 2}, 5);
+  itemsets.Normalize();
+  itemsets.num_transactions = 20;
+  StoredRunMeta meta;
+  meta.num_transactions = 20;
+  meta.min_support_count = 2;
+  meta.spec_min_support = 0.1;
+  meta.watermark = 20;
+
+  // Each Save drops and recreates the store relations — a drop/create churn
+  // that would grow the file by one table's pages per generation without
+  // free-list reuse. The first generations warm the free list up (freed
+  // pages become allocatable one checkpoint later); after that the file
+  // size must hold perfectly flat.
+  std::vector<uint64_t> sizes;
+  for (int g = 0; g < 10; ++g) {
+    ASSERT_TRUE(store.Save(itemsets, meta).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    sizes.push_back(FileSize(file.path()));
+  }
+  for (size_t g = 3; g < sizes.size(); ++g) {
+    EXPECT_EQ(sizes[g], sizes[3])
+        << "file grew at generation " << g << " (" << sizes[3] << " -> "
+        << sizes[g] << " bytes): free pages are not being reused";
+  }
+  ASSERT_TRUE(db->Close().ok());
+}
+
+}  // namespace
+}  // namespace setm

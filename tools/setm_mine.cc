@@ -444,7 +444,8 @@ int main(int argc, char** argv) {
 
   // With --db the database lives in (and persists to) a file: Open()
   // validates the superblock of an existing file and rebuilds its catalog,
-  // or initializes a fresh one; the destructor checkpoints on exit.
+  // or initializes a fresh one; Close() at the end of main checkpoints and
+  // reports failures (the destructor would only log them).
   DatabaseOptions db_options;
   db_options.file_path = args.db;
   if (args.pool_frames > 0) db_options.pool_frames = args.pool_frames;
@@ -510,6 +511,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "db io: %s\n",
                  db->io_stats()->ToString().c_str());
     std::fprintf(stderr, "total: %.3f s\n", result.value().total_seconds);
+  }
+
+  // Explicit close: the final checkpoint's status is the only signal that
+  // this run's appends actually reached stable storage, so surface it as
+  // the process exit code instead of swallowing it in the destructor.
+  Status closed = db->Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "closing database failed: %s\n",
+                 closed.ToString().c_str());
+    return 1;
   }
   return 0;
 }
