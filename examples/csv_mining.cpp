@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   const FrequentItemsets& itemsets = result.value().itemsets;
   std::printf("minsup %.2f%% -> %zu frequent patterns (largest size %zu)\n",
               minsup_pct, itemsets.TotalPatterns(), itemsets.MaxSize());
-  auto rules = GenerateRules(itemsets, options);
+  auto rules = GenerateRules(itemsets, options).value();
   std::printf("%zu rules at >= 50%% confidence; first 10:\n", rules.size());
   for (size_t i = 0; i < rules.size() && i < 10; ++i) {
     std::printf("  %s\n", FormatRule(rules[i]).c_str());

@@ -70,7 +70,7 @@ int main() {
   for (const auto& [cls, itemsets] : result.value().per_class) {
     std::printf("\n=== customer class %d (%llu transactions) ===\n", cls,
                 static_cast<unsigned long long>(itemsets.num_transactions));
-    auto rules = GenerateRules(itemsets, options);
+    auto rules = GenerateRules(itemsets, options).value();
     for (const AssociationRule& rule : rules) {
       std::printf("  %s\n", FormatRule(rule, item_name).c_str());
     }

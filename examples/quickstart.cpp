@@ -50,7 +50,7 @@ int main() {
   }
 
   // 4. Generate and print the association rules (Section 5).
-  auto rules = GenerateRules(itemsets, options);
+  auto rules = GenerateRules(itemsets, options).value();
   std::printf("\nrules (confidence >= %.0f%%):\n",
               options.min_confidence * 100.0);
   for (const AssociationRule& rule : rules) {

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
                 it.seconds * 1000.0);
   }
 
-  auto rules = GenerateRules(result.value().itemsets, options);
+  auto rules = GenerateRules(result.value().itemsets, options).value();
   std::printf("\n%zu frequent patterns, %zu rules; showing the 15 most "
               "confident:\n",
               result.value().itemsets.TotalPatterns(), rules.size());

@@ -24,6 +24,14 @@ if [[ -x "$bench_bin" ]]; then
   "$bench_bin" --smoke
 fi
 
+# Repeated-query bench smoke: re-queries through the MiningPlanner must be
+# cache-filtered with zero mining iterations, bit-identical results and
+# >=10x fewer page reads than the cold mine.
+cache_bench_bin="build/$preset/bench/repeated_query"
+if [[ -x "$cache_bench_bin" ]]; then
+  "$cache_bench_bin" --smoke
+fi
+
 # Persistence smoke: store a mined run into a database file in one
 # setm_mine invocation, append incrementally from a second invocation, and
 # assert bit-identical rules with fewer page reads than a full remine.
@@ -37,6 +45,13 @@ fi
 # to a never-killed control.
 if [[ -x "$mine_bin" ]]; then
   scripts/smoke_crash_recovery.sh "$mine_bin"
+fi
+
+# Result-cache smoke: store a run at a low support in one setm_mine
+# invocation, re-query at a higher support from a second one, and assert it
+# is cache-filtered with zero mining iterations and identical rules.
+if [[ -x "$mine_bin" ]]; then
+  scripts/smoke_cache.sh "$mine_bin"
 fi
 
 # Cross-algorithm smoke: every algorithm in `setm_mine --algo list` must

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Two-invocation result-cache smoke for the MiningPlanner behind setm_mine:
+#
+#   process A  mines at a low support threshold and stores the run;
+#   process B  reopens the file and re-asks at a HIGHER threshold;
+#   reference  a fresh full mine of the same CSV at the higher threshold.
+#
+# Asserts, per the plan/execute acceptance criteria:
+#   1. process B is answered by the cache-filter strategy (--explain says
+#      so, and the PlanStats ledger charges cache_filters=1);
+#   2. process B runs ZERO mining iterations (--stats block is empty);
+#   3. B's rules are bit-identical to the reference full mine;
+#   4. B reads fewer pages than the reference at the same --pool-frames.
+#
+#   usage: scripts/smoke_cache.sh path/to/setm_mine [workdir]
+set -euo pipefail
+
+SETM_MINE="${1:?usage: smoke_cache.sh path/to/setm_mine [workdir]}"
+WORK="${2:-$(mktemp -d)}"
+mkdir -p "$WORK"
+
+STORE_MINSUP=2   # store at 2% ...
+QUERY_MINSUP=3   # ... re-query at 3%: dominated, must be served cache-only
+POOL=32
+
+# Deterministic correlated data: a frequent {1,2}(+3,+4) core plus
+# id-dependent filler, 3000 transactions.
+awk 'BEGIN{for(t=1;t<=3000;t++){print t","1; print t","2;
+  if(t%2==0)print t","3; if(t%3==0)print t","4;
+  print t","(5+t%7); print t","(12+t%11)}}' > "$WORK/sales.csv"
+
+echo "== process A: mine at ${STORE_MINSUP}% and store"
+"$SETM_MINE" --db "$WORK/sales.db" --input "$WORK/sales.csv" --store fi \
+  --minsup "$STORE_MINSUP" --pool-frames "$POOL" --format csv \
+  > /dev/null 2> "$WORK/a.err"
+
+echo "== process B: re-query at ${QUERY_MINSUP}% from a second process"
+"$SETM_MINE" --db "$WORK/sales.db" --store fi --minsup "$QUERY_MINSUP" \
+  --pool-frames "$POOL" --format csv --stats --explain \
+  > "$WORK/b_rules.csv" 2> "$WORK/b.err"
+
+grep -q "strategy: cache-filter" "$WORK/b.err" || {
+  echo "FAIL: re-query was not cache-filtered:"; cat "$WORK/b.err"; exit 1;
+}
+grep -q "cache_filters=1" "$WORK/b.err" || {
+  echo "FAIL: PlanStats did not charge a cache filter:"; cat "$WORK/b.err";
+  exit 1;
+}
+# Zero mining iterations: the --stats iterations block must be empty (no
+# per-k lines between "iterations:" and the "io:" line).
+if awk '/^iterations:$/{blk=1; next} /^io:/{blk=0} blk && /k=/{found=1}
+        END{exit found}' "$WORK/b.err"; then
+  echo "re-query ran zero mining iterations"
+else
+  echo "FAIL: re-query ran mining iterations:"; cat "$WORK/b.err"; exit 1
+fi
+
+echo "== reference: fresh full mine at ${QUERY_MINSUP}%"
+"$SETM_MINE" --input "$WORK/sales.csv" --minsup "$QUERY_MINSUP" \
+  --storage heap --pool-frames "$POOL" --format csv --stats \
+  > "$WORK/ref_rules.csv" 2> "$WORK/ref.err"
+
+if ! diff <(sort "$WORK/b_rules.csv") <(sort "$WORK/ref_rules.csv"); then
+  echo "FAIL: cached rules differ from the fresh full mine"
+  exit 1
+fi
+echo "rules identical ($(($(wc -l < "$WORK/b_rules.csv") - 1)) rules)"
+
+reads_of() { sed -n 's/^db io: reads=\([0-9]*\).*/\1/p' "$1"; }
+B_READS="$(reads_of "$WORK/b.err")"
+REF_READS="$(reads_of "$WORK/ref.err")"
+echo "cached re-query: $B_READS page reads; fresh mine: $REF_READS"
+if [[ -z "$B_READS" || -z "$REF_READS" || "$B_READS" -ge "$REF_READS" ]]; then
+  echo "FAIL: cached re-query did not read fewer pages"
+  exit 1
+fi
+
+echo "cache smoke OK"

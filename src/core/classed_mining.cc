@@ -83,7 +83,10 @@ Result<ClassedMiningResult> ClassedSetmMiner::Mine(
       return std::unique_ptr<Table>(
           std::make_unique<MemTable>(name, std::move(schema)));
     }
-    auto t = HeapTable::Create(name, std::move(schema), db_->pool());
+    // Scratch relations of the classed pass are dropped with the run:
+    // unlogged, so they never inflate the write-ahead log.
+    auto t = HeapTable::Create(name, std::move(schema), db_->pool(),
+                               db_->UnloggedPageTagger());
     if (!t.ok()) return t.status();
     return std::unique_ptr<Table>(std::move(t).value());
   };

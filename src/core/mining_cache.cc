@@ -1,0 +1,36 @@
+#include "core/mining_cache.h"
+
+#include <utility>
+
+namespace setm {
+
+std::string PlanStats::ToString() const {
+  return "plans=" + std::to_string(plans) +
+         " cache_filters=" + std::to_string(cache_filters) +
+         " delta_derives=" + std::to_string(delta_derives) +
+         " full_mines=" + std::to_string(full_mines) +
+         " write_backs=" + std::to_string(write_backs) +
+         " invalidations=" + std::to_string(invalidations);
+}
+
+MiningCache::MiningCache(Database* db, std::string prefix,
+                         TableBacking backing)
+    : store_(db, std::move(prefix), backing) {}
+
+Result<StoredRunMeta> MiningCache::Probe() const { return store_.LoadMeta(); }
+
+Result<StoredResult> MiningCache::LoadFiltered(
+    int64_t min_support_count, uint64_t max_pattern_length) const {
+  return store_.LoadAtSupport(min_support_count, max_pattern_length);
+}
+
+Result<StoredResult> MiningCache::LoadAll() const { return store_.Load(); }
+
+Status MiningCache::Put(const FrequentItemsets& itemsets,
+                        const StoredRunMeta& meta) {
+  return store_.Save(itemsets, meta);
+}
+
+Status MiningCache::Invalidate() { return store_.Drop(); }
+
+}  // namespace setm

@@ -1,0 +1,75 @@
+#ifndef SETM_CORE_MINING_CACHE_H_
+#define SETM_CORE_MINING_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "incremental/itemset_store.h"
+#include "relational/database.h"
+
+namespace setm {
+
+/// Counters of planner decisions — the cache's hit/miss ledger, reported
+/// next to IoStats wherever mining statistics are printed. A "hit" is any
+/// plan that avoided full mining (cache_filters + delta_derives); a "miss"
+/// is a full_mines increment.
+struct PlanStats {
+  uint64_t plans = 0;          ///< mining requests planned
+  uint64_t cache_filters = 0;  ///< answered by filtering stored levels
+  uint64_t delta_derives = 0;  ///< answered through incremental derivation
+  uint64_t full_mines = 0;     ///< answered by mining from scratch
+  uint64_t write_backs = 0;    ///< store refreshes (Save) after answering
+  uint64_t invalidations = 0;  ///< stored runs found unusable for the query
+
+  /// One-line rendering, e.g.
+  /// "plans=4 cache_filters=2 delta_derives=1 full_mines=1 write_backs=2
+  ///  invalidations=0".
+  std::string ToString() const;
+};
+
+/// The anti-monotone result cache over one ItemsetStore prefix.
+///
+/// The cache *is* the store: a mining run materialized at support `s`
+/// algebraically contains the answer to every query at `s' >= s` over the
+/// same data, and the store's one-row meta relation (source table, row
+/// count, watermark, resolved threshold, pattern cap) is the cache key that
+/// decides whether a stored run still speaks for the live table. This class
+/// wraps ItemsetStore with the cache vocabulary the MiningPlanner uses:
+/// Probe (read the key), LoadFiltered (serve a dominated query with zero
+/// mining), Put (write-back) and Invalidate (drop a run that no longer
+/// answers anything).
+class MiningCache {
+ public:
+  MiningCache(Database* db, std::string prefix,
+              TableBacking backing = TableBacking::kMemory);
+
+  /// Reads the cache key — the stored run's meta row — without touching any
+  /// level relation. NotFound when nothing is stored under the prefix or
+  /// the stored run's source table has been dropped.
+  Result<StoredRunMeta> Probe() const;
+
+  /// Serves a dominated query from the stored relations: levels filtered to
+  /// `support >= min_support_count` (and to the pattern cap when > 0), with
+  /// the anti-monotone early stop. No mining happens.
+  Result<StoredResult> LoadFiltered(int64_t min_support_count,
+                                    uint64_t max_pattern_length = 0) const;
+
+  /// Full unfiltered load (the DeltaMiner path reads through this).
+  Result<StoredResult> LoadAll() const;
+
+  /// Write-back: replaces the stored run.
+  Status Put(const FrequentItemsets& itemsets, const StoredRunMeta& meta);
+
+  /// Drops the stored run (idempotent).
+  Status Invalidate();
+
+  ItemsetStore* store() { return &store_; }
+  const std::string& prefix() const { return store_.prefix(); }
+
+ private:
+  ItemsetStore store_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_CORE_MINING_CACHE_H_

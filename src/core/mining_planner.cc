@@ -1,0 +1,496 @@
+#include "core/mining_planner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/miner_registry.h"
+#include "incremental/delta_miner.h"
+
+namespace setm {
+
+namespace {
+
+/// Non-empty transactions — the unit every support fraction resolves
+/// against (empty baskets carry no items and are not counted as coverage).
+uint64_t CountNonEmpty(const TransactionDb& txns) {
+  uint64_t n = 0;
+  for (const Transaction& t : txns) {
+    if (!t.items.empty()) ++n;
+  }
+  return n;
+}
+
+/// The stored run answers the same question iff the support spec and the
+/// pattern cap match — the DeltaMiner's compatibility rule, reproduced here
+/// so the planner decides the fallback before handing work over.
+bool SpecCompatible(const StoredRunMeta& meta, const MiningOptions& options) {
+  return meta.spec_min_support == options.min_support &&
+         meta.spec_min_support_count == options.min_support_count &&
+         meta.max_pattern_length == options.max_pattern_length;
+}
+
+/// One decimal place is plenty for plan reasons ("12.5% of the combined
+/// database").
+std::string Percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+const char* PlanStrategyName(PlanStrategy strategy) {
+  switch (strategy) {
+    case PlanStrategy::kCacheFilter:
+      return "cache-filter";
+    case PlanStrategy::kDeltaDerive:
+      return "delta-derive";
+    case PlanStrategy::kFullMine:
+      return "full-mine";
+  }
+  return "unknown";
+}
+
+std::string MiningPlan::Explain() const {
+  std::string out = "strategy: ";
+  out += PlanStrategyName(strategy);
+  out += "\nreason: " + reason;
+  if (store_found) {
+    out += "\nstored run: " + std::to_string(stored.num_transactions) +
+           " transactions at support " +
+           std::to_string(stored.min_support_count) + ", watermark " +
+           std::to_string(stored.watermark);
+    if (!stored.source_table.empty()) {
+      out += ", source '" + stored.source_table + "' (" +
+             std::to_string(stored.source_rows) + " rows at save)";
+    }
+  }
+  if (resolved_min_support_count > 0) {
+    out += "\nresolved min support: " +
+           std::to_string(resolved_min_support_count) + " transactions";
+  }
+  if (!delta.empty()) {
+    out += "\ndelta: " + std::to_string(delta.size()) + " transactions";
+    if (!orphans.empty()) {
+      out += " (" + std::to_string(orphans.size()) +
+             " already in the table from an interrupted append)";
+    }
+  }
+  out += save_after_mine ? "\nwrite-back: yes" : "\nwrite-back: no";
+  return out;
+}
+
+MiningPlanner::MiningPlanner(Database* db, PlannerOptions options)
+    : db_(db), options_(std::move(options)) {
+  if (!options_.store_prefix.empty()) {
+    cache_ = std::make_unique<MiningCache>(db_, options_.store_prefix,
+                                           options_.store_backing);
+  }
+}
+
+Status MiningPlanner::ValidateRequest(const PlanRequest& request) const {
+  const int sources = (request.table != nullptr ? 1 : 0) +
+                      (request.transactions != nullptr ? 1 : 0);
+  if (sources != 1) {
+    return Status::InvalidArgument(
+        "mining request must set exactly one source (table or "
+        "transactions)");
+  }
+  if (request.append != nullptr && request.table == nullptr) {
+    return Status::InvalidArgument(
+        "append batches require a table source — an in-memory transaction "
+        "database has nothing durable to append to");
+  }
+  if (request.append != nullptr) {
+    SETM_RETURN_IF_ERROR(ValidateTransactions(*request.append));
+  }
+  return Status::OK();
+}
+
+Result<MiningPlan> MiningPlanner::Plan(const PlanRequest& request) {
+  return PlanInternal(request);
+}
+
+Result<MiningPlan> MiningPlanner::PlanInternal(const PlanRequest& request) {
+  SETM_RETURN_IF_ERROR(ValidateRequest(request));
+  ++stats_.plans;
+
+  MiningPlan plan;
+  const bool has_batch =
+      request.append != nullptr && !request.append->empty();
+  if (has_batch) plan.delta = *request.append;
+
+  // In-memory sources have no catalog identity to key a cache entry on.
+  if (request.transactions != nullptr) {
+    plan.strategy = PlanStrategy::kFullMine;
+    plan.reason =
+        "in-memory transaction source — caching needs a catalog relation";
+    if (request.options.min_support_count > 0) {
+      plan.resolved_min_support_count = request.options.min_support_count;
+    }
+    return plan;
+  }
+
+  Table* table = request.table;
+
+  if (cache_ == nullptr) {
+    plan.strategy = PlanStrategy::kFullMine;
+    plan.reason = "result cache disabled (no store prefix configured)";
+    if (request.options.min_support_count > 0) {
+      plan.resolved_min_support_count = request.options.min_support_count;
+    }
+    if (has_batch) {
+      // Without a store there is no watermark; only in-batch duplicates
+      // can be rejected cheaply.
+      std::unordered_set<TransactionId> seen;
+      for (const Transaction& t : *request.append) {
+        if (!seen.insert(t.id).second) {
+          return Status::InvalidArgument("duplicate delta transaction id " +
+                                         std::to_string(t.id));
+        }
+        plan.new_watermark = std::max(plan.new_watermark, t.id);
+      }
+    }
+    return plan;
+  }
+
+  auto meta_or = cache_->Probe();
+  if (!meta_or.ok()) {
+    if (meta_or.status().code() != StatusCode::kNotFound) {
+      return meta_or.status();
+    }
+    // Cache miss: either nothing stored under the prefix or the stored
+    // run's source table has been dropped — the probe's message says which.
+    plan.strategy = PlanStrategy::kFullMine;
+    plan.reason = meta_or.status().message();
+    plan.save_after_mine = options_.write_back;
+    if (request.options.min_support_count > 0) {
+      plan.resolved_min_support_count = request.options.min_support_count;
+    }
+    // Watermark discipline without a store: batch ids must clear whatever
+    // the table already holds, and the write-back must record the true
+    // high-water mark, so establish it with one scan (skipped when the
+    // table is empty and nothing needs it).
+    TransactionId existing_max = 0;
+    if (table->num_rows() > 0 && (has_batch || plan.save_after_mine)) {
+      auto it = table->Scan();
+      Tuple row;
+      while (true) {
+        auto more = it->Next(&row);
+        if (!more.ok()) return more.status();
+        if (!more.value()) break;
+        existing_max = std::max(existing_max, row.value(0).AsInt32());
+      }
+    }
+    plan.new_watermark = existing_max;
+    if (has_batch) {
+      std::unordered_set<TransactionId> seen;
+      for (const Transaction& t : *request.append) {
+        if (t.id <= existing_max) {
+          return Status::InvalidArgument(
+              "append transaction " + std::to_string(t.id) +
+              " is at or below the highest existing trans_id " +
+              std::to_string(existing_max));
+        }
+        if (!seen.insert(t.id).second) {
+          return Status::InvalidArgument("duplicate delta transaction id " +
+                                         std::to_string(t.id));
+        }
+        plan.new_watermark = std::max(plan.new_watermark, t.id);
+      }
+    }
+    return plan;
+  }
+
+  plan.store_found = true;
+  plan.stored = std::move(meta_or).value();
+  const StoredRunMeta& stored = plan.stored;
+  plan.new_watermark = stored.watermark;
+
+  // A stored run speaks only for the relation it was mined from.
+  if (!stored.source_table.empty() &&
+      stored.source_table != table->name()) {
+    plan.strategy = PlanStrategy::kFullMine;
+    plan.reason = "stored run was mined from '" + stored.source_table +
+                  "', not '" + table->name() + "'";
+    plan.save_after_mine = options_.write_back;
+    ++stats_.invalidations;
+    return plan;
+  }
+
+  // Batch ids must respect the watermark: ids at or below it are already
+  // counted in the store, so reusing one would double-count silently. The
+  // wording matches the DeltaMiner's so both layers report the same
+  // violation identically.
+  if (has_batch) {
+    std::unordered_set<TransactionId> seen;
+    for (const Transaction& t : *request.append) {
+      if (t.id <= stored.watermark) {
+        return Status::InvalidArgument(
+            "delta transaction " + std::to_string(t.id) +
+            " is at or below the stored watermark " +
+            std::to_string(stored.watermark));
+      }
+      if (!seen.insert(t.id).second) {
+        return Status::InvalidArgument("duplicate delta transaction id " +
+                                       std::to_string(t.id));
+      }
+      plan.new_watermark = std::max(plan.new_watermark, t.id);
+    }
+  }
+
+  // Freshness. Source tables are append-only, so a live row count equal to
+  // the count recorded at save time proves the store still covers the whole
+  // table — an O(1) check with zero page reads. Anything else needs one
+  // scan of the tail beyond the watermark (crash-interrupted appends, rows
+  // added without a store refresh, or a legacy store without source_rows).
+  const bool rows_match =
+      stored.source_rows != 0 && table->num_rows() == stored.source_rows;
+  uint64_t tail_rows = 0;
+  if (!rows_match) {
+    std::map<TransactionId, std::vector<ItemId>> tail;
+    auto it = table->Scan();
+    Tuple row;
+    while (true) {
+      auto more = it->Next(&row);
+      if (!more.ok()) return more.status();
+      if (!more.value()) break;
+      const TransactionId tid = row.value(0).AsInt32();
+      if (tid > stored.watermark) {
+        tail[tid].push_back(row.value(1).AsInt32());
+        ++tail_rows;
+      }
+    }
+    if (stored.source_rows != 0 &&
+        stored.source_rows + tail_rows != table->num_rows()) {
+      // The table changed at or below the watermark (or shrank) — the
+      // stored counts describe data that no longer exists as saved.
+      plan.strategy = PlanStrategy::kFullMine;
+      plan.reason = "table '" + table->name() +
+                    "' changed at or below the stored watermark " +
+                    std::to_string(stored.watermark) +
+                    " — stored counts are unusable";
+      plan.save_after_mine = options_.write_back;
+      ++stats_.invalidations;
+      return plan;
+    }
+    for (auto& [tid, items] : tail) {
+      plan.orphans.push_back(tid);
+      plan.new_watermark = std::max(plan.new_watermark, tid);
+      if (!has_batch) {
+        Transaction t;
+        t.id = tid;
+        std::sort(items.begin(), items.end());
+        items.erase(std::unique(items.begin(), items.end()), items.end());
+        t.items = std::move(items);
+        plan.delta.push_back(std::move(t));
+      }
+    }
+  }
+
+  const bool stale = has_batch || !plan.orphans.empty();
+  if (!stale) {
+    // The store covers exactly the live table; domination is now a pure
+    // threshold-and-cap comparison against the meta row.
+    const int64_t query_minsup =
+        ResolveMinSupportCount(request.options, stored.num_transactions);
+    const bool cap_ok =
+        stored.max_pattern_length == 0 ||
+        (request.options.max_pattern_length != 0 &&
+         request.options.max_pattern_length <= stored.max_pattern_length);
+    if (query_minsup >= stored.min_support_count && cap_ok) {
+      plan.strategy = PlanStrategy::kCacheFilter;
+      plan.resolved_min_support_count = query_minsup;
+      plan.reason = "stored run at support " +
+                    std::to_string(stored.min_support_count) +
+                    " dominates the query at support " +
+                    std::to_string(query_minsup) +
+                    " — filter stored levels, no mining";
+      return plan;
+    }
+    plan.strategy = PlanStrategy::kFullMine;
+    plan.save_after_mine = options_.write_back;
+    plan.resolved_min_support_count = query_minsup;
+    if (!cap_ok) {
+      plan.reason =
+          "stored run is capped at patterns of length " +
+          std::to_string(stored.max_pattern_length) +
+          " and cannot answer a query capped at " +
+          std::to_string(request.options.max_pattern_length) +
+          (request.options.max_pattern_length == 0 ? " (unbounded)" : "");
+    } else {
+      plan.reason = "query at support " + std::to_string(query_minsup) +
+                    " is below the stored threshold " +
+                    std::to_string(stored.min_support_count) +
+                    " — the store cannot contain every answer";
+    }
+    ++stats_.invalidations;
+    return plan;
+  }
+
+  // Stale store. Derivation needs the stored run to answer the same
+  // question (the DeltaMiner's compatibility rule) and the delta to stay
+  // within the budget.
+  if (!SpecCompatible(stored, request.options)) {
+    plan.strategy = PlanStrategy::kFullMine;
+    plan.reason =
+        "stored run answers a different question (support spec or pattern "
+        "cap differ) — derivation impossible";
+    plan.save_after_mine = options_.write_back;
+    ++stats_.invalidations;
+    return plan;
+  }
+
+  const uint64_t delta_txns = CountNonEmpty(plan.delta);
+  const uint64_t combined = stored.num_transactions + delta_txns;
+  plan.resolved_min_support_count =
+      ResolveMinSupportCount(request.options, combined);
+  const double fraction =
+      static_cast<double>(delta_txns) /
+      static_cast<double>(std::max<uint64_t>(combined, 1));
+  const bool too_large =
+      static_cast<double>(delta_txns) >
+      options_.full_remine_fraction *
+          static_cast<double>(std::max<uint64_t>(combined, 1));
+  if (too_large) {
+    plan.strategy = PlanStrategy::kFullMine;
+    plan.reason =
+        options_.full_remine_fraction <= 0.0
+            ? "incremental derivation disabled (budget 0%) — full remine"
+            : "delta is " + Percent(fraction) +
+                  " of the combined database, above the " +
+                  Percent(options_.full_remine_fraction) +
+                  " derivation budget";
+    plan.save_after_mine = options_.write_back;
+    ++stats_.invalidations;
+    return plan;
+  }
+  plan.strategy = PlanStrategy::kDeltaDerive;
+  plan.reason = "delta is " + Percent(fraction) +
+                " of the combined database, within the " +
+                Percent(options_.full_remine_fraction) +
+                " derivation budget";
+  // The DeltaMiner refreshes the store itself.
+  plan.save_after_mine = false;
+  return plan;
+}
+
+Result<PlanExecution> MiningPlanner::Execute(const PlanRequest& request) {
+  WallTimer total_timer;
+  const IoStats io_before = *db_->io_stats();
+
+  auto plan_or = PlanInternal(request);
+  if (!plan_or.ok()) return plan_or.status();
+
+  PlanExecution out;
+  out.plan = std::move(plan_or).value();
+  out.delta_transactions = CountNonEmpty(out.plan.delta);
+
+  Status status;
+  switch (out.plan.strategy) {
+    case PlanStrategy::kCacheFilter:
+      status = ExecuteCacheFilter(request, &out.plan, &out);
+      if (status.ok()) ++stats_.cache_filters;
+      break;
+    case PlanStrategy::kDeltaDerive:
+      status = ExecuteDeltaDerive(request, &out.plan, &out);
+      if (status.ok()) {
+        ++stats_.delta_derives;
+        ++stats_.write_backs;
+      }
+      break;
+    case PlanStrategy::kFullMine:
+      status = ExecuteFullMine(request, &out.plan, &out);
+      if (status.ok()) ++stats_.full_mines;
+      break;
+  }
+  SETM_RETURN_IF_ERROR(status);
+
+  // Plan-layer accounting covers the whole answer — probe, tail scan,
+  // append, mine and write-back — which is the fair basis for comparing
+  // strategies against each other.
+  out.result.total_seconds = total_timer.ElapsedSeconds();
+  out.result.io = Diff(*db_->io_stats(), io_before);
+  return out;
+}
+
+Status MiningPlanner::ExecuteCacheFilter(const PlanRequest& request,
+                                         MiningPlan* plan,
+                                         PlanExecution* out) {
+  auto loaded_or = cache_->LoadFiltered(plan->resolved_min_support_count,
+                                        request.options.max_pattern_length);
+  if (!loaded_or.ok()) return loaded_or.status();
+  out->result.itemsets = std::move(loaded_or.value().itemsets);
+  // Zero mining happened: no iterations, and the observer is never called.
+  out->result.iterations.clear();
+  return Status::OK();
+}
+
+Status MiningPlanner::ExecuteDeltaDerive(const PlanRequest& request,
+                                         MiningPlan* plan,
+                                         PlanExecution* out) {
+  DeltaOptions delta_options;
+  delta_options.setm = options_.setm;
+  delta_options.full_remine_fraction = options_.full_remine_fraction;
+  DeltaMiner delta_miner(db_, delta_options);
+  auto derived_or = delta_miner.AppendAndUpdate(
+      cache_->store(), request.table, plan->delta, request.options);
+  if (!derived_or.ok()) return derived_or.status();
+  DeltaMineResult derived = std::move(derived_or).value();
+  out->result = std::move(derived.result);
+  out->delta_full_remine = derived.full_remine;
+  out->delta_transactions = derived.delta_transactions;
+  out->borderline_candidates = derived.borderline_candidates;
+  return Status::OK();
+}
+
+Status MiningPlanner::ExecuteFullMine(const PlanRequest& request,
+                                      MiningPlan* plan, PlanExecution* out) {
+  // Append the batch first (skipping transactions a crash-interrupted
+  // append already left in the table), so the mine below sees the combined
+  // relation.
+  if (request.table != nullptr && !plan->delta.empty()) {
+    std::unordered_set<TransactionId> already(plan->orphans.begin(),
+                                              plan->orphans.end());
+    bool inserted = false;
+    for (const Transaction& t : plan->delta) {
+      if (already.count(t.id) != 0) continue;
+      for (ItemId item : t.items) {
+        SETM_RETURN_IF_ERROR(request.table->Insert(
+            Tuple({Value::Int32(t.id), Value::Int32(item)})));
+      }
+      inserted = true;
+    }
+    if (inserted && db_->persistent()) {
+      SETM_RETURN_IF_ERROR(db_->Commit());
+    }
+  }
+
+  auto miner_or =
+      MinerRegistry::Create(options_.algorithm, db_, options_.setm);
+  if (!miner_or.ok()) return miner_or.status();
+  MiningRequest mine_request;
+  mine_request.table = request.table;
+  mine_request.transactions = request.transactions;
+  mine_request.options = request.options;
+  auto mined_or = miner_or.value()->Mine(mine_request);
+  if (!mined_or.ok()) return mined_or.status();
+  out->result = std::move(mined_or).value();
+
+  if (plan->save_after_mine && cache_ != nullptr &&
+      request.table != nullptr) {
+    StoredRunMeta meta = MakeRunMeta(
+        out->result.itemsets, request.options, plan->new_watermark,
+        request.table->name(), request.table->num_rows());
+    SETM_RETURN_IF_ERROR(cache_->Put(out->result.itemsets, meta));
+    ++stats_.write_backs;
+  }
+  return Status::OK();
+}
+
+}  // namespace setm

@@ -71,7 +71,9 @@ Result<std::unique_ptr<Table>> NewRelation(Database* db, TableBacking backing,
     return std::unique_ptr<Table>(
         std::make_unique<MemTable>(name, std::move(schema)));
   }
-  auto t = HeapTable::Create(name, std::move(schema), db->pool());
+  // Per-partition scratch relations never outlive the run: unlogged.
+  auto t = HeapTable::Create(name, std::move(schema), db->pool(),
+                             db->UnloggedPageTagger());
   if (!t.ok()) return t.status();
   return std::unique_ptr<Table>(std::move(t).value());
 }

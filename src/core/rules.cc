@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "common/timer.h"
 
 namespace setm {
 
@@ -45,13 +46,20 @@ void ForEachSubsetOfSize(
 
 }  // namespace
 
-std::vector<AssociationRule> GenerateRules(const FrequentItemsets& itemsets,
-                                           const MiningOptions& options,
-                                           RuleMode mode) {
+Result<std::vector<AssociationRule>> GenerateRules(
+    const FrequentItemsets& itemsets, const MiningOptions& options,
+    RuleMode mode) {
   std::vector<AssociationRule> rules;
   const double n = static_cast<double>(itemsets.num_transactions);
 
+  // Cancellation granularity: within a level, check in on the observer
+  // every this many expanded patterns — large kAnySubset levels must not
+  // run uninterruptible until the level boundary.
+  constexpr size_t kPatternsPerProgressCheck = 2048;
+
+  WallTimer level_timer;
   for (size_t k = 2; k <= itemsets.MaxSize(); ++k) {
+    size_t expanded = 0;
     for (const PatternCount& pattern : itemsets.OfSize(k)) {
       const double pattern_support =
           n > 0 ? static_cast<double>(pattern.count) / n : 0.0;
@@ -85,6 +93,27 @@ std::vector<AssociationRule> GenerateRules(const FrequentItemsets& itemsets,
           ForEachSubsetOfSize(pattern.items, a, consider);
         }
       }
+
+      if (++expanded % kPatternsPerProgressCheck == 0) {
+        IterationStats stats;
+        stats.k = k;
+        stats.c_size = expanded;
+        stats.r_rows = rules.size();
+        stats.seconds = level_timer.ElapsedSeconds();
+        SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
+      }
+    }
+
+    // Level boundary: one callback per finished pattern size, mirroring the
+    // per-k cadence of the mining loop.
+    if (expanded > 0) {
+      IterationStats stats;
+      stats.k = k;
+      stats.c_size = expanded;
+      stats.r_rows = rules.size();
+      stats.seconds = level_timer.ElapsedSeconds();
+      SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
+      level_timer.Restart();
     }
   }
 

@@ -26,7 +26,14 @@ enum class RuleMode {
 /// confidence; its support is |X u I| / |D|. The antecedent count comes
 /// from a lookup in the next-smaller count relation, exactly as Section 5
 /// describes. Results are sorted by (pattern size, antecedent, consequent).
-std::vector<AssociationRule> GenerateRules(
+///
+/// `options.observer` receives the same progress + cooperative-cancellation
+/// hooks as the mining loop: one OnIteration per finished pattern size
+/// (stats.k = the size, stats.c_size = patterns expanded, stats.r_rows =
+/// rules emitted so far) plus periodic mid-level callbacks on large levels,
+/// so even a kAnySubset pass over a huge result set stays interruptible.
+/// Returns Cancelled when the observer vetoes continuing.
+Result<std::vector<AssociationRule>> GenerateRules(
     const FrequentItemsets& itemsets, const MiningOptions& options,
     RuleMode mode = RuleMode::kSingleConsequent);
 

@@ -39,7 +39,10 @@ Result<std::unique_ptr<Table>> SetmMiner::NewRelation(const std::string& name,
     return std::unique_ptr<Table>(
         std::make_unique<MemTable>(name, std::move(schema)));
   }
-  auto t = HeapTable::Create(name, std::move(schema), db_->pool());
+  // Intermediate relations are dropped at the end of the run; tagging their
+  // pages unlogged keeps them out of the write-ahead log.
+  auto t = HeapTable::Create(name, std::move(schema), db_->pool(),
+                             db_->UnloggedPageTagger());
   if (!t.ok()) return t.status();
   return std::unique_ptr<Table>(std::move(t).value());
 }

@@ -295,6 +295,7 @@ Result<DeltaMineResult> DeltaMiner::AppendAndUpdate(
   meta.max_pattern_length = options.max_pattern_length;
   meta.watermark = new_watermark;
   meta.source_table = sales->name();
+  meta.source_rows = sales->num_rows();
   SETM_RETURN_IF_ERROR(store->Save(out.result.itemsets, meta));
 
   out.result.total_seconds = total_timer.ElapsedSeconds();

@@ -18,6 +18,8 @@ enum MetaColumn : size_t {
   kWatermark,
   kMaxK,
   kSourceTable,
+  kSourceRows,  // appended last: stores written before the column have one
+                // value fewer and load with source_rows = 0
 };
 
 }  // namespace
@@ -34,7 +36,8 @@ Schema ItemsetStore::MetaSchema() {
                  Column{"max_pattern_length", ValueType::kInt64},
                  Column{"watermark", ValueType::kInt32},
                  Column{"max_k", ValueType::kInt64},
-                 Column{"source_table", ValueType::kString}});
+                 Column{"source_table", ValueType::kString},
+                 Column{"source_rows", ValueType::kInt64}});
 }
 
 Schema ItemsetStore::LevelSchema(size_t k) {
@@ -104,41 +107,63 @@ Status ItemsetStore::Save(const FrequentItemsets& itemsets,
       Value::Int32(meta.watermark),
       Value::Int64(static_cast<int64_t>(max_k)),
       Value::String(meta.source_table),
+      Value::Int64(static_cast<int64_t>(meta.source_rows)),
   })));
   return deferral.Commit();
 }
 
-Result<StoredResult> ItemsetStore::Load() const {
+Status ItemsetStore::ReadMetaRow(StoredRunMeta* meta, size_t* max_k) const {
   Catalog* catalog = db_->catalog();
   auto meta_table_or = catalog->GetTable(MetaTableName());
   if (!meta_table_or.ok()) {
     return Status::NotFound("no itemset store under prefix '" + prefix_ + "'");
   }
 
-  StoredResult out;
-  size_t max_k = 0;
-  {
-    auto it = meta_table_or.value()->Scan();
-    Tuple row;
-    auto more = it->Next(&row);
-    if (!more.ok()) return more.status();
-    if (!more.value() || row.NumValues() != MetaSchema().NumColumns()) {
-      return Status::Corruption("itemset store '" + prefix_ +
-                                "': malformed metadata relation");
-    }
-    out.meta.num_transactions =
-        static_cast<uint64_t>(row.value(kNumTransactions).AsInt64());
-    out.meta.min_support_count = row.value(kMinSupportCount).AsInt64();
-    out.meta.spec_min_support = row.value(kSpecMinSupport).AsDouble();
-    out.meta.spec_min_support_count =
-        row.value(kSpecMinSupportCount).AsInt64();
-    out.meta.max_pattern_length =
-        static_cast<uint64_t>(row.value(kMaxPatternLength).AsInt64());
-    out.meta.watermark = row.value(kWatermark).AsInt32();
-    max_k = static_cast<size_t>(row.value(kMaxK).AsInt64());
-    out.meta.source_table = row.value(kSourceTable).AsString();
+  auto it = meta_table_or.value()->Scan();
+  Tuple row;
+  auto more = it->Next(&row);
+  if (!more.ok()) return more.status();
+  // Stores written before the source_rows column carry one value fewer;
+  // they load with source_rows = 0 ("unknown"), which freshness checks
+  // treat as stale-by-default.
+  const size_t num_columns = MetaSchema().NumColumns();
+  if (!more.value() ||
+      (row.NumValues() != num_columns && row.NumValues() != num_columns - 1)) {
+    return Status::Corruption("itemset store '" + prefix_ +
+                              "': malformed metadata relation");
   }
+  meta->num_transactions =
+      static_cast<uint64_t>(row.value(kNumTransactions).AsInt64());
+  meta->min_support_count = row.value(kMinSupportCount).AsInt64();
+  meta->spec_min_support = row.value(kSpecMinSupport).AsDouble();
+  meta->spec_min_support_count = row.value(kSpecMinSupportCount).AsInt64();
+  meta->max_pattern_length =
+      static_cast<uint64_t>(row.value(kMaxPatternLength).AsInt64());
+  meta->watermark = row.value(kWatermark).AsInt32();
+  *max_k = static_cast<size_t>(row.value(kMaxK).AsInt64());
+  meta->source_table = row.value(kSourceTable).AsString();
+  meta->source_rows =
+      row.NumValues() == num_columns
+          ? static_cast<uint64_t>(row.value(kSourceRows).AsInt64())
+          : 0;
 
+  // A store whose source relation has since been dropped is an orphan: its
+  // counts answer a question about data that no longer exists. Report it as
+  // absent (naming the table) rather than corrupt, so callers fall back to
+  // mining whatever the catalog holds now.
+  if (!meta->source_table.empty() && !catalog->HasTable(meta->source_table)) {
+    return Status::NotFound("itemset store '" + prefix_ +
+                            "': source table '" + meta->source_table +
+                            "' has been dropped");
+  }
+  return Status::OK();
+}
+
+Status ItemsetStore::LoadLevels(size_t max_k, int64_t min_support_count,
+                                size_t max_level,
+                                FrequentItemsets* out) const {
+  Catalog* catalog = db_->catalog();
+  if (max_level != 0 && max_level < max_k) max_k = max_level;
   for (size_t k = 1; k <= max_k; ++k) {
     auto table_or = catalog->GetTable(LevelTableName(k));
     if (!table_or.ok()) {
@@ -148,6 +173,7 @@ Result<StoredResult> ItemsetStore::Load() const {
     }
     auto it = table_or.value()->Scan();
     Tuple row;
+    bool any_survived = false;
     while (true) {
       auto more = it->Next(&row);
       if (!more.ok()) return more.status();
@@ -156,12 +182,47 @@ Result<StoredResult> ItemsetStore::Load() const {
         return Status::Corruption("itemset store '" + prefix_ +
                                   "': bad arity in " + LevelTableName(k));
       }
+      const int64_t support = row.value(k).AsInt64();
+      if (support < min_support_count) continue;
+      any_survived = true;
       std::vector<ItemId> items;
       items.reserve(k);
       for (size_t i = 0; i < k; ++i) items.push_back(row.value(i).AsInt32());
-      out.itemsets.Add(std::move(items), row.value(k).AsInt64());
+      out->Add(std::move(items), support);
     }
+    // Anti-monotone early stop: if no k-pattern clears the threshold, no
+    // (k+1)-pattern can — every superset's support is <= its subsets'.
+    if (!any_survived && min_support_count > 0) break;
   }
+  return Status::OK();
+}
+
+Result<StoredResult> ItemsetStore::Load() const {
+  StoredResult out;
+  size_t max_k = 0;
+  SETM_RETURN_IF_ERROR(ReadMetaRow(&out.meta, &max_k));
+  SETM_RETURN_IF_ERROR(LoadLevels(max_k, /*min_support_count=*/0,
+                                  /*max_level=*/0, &out.itemsets));
+  out.itemsets.num_transactions = out.meta.num_transactions;
+  out.itemsets.Normalize();
+  return out;
+}
+
+Result<StoredRunMeta> ItemsetStore::LoadMeta() const {
+  StoredRunMeta meta;
+  size_t max_k = 0;
+  SETM_RETURN_IF_ERROR(ReadMetaRow(&meta, &max_k));
+  return meta;
+}
+
+Result<StoredResult> ItemsetStore::LoadAtSupport(
+    int64_t min_support_count, uint64_t max_pattern_length) const {
+  StoredResult out;
+  size_t max_k = 0;
+  SETM_RETURN_IF_ERROR(ReadMetaRow(&out.meta, &max_k));
+  SETM_RETURN_IF_ERROR(LoadLevels(max_k, min_support_count,
+                                  static_cast<size_t>(max_pattern_length),
+                                  &out.itemsets));
   out.itemsets.num_transactions = out.meta.num_transactions;
   out.itemsets.Normalize();
   return out;
@@ -170,7 +231,8 @@ Result<StoredResult> ItemsetStore::Load() const {
 StoredRunMeta MakeRunMeta(const FrequentItemsets& itemsets,
                           const MiningOptions& options,
                           TransactionId watermark,
-                          std::string source_table) {
+                          std::string source_table,
+                          uint64_t source_rows) {
   StoredRunMeta meta;
   meta.num_transactions = itemsets.num_transactions;
   meta.min_support_count =
@@ -180,6 +242,7 @@ StoredRunMeta MakeRunMeta(const FrequentItemsets& itemsets,
   meta.max_pattern_length = options.max_pattern_length;
   meta.watermark = watermark;
   meta.source_table = std::move(source_table);
+  meta.source_rows = source_rows;
   return meta;
 }
 

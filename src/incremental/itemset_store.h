@@ -31,6 +31,11 @@ struct StoredRunMeta {
   TransactionId watermark = 0;
   /// Name of the SALES relation the run mined ("" when not table-backed).
   std::string source_table;
+  /// Row count of the source relation when the run was stored (0 when not
+  /// table-backed or stored by a build predating the column). Source tables
+  /// are append-only, so equality with the live row count is an O(1)
+  /// freshness check that needs no scan.
+  uint64_t source_rows = 0;
 };
 
 /// A loaded store: the frequent itemsets with their exact supports plus the
@@ -72,9 +77,28 @@ class ItemsetStore {
   Status Save(const FrequentItemsets& itemsets, const StoredRunMeta& meta);
 
   /// Loads the stored run; NotFound when nothing was saved under the
-  /// prefix. The returned itemsets are normalized and carry exact supports:
-  /// Save() then Load() round-trips to an identical FrequentItemsets.
+  /// prefix, and NotFound (naming the table) when the meta row references a
+  /// source relation that has since been dropped — the store is then an
+  /// orphan, not a corruption, and callers fall back to a full mine. The
+  /// returned itemsets are normalized and carry exact supports: Save() then
+  /// Load() round-trips to an identical FrequentItemsets.
   Result<StoredResult> Load() const;
+
+  /// Reads only the one-row metadata relation — the cache key — without
+  /// touching any level relation. Same NotFound semantics as Load().
+  Result<StoredRunMeta> LoadMeta() const;
+
+  /// Loads the stored run filtered to `support >= min_support_count`
+  /// (and, when `max_pattern_length` > 0, to patterns of at most that many
+  /// items). The anti-monotone property makes this exact whenever the
+  /// stored threshold is <= the requested one: every itemset frequent at
+  /// the higher threshold is already materialized, so filtering stored
+  /// levels answers the query with zero mining. Level scans stop early at
+  /// the first level where nothing survives the filter — no superset can
+  /// survive either. The caller is responsible for checking domination via
+  /// LoadMeta(); this routine just filters what is stored.
+  Result<StoredResult> LoadAtSupport(int64_t min_support_count,
+                                     uint64_t max_pattern_length = 0) const;
 
   /// True iff a run is stored under this prefix.
   bool Exists() const;
@@ -95,6 +119,18 @@ class ItemsetStore {
   static Schema LevelSchema(size_t k);
 
  private:
+  /// Reads and validates the one-row metadata relation; shared by Load,
+  /// LoadMeta and LoadAtSupport. `max_k` receives the number of stored
+  /// level relations.
+  Status ReadMetaRow(StoredRunMeta* meta, size_t* max_k) const;
+
+  /// Scans level relations 1..max_k into `out`, keeping rows with
+  /// `support >= min_support_count` (0 keeps everything). Stops at the
+  /// first level where nothing survives — anti-monotonicity guarantees no
+  /// larger pattern can either. `max_level` of 0 means "all stored levels".
+  Status LoadLevels(size_t max_k, int64_t min_support_count, size_t max_level,
+                    FrequentItemsets* out) const;
+
   Database* db_;
   std::string prefix_;
   TableBacking backing_;
@@ -107,7 +143,8 @@ class ItemsetStore {
 StoredRunMeta MakeRunMeta(const FrequentItemsets& itemsets,
                           const MiningOptions& options,
                           TransactionId watermark,
-                          std::string source_table = "");
+                          std::string source_table = "",
+                          uint64_t source_rows = 0);
 
 /// Highest transaction id in the database (0 when empty) — the watermark of
 /// a run that mined exactly these transactions.

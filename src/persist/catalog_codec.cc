@@ -9,8 +9,11 @@ namespace {
 /// Bumped when the snapshot layout changes; decode rejects unknown versions
 /// so an old engine never misparses a newer manifest. v2 appended the free
 /// page list (v1 snapshots only exist inside format-v1 files, which the
-/// superblock already rejects).
-constexpr uint32_t kSnapshotVersion = 2;
+/// superblock already rejects); v3 appended the per-table unlogged flag.
+/// Decode still accepts v2 manifests (every table logged) so databases
+/// written by the previous engine keep opening.
+constexpr uint32_t kSnapshotVersion = 3;
+constexpr uint32_t kOldestReadableSnapshotVersion = 2;
 
 }  // namespace
 
@@ -126,6 +129,7 @@ std::string EncodeCatalogSnapshot(const CatalogSnapshot& snapshot) {
     w.PutU64(t.num_pages);
     w.PutU64(t.row_count);
     w.PutU64(t.size_bytes);
+    w.PutU8(t.unlogged ? 1 : 0);
   }
   w.PutU32(static_cast<uint32_t>(snapshot.free_pages.size()));
   for (PageId id : snapshot.free_pages) w.PutU32(id);
@@ -136,11 +140,13 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(std::string_view payload) {
   RecordReader r(payload);
   auto version = r.GetU32();
   if (!version.ok()) return version.status();
-  if (version.value() != kSnapshotVersion) {
+  if (version.value() < kOldestReadableSnapshotVersion ||
+      version.value() > kSnapshotVersion) {
     return Status::Corruption("catalog snapshot version " +
                               std::to_string(version.value()) +
                               " not understood (expected " +
-                              std::to_string(kSnapshotVersion) + ")");
+                              std::to_string(kOldestReadableSnapshotVersion) +
+                              ".." + std::to_string(kSnapshotVersion) + ")");
   }
   auto count = r.GetU32();
   if (!count.ok()) return count.status();
@@ -197,6 +203,16 @@ Result<CatalogSnapshot> DecodeCatalogSnapshot(std::string_view payload) {
     auto bytes = r.GetU64();
     if (!bytes.ok()) return bytes.status();
     t.size_bytes = bytes.value();
+    if (version.value() >= 3) {
+      auto unlogged = r.GetU8();
+      if (!unlogged.ok()) return unlogged.status();
+      if (unlogged.value() > 1) {
+        return Status::Corruption("table '" + t.name +
+                                  "': unknown unlogged tag " +
+                                  std::to_string(unlogged.value()));
+      }
+      t.unlogged = unlogged.value() != 0;
+    }
     out.tables.push_back(std::move(t));
   }
   auto free_count = r.GetU32();

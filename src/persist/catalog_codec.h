@@ -79,6 +79,9 @@ struct PersistedTableMeta {
   uint64_t num_pages = 0;              ///< heap chain length
   uint64_t row_count = 0;
   uint64_t size_bytes = 0;
+  /// Unlogged tables bypass the WAL and reopen empty; their recorded chain
+  /// is reclaim fodder, not data. Snapshot v2 predates the flag (false).
+  bool unlogged = false;
 };
 
 /// The catalog state serialized into the manifest: one entry per table, in

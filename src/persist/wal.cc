@@ -258,6 +258,15 @@ Result<PageId> WalBackend::AllocatePage() {
 }
 
 Status WalBackend::ReadPage(PageId id, Page* out) {
+  if (IsUnlogged(id)) {
+    // Unlogged pages are written straight to the inner file, so the file is
+    // always current for them — the overlay cannot hold a newer image (a
+    // page only becomes allocatable for an unlogged chain after the
+    // checkpoint that cleared the overlay).
+    SETM_RETURN_IF_ERROR(inner_->ReadPage(id, out));
+    AccountRead(id);
+    return Status::OK();
+  }
   auto from_wal = wal_->TryReadImage(id, out);
   if (!from_wal.ok()) return from_wal.status();
   if (!from_wal.value()) {
@@ -272,9 +281,34 @@ Status WalBackend::WritePage(PageId id, const Page& page) {
     return Status::InvalidArgument("write of unallocated page " +
                                    std::to_string(id));
   }
+  if (IsUnlogged(id)) {
+    SETM_RETURN_IF_ERROR(inner_->WritePage(id, page));
+    AccountWrite(id);
+    return Status::OK();
+  }
   SETM_RETURN_IF_ERROR(wal_->AppendPage(id, page));
   AccountWrite(id);
   return Status::OK();
+}
+
+void WalBackend::MarkUnlogged(PageId id) {
+  std::lock_guard<std::mutex> lock(unlogged_mutex_);
+  unlogged_.insert(id);
+}
+
+void WalBackend::ClearUnlogged(PageId id) {
+  std::lock_guard<std::mutex> lock(unlogged_mutex_);
+  unlogged_.erase(id);
+}
+
+bool WalBackend::IsUnlogged(PageId id) const {
+  std::lock_guard<std::mutex> lock(unlogged_mutex_);
+  return unlogged_.count(id) != 0;
+}
+
+size_t WalBackend::UnloggedPageCount() const {
+  std::lock_guard<std::mutex> lock(unlogged_mutex_);
+  return unlogged_.size();
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -176,9 +177,23 @@ class WalBackend : public StorageBackend {
 
   StorageBackend* inner() const { return inner_; }
 
+  /// Unlogged pages (an unlogged table's chain) skip the WAL: writes go
+  /// straight to the inner file, reads never consult the overlay. Crash
+  /// safety holds because nothing a durable checkpoint references depends
+  /// on their content — after a restart unlogged tables reopen empty.
+  /// Marks must be cleared when a page is freed for reuse: a recycled page
+  /// may belong to a logged table next, and its writes must log again.
+  void MarkUnlogged(PageId id);
+  void ClearUnlogged(PageId id);
+  bool IsUnlogged(PageId id) const;
+  /// Number of currently marked pages (diagnostics and tests).
+  size_t UnloggedPageCount() const;
+
  private:
   StorageBackend* inner_;
   Wal* wal_;
+  mutable std::mutex unlogged_mutex_;
+  std::unordered_set<PageId> unlogged_;
 };
 
 /// Crash recovery: scans `file`, finds the last intact commit record of

@@ -7,7 +7,7 @@
 namespace setm {
 
 Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
-                                    TableBacking backing) {
+                                    TableBacking backing, bool unlogged) {
   const std::string key = IdentFold(name);
   if (tables_.count(key) != 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
@@ -21,10 +21,12 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
           "catalog has no buffer pool; cannot create heap table '" + name +
           "'");
     }
-    auto t = HeapTable::Create(key, std::move(schema), pool_);
+    auto t = HeapTable::Create(key, std::move(schema), pool_,
+                               unlogged ? unlogged_page_hook_ : nullptr);
     if (!t.ok()) return t.status();
     table = std::move(t).value();
   }
+  table->set_unlogged(unlogged);
   Table* raw = table.get();
   tables_[key] = std::move(table);
   creation_order_.push_back(key);

@@ -33,8 +33,12 @@ class Catalog {
   /// hook is installed, a hook failure is returned as the call's status —
   /// the in-memory table still exists (the next successful checkpoint will
   /// pick it up), but callers learn persistence lagged.
+  ///
+  /// `unlogged` tables skip the write-ahead log (their heap pages are
+  /// tagged through the unlogged-page hook) and reopen empty after a
+  /// restart — the right trade for SETM's dropped intermediate relations.
   Result<Table*> CreateTable(const std::string& name, Schema schema,
-                             TableBacking backing);
+                             TableBacking backing, bool unlogged = false);
 
   /// Looks a table up; NotFound if absent.
   Result<Table*> GetTable(const std::string& name) const;
@@ -59,6 +63,14 @@ class Catalog {
   /// Installs (or clears, with nullptr) the post-DDL checkpoint hook.
   void SetCheckpointHook(std::function<Status()> hook) {
     checkpoint_hook_ = std::move(hook);
+  }
+
+  /// Installs (or clears) the tagger invoked for every page an *unlogged*
+  /// heap table's chain acquires — the database points it at the WAL
+  /// backend's bypass set. Without a hook (in-memory databases) the
+  /// unlogged attribute is recorded but has no physical effect.
+  void SetUnloggedPageHook(std::function<void(PageId)> hook) {
+    unlogged_page_hook_ = std::move(hook);
   }
 
   /// Installs (or clears) the sink for pages a dropped heap table used to
@@ -88,6 +100,7 @@ class Catalog {
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::vector<std::string> creation_order_;
   std::function<Status()> checkpoint_hook_;
+  std::function<void(PageId)> unlogged_page_hook_;
   std::function<void(std::vector<PageId>)> free_pages_hook_;
   size_t checkpoint_defer_depth_ = 0;
   bool checkpoint_pending_ = false;

@@ -161,7 +161,12 @@ Status Database::Init(DatabaseOptions options) {
       persistent_ = true;
     }
     catalog_->SetCheckpointHook([this] { return Checkpoint(); });
+    catalog_->SetUnloggedPageHook(UnloggedPageTagger());
     catalog_->SetFreePagesHook([this](std::vector<PageId> pages) {
+      // A freed page loses its unlogged mark before it can be reallocated:
+      // its next owner may be a logged table whose writes must hit the WAL.
+      auto* wal_backend = static_cast<WalBackend*>(backend_.get());
+      for (PageId id : pages) wal_backend->ClearUnlogged(id);
       std::lock_guard<std::mutex> lock(free_mutex_);
       pending_free_.insert(pending_free_.end(), pages.begin(), pages.end());
     });
@@ -284,12 +289,40 @@ Status Database::LoadPersistentState() {
     }
   }
 
+  // Old chains of unlogged heap tables: walked best-effort after every
+  // table is attached, then reclaimed page-by-page where provably safe.
+  std::vector<PageId> unlogged_reclaim_candidates;
   for (const PersistedTableMeta& meta : snapshot_or.value().tables) {
     std::unique_ptr<Table> table;
     if (meta.backing == TableBacking::kMemory) {
       // Rows of memory tables never reached the file; the table reopens
       // with its schema, empty.
       table = std::make_unique<MemTable>(meta.name, meta.schema);
+    } else if (meta.unlogged) {
+      // Unlogged chains were written without WAL protection, so after an
+      // unclean exit their pages may be torn. The table's contract is
+      // "reopens empty": attach a fresh chain and try to reclaim the old
+      // one. A walk failure (torn link) downgrades to a leak, never to a
+      // failed open — and pages a torn link claims are filtered against
+      // everything reachable before they may be reused.
+      if (meta.first_page != kInvalidPageId &&
+          meta.first_page < backend_->NumPages()) {
+        std::vector<PageId> chain;
+        Status walk = TableHeap::CollectChainPages(pool_.get(),
+                                                   meta.first_page, &chain);
+        if (walk.ok()) {
+          unlogged_reclaim_candidates.insert(
+              unlogged_reclaim_candidates.end(), chain.begin(), chain.end());
+        } else {
+          SETM_LOG(kWarn) << "unlogged table '" << meta.name
+                          << "': old chain not reclaimed (" << walk.ToString()
+                          << "); its pages leak";
+        }
+      }
+      auto table_or = HeapTable::Create(meta.name, meta.schema, pool_.get(),
+                                        UnloggedPageTagger());
+      if (!table_or.ok()) return table_or.status();
+      table = std::move(table_or).value();
     } else {
       if (meta.first_page == kInvalidPageId ||
           meta.first_page >= backend_->NumPages()) {
@@ -303,6 +336,7 @@ Status Database::LoadPersistentState() {
       if (!table_or.ok()) return table_or.status();
       table = std::move(table_or).value();
     }
+    table->set_unlogged(meta.unlogged);
     SETM_RETURN_IF_ERROR(catalog_->AttachTable(std::move(table)));
   }
 
@@ -324,6 +358,25 @@ Status Database::LoadPersistentState() {
       reachable.insert(chain.begin(), chain.end());
     }
   }
+  // Reclaim the old chains of unlogged tables: only pages nothing reachable
+  // claims may re-enter circulation (a torn unlogged page could hold a
+  // garbage next pointer into a live chain — those ids get dropped here).
+  // They join pending_free_, becoming allocatable after the next checkpoint.
+  if (!unlogged_reclaim_candidates.empty()) {
+    std::vector<PageId> reclaim;
+    for (PageId id : unlogged_reclaim_candidates) {
+      if (id > kSuperblockSlotBPageId && id < backend_->NumPages() &&
+          reachable.count(id) == 0) {
+        reachable.insert(id);  // dedup within the candidates themselves
+        reclaim.push_back(id);
+      }
+    }
+    SETM_LOG(kInfo) << "reclaimed " << reclaim.size()
+                    << " page(s) from unlogged table chains";
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    pending_free_.insert(pending_free_.end(), reclaim.begin(), reclaim.end());
+  }
+
   uint64_t filtered = 0;
   {
     std::lock_guard<std::mutex> lock(free_mutex_);
@@ -343,6 +396,12 @@ Status Database::LoadPersistentState() {
   }
   last_manifest_payload_ = std::move(payload_or).value();
   return Status::OK();
+}
+
+std::function<void(PageId)> Database::UnloggedPageTagger() {
+  if (options_.file_path.empty() || backend_ == nullptr) return nullptr;
+  auto* wal_backend = static_cast<WalBackend*>(backend_.get());
+  return [wal_backend](PageId id) { wal_backend->MarkUnlogged(id); };
 }
 
 Status Database::Commit() {
@@ -390,6 +449,7 @@ Status Database::Checkpoint() {
     meta.row_count = table->num_rows();
     meta.size_bytes = table->size_bytes();
     meta.num_pages = table->num_pages();
+    meta.unlogged = table->unlogged();
     if (const auto* heap = dynamic_cast<const HeapTable*>(table)) {
       meta.backing = TableBacking::kHeap;
       meta.first_page = heap->first_page();

@@ -111,6 +111,14 @@ class Database {
   /// True when this database persists to a file (and checkpoints apply).
   bool persistent() const { return persistent_; }
 
+  /// Page tagger for WAL-bypassing scratch storage: every tagged page is
+  /// written straight to the main file instead of the write-ahead log.
+  /// Null (a no-op to pass around freely) for in-memory databases. Miners
+  /// hand this to HeapTable::Create for their intermediate relations
+  /// R_k / C_k — relations SETM drops at the end of the run, whose pages
+  /// would otherwise bloat the log with data nobody ever replays.
+  std::function<void(PageId)> UnloggedPageTagger();
+
   /// Serializes the live catalog into the manifest chain, materializes this
   /// epoch's logged pages into the main file, publishes a new superblock
   /// slot and truncates the WAL — after a successful return the main file

@@ -70,13 +70,14 @@ std::unique_ptr<TupleIterator> MemTable::Scan() const {
 // HeapTable
 // ---------------------------------------------------------------------------
 
-Result<std::unique_ptr<HeapTable>> HeapTable::Create(std::string name,
-                                                     Schema schema,
-                                                     BufferPool* pool) {
-  auto heap_or = TableHeap::Create(pool);
+Result<std::unique_ptr<HeapTable>> HeapTable::Create(
+    std::string name, Schema schema, BufferPool* pool,
+    TableHeap::PageHook page_hook) {
+  auto heap_or = TableHeap::Create(pool, page_hook);
   if (!heap_or.ok()) return heap_or.status();
-  return std::unique_ptr<HeapTable>(new HeapTable(
-      std::move(name), std::move(schema), pool, std::move(heap_or).value()));
+  return std::unique_ptr<HeapTable>(
+      new HeapTable(std::move(name), std::move(schema), pool,
+                    std::move(heap_or).value(), std::move(page_hook)));
 }
 
 Result<std::unique_ptr<HeapTable>> HeapTable::Open(std::string name,
@@ -122,7 +123,7 @@ std::unique_ptr<TupleIterator> HeapTable::Scan() const {
 Status HeapTable::Truncate() {
   // Start a fresh chain; old pages are abandoned (no free-list in this
   // engine — acceptable for mining workloads that drop whole relations).
-  auto heap_or = TableHeap::Create(pool_);
+  auto heap_or = TableHeap::Create(pool_, page_hook_);
   if (!heap_or.ok()) return heap_or.status();
   heap_ = std::move(heap_or).value();
   return Status::OK();

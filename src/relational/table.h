@@ -29,6 +29,13 @@ class Table {
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
+  /// Unlogged tables trade durability for write speed: their pages bypass
+  /// the write-ahead log, and after a restart the table reopens empty (name
+  /// and schema only). The natural fit for SETM's intermediate relations
+  /// R_k / C_k, which are dropped at the end of every run anyway.
+  bool unlogged() const { return unlogged_; }
+  void set_unlogged(bool unlogged) { unlogged_ = unlogged; }
+
   /// Appends a row (validated against the schema arity).
   virtual Status Insert(const Tuple& tuple) = 0;
 
@@ -62,6 +69,7 @@ class Table {
  private:
   std::string name_;
   Schema schema_;
+  bool unlogged_ = false;
 };
 
 /// In-memory row-vector table.
@@ -95,10 +103,12 @@ class MemTable : public Table {
 /// Buffer-pool-backed table over a slotted-page heap.
 class HeapTable : public Table {
  public:
-  /// Creates an empty heap table in `pool`'s backend.
-  static Result<std::unique_ptr<HeapTable>> Create(std::string name,
-                                                   Schema schema,
-                                                   BufferPool* pool);
+  /// Creates an empty heap table in `pool`'s backend. `page_hook`, if set,
+  /// observes every page the table's chain ever acquires (including across
+  /// Truncate) — the database passes its unlogged-page tagger here.
+  static Result<std::unique_ptr<HeapTable>> Create(
+      std::string name, Schema schema, BufferPool* pool,
+      TableHeap::PageHook page_hook = nullptr);
 
   /// Re-attaches to an existing page chain (reopening a persisted table).
   /// `expected_rows` (from the catalog manifest) is cross-checked against
@@ -135,13 +145,17 @@ class HeapTable : public Table {
   }
 
  private:
-  HeapTable(std::string name, Schema schema, BufferPool* pool, TableHeap heap)
+  HeapTable(std::string name, Schema schema, BufferPool* pool, TableHeap heap,
+            TableHeap::PageHook page_hook = nullptr)
       : Table(std::move(name), std::move(schema)),
         pool_(pool),
-        heap_(std::move(heap)) {}
+        heap_(std::move(heap)),
+        page_hook_(std::move(page_hook)) {}
 
   BufferPool* pool_;
   TableHeap heap_;
+  /// Kept so Truncate's fresh chain is tagged like the original.
+  TableHeap::PageHook page_hook_;
   mutable std::string scratch_;
 };
 

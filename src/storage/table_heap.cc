@@ -58,13 +58,16 @@ void InitHeapPage(Page* p) {
 /// Largest record a single heap page can hold.
 static constexpr size_t kMaxRecordSize = kPageSize - kHeaderSize - kSlotSize;
 
-Result<TableHeap> TableHeap::Create(BufferPool* pool) {
+Result<TableHeap> TableHeap::Create(BufferPool* pool, PageHook page_hook) {
   auto guard_or = pool->NewPage();
   if (!guard_or.ok()) return guard_or.status();
   PageGuard& guard = guard_or.value();
   InitHeapPage(guard.page());
   guard.MarkDirty();
-  return TableHeap(pool, guard.id(), guard.id(), /*pages=*/1);
+  if (page_hook) page_hook(guard.id());
+  TableHeap heap(pool, guard.id(), guard.id(), /*pages=*/1);
+  heap.page_hook_ = std::move(page_hook);
+  return heap;
 }
 
 Result<TableHeap> TableHeap::Open(BufferPool* pool, PageId first_page) {
@@ -103,18 +106,23 @@ Result<TableHeap> TableHeap::Open(BufferPool* pool, PageId first_page) {
 }
 
 Status TableHeap::AppendChainPages(std::vector<PageId>* out) const {
-  PageId cur = first_page_;
+  return CollectChainPages(pool_, first_page_, out);
+}
+
+Status TableHeap::CollectChainPages(BufferPool* pool, PageId first,
+                                    std::vector<PageId>* out) {
+  PageId cur = first;
   uint64_t seen = 0;
-  const uint64_t max_pages = pool_->backend()->NumPages();
+  const uint64_t max_pages = pool->backend()->NumPages();
   while (cur != kInvalidPageId) {
-    if (seen >= max_pages) {
+    if (seen >= max_pages || cur >= max_pages) {
       return Status::Corruption(
-          "heap page chain starting at page " + std::to_string(first_page_) +
+          "heap page chain starting at page " + std::to_string(first) +
           " does not terminate within the file's " +
           std::to_string(max_pages) + " pages (cycle or corrupt link)");
     }
     out->push_back(cur);
-    auto guard_or = pool_->FetchPage(cur);
+    auto guard_or = pool->FetchPage(cur);
     if (!guard_or.ok()) return guard_or.status();
     cur = Header(guard_or.value().page())->next_page;
     ++seen;
@@ -143,6 +151,7 @@ Result<Rid> TableHeap::Insert(std::string_view record) {
     new_guard.MarkDirty();
     last_page_ = new_guard.id();
     ++num_pages_;
+    if (page_hook_) page_hook_(new_guard.id());
     guard = std::move(new_guard);
   }
 

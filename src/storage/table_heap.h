@@ -2,6 +2,7 @@
 #define SETM_STORAGE_TABLE_HEAP_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,8 +35,14 @@ struct Rid {
 /// SETM's intermediate relations R_k rely on.
 class TableHeap {
  public:
-  /// Creates a fresh heap with one empty page.
-  static Result<TableHeap> Create(BufferPool* pool);
+  /// Observes every page id added to the chain — the seam the database uses
+  /// to tag an unlogged table's pages for WAL bypass.
+  using PageHook = std::function<void(PageId)>;
+
+  /// Creates a fresh heap with one empty page. `page_hook`, if set, fires
+  /// for that page and for every page a later Insert chains on.
+  static Result<TableHeap> Create(BufferPool* pool,
+                                  PageHook page_hook = nullptr);
 
   /// Re-opens an existing heap rooted at `first_page`. The tail is located
   /// by walking the chain (O(pages), done once at open). A chain that does
@@ -78,6 +85,12 @@ class TableHeap {
   /// cycle guard as Open). Used to reclaim a dropped table's pages into the
   /// database free list.
   Status AppendChainPages(std::vector<PageId>* out) const;
+
+  /// Chain walk without constructing a heap — reads only each page's next
+  /// pointer, never its slots, so it is safe on chains whose record data a
+  /// crash may have torn (reclaiming an unlogged table's old chain).
+  static Status CollectChainPages(BufferPool* pool, PageId first,
+                                  std::vector<PageId>* out);
 
   /// Forward iterator over live records in storage order.
   ///
@@ -123,6 +136,7 @@ class TableHeap {
   uint64_t num_pages_;
   uint64_t live_records_ = 0;
   uint64_t live_bytes_ = 0;
+  PageHook page_hook_;
 };
 
 }  // namespace setm

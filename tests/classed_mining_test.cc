@@ -120,7 +120,8 @@ TEST(ClassedMiningTest, RulesPerClass) {
   ClassedSetmMiner miner(&db);
   auto result = miner.Mine(PaperExampleTransactions(), classes, options);
   ASSERT_TRUE(result.ok());
-  auto rules = GenerateRules(result.value().per_class.at(7), options);
+  auto rules =
+      GenerateRules(result.value().per_class.at(7), options).value();
   // DEF is 100% of class 7: every rule over {D,E,F} holds at 100%.
   EXPECT_EQ(rules.size(), 9u);  // 3 pairs x 2 + 1 triple x 3
 }

@@ -83,7 +83,8 @@ TEST_F(PaperExampleTest, TerminatesWithEmptyLevel) {
 }
 
 TEST_F(PaperExampleTest, RulesMatchSection5) {
-  auto rules = GenerateRules(result_.itemsets, PaperExampleOptions());
+  auto rules =
+      GenerateRules(result_.itemsets, PaperExampleOptions()).value();
   // Expected: 8 single-antecedent rules + 3 two-antecedent rules.
   ASSERT_EQ(rules.size(), 11u);
 
@@ -117,7 +118,8 @@ TEST_F(PaperExampleTest, RulesMatchSection5) {
 }
 
 TEST_F(PaperExampleTest, RuleFormattingMatchesPaperStyle) {
-  auto rules = GenerateRules(result_.itemsets, PaperExampleOptions());
+  auto rules =
+      GenerateRules(result_.itemsets, PaperExampleOptions()).value();
   // Find B ==> A and check the exact rendering from Section 5.
   bool found = false;
   for (const auto& r : rules) {

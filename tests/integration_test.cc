@@ -76,7 +76,7 @@ TEST(IntegrationTest, CsvToSqlToRulesPipeline) {
   SetmSqlMiner miner(&db, TableBacking::kHeap);
   auto result = miner.MineTable(*sales.value(), options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  auto rules = GenerateRules(result.value().itemsets, options);
+  auto rules = GenerateRules(result.value().itemsets, options).value();
   for (const auto& r : rules) {
     EXPECT_GE(r.confidence + 1e-12, 0.5);
     EXPECT_GE(r.support + 1e-12, 0.05);
@@ -102,7 +102,7 @@ TEST(IntegrationTest, FullRunsAreDeterministic) {
     Database db;
     auto result = SetmMiner(&db).Mine(txns, options);
     ASSERT_TRUE(result.ok());
-    auto rules = GenerateRules(result.value().itemsets, options);
+    auto rules = GenerateRules(result.value().itemsets, options).value();
     std::string render;
     for (const auto& r : rules) render += FormatRule(r) + "\n";
     renders.push_back(std::move(render));

@@ -206,11 +206,12 @@ TEST_P(ParallelSetmTest, IdenticalToSerialMiner) {
   }
 
   // Identical itemsets must yield identical rules.
-  auto expected_rules =
-      GenerateRules(expected.value().itemsets, options,
-                    RuleMode::kSingleConsequent);
+  auto expected_rules = GenerateRules(expected.value().itemsets, options,
+                                      RuleMode::kSingleConsequent)
+                            .value();
   auto rules = GenerateRules(result.value().itemsets, options,
-                             RuleMode::kSingleConsequent);
+                             RuleMode::kSingleConsequent)
+                   .value();
   EXPECT_EQ(rules, expected_rules);
 }
 

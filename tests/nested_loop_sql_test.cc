@@ -105,7 +105,7 @@ TEST(RuleLiftTest, LiftMatchesDefinition) {
       miner.Mine(PaperExampleTransactions(), PaperExampleOptions());
   ASSERT_TRUE(result.ok());
   MiningOptions options = PaperExampleOptions();
-  auto rules = GenerateRules(result.value().itemsets, options);
+  auto rules = GenerateRules(result.value().itemsets, options).value();
   ASSERT_FALSE(rules.empty());
   const double n =
       static_cast<double>(result.value().itemsets.num_transactions);

@@ -691,5 +691,202 @@ TEST(PersistTest, ItemsetStoreSurvivesReopenAndFeedsDeltaMiner) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Unlogged tables
+// --------------------------------------------------------------------------
+
+TEST(UnloggedTest, WritesBypassTheWalAndTheTableReopensEmpty) {
+  TempDbFile logged_file("unlogged_control.db");
+  TempDbFile unlogged_file("unlogged_bypass.db");
+
+  // Control: the same 2000 rows into a logged table. Commit() flushes every
+  // dirty page into the WAL sidecar, so the log carries the table's pages.
+  uint64_t logged_wal_bytes = 0;
+  {
+    auto db = Database::Open(FileOptions(logged_file));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto t = (*db)->catalog()->CreateTable("t", TwoIntSchema(),
+                                           TableBacking::kHeap);
+    ASSERT_TRUE(t.ok());
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(
+          t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+    }
+    ASSERT_TRUE((*db)->Commit().ok());
+    logged_wal_bytes = ReadAll(logged_file.wal_path()).size();
+  }
+
+  // Same load into an unlogged table: its pages go straight to the main
+  // file, so the flushed WAL stays a small fraction of the control's.
+  uint64_t unlogged_wal_bytes = 0;
+  {
+    auto db = Database::Open(FileOptions(unlogged_file));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto t = (*db)->catalog()->CreateTable(
+        "t", TwoIntSchema(), TableBacking::kHeap, /*unlogged=*/true);
+    ASSERT_TRUE(t.ok());
+    EXPECT_TRUE(t.value()->unlogged());
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(
+          t.value()->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+    }
+    EXPECT_EQ(t.value()->num_rows(), 2000u);
+    ASSERT_TRUE((*db)->Commit().ok());
+    unlogged_wal_bytes = ReadAll(unlogged_file.wal_path()).size();
+  }
+  ASSERT_GT(logged_wal_bytes, 0u);
+  EXPECT_LT(unlogged_wal_bytes, logged_wal_bytes / 4)
+      << "unlogged pages reached the write-ahead log";
+
+  // Reopen: the unlogged table survives in the catalog — name, schema and
+  // attribute — but, like a crash-recovered PostgreSQL unlogged table, its
+  // rows do not.
+  auto db = Database::Open(FileOptions(unlogged_file));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto t = (*db)->catalog()->GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t.value()->unlogged());
+  EXPECT_EQ(t.value()->schema(), TwoIntSchema());
+  EXPECT_EQ(t.value()->num_rows(), 0u);
+  // And it is writable again from empty.
+  ASSERT_TRUE(
+      t.value()->Insert(Tuple({Value::Int32(1), Value::Int32(2)})).ok());
+  EXPECT_EQ(t.value()->num_rows(), 1u);
+}
+
+TEST(UnloggedTest, LoggedNeighborsAreUnaffected) {
+  TempDbFile file("unlogged_neighbor.db");
+  {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto keep = (*db)->catalog()->CreateTable("keep", TwoIntSchema(),
+                                              TableBacking::kHeap);
+    ASSERT_TRUE(keep.ok());
+    auto scratch = (*db)->catalog()->CreateTable(
+        "scratch", TwoIntSchema(), TableBacking::kHeap, /*unlogged=*/true);
+    ASSERT_TRUE(scratch.ok());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(
+          keep.value()
+              ->Insert(Tuple({Value::Int32(i), Value::Int32(i * 2)}))
+              .ok());
+      ASSERT_TRUE(scratch.value()
+                      ->Insert(Tuple({Value::Int32(-i), Value::Int32(i)}))
+                      .ok());
+    }
+  }
+  auto db = Database::Open(FileOptions(file));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto keep = (*db)->catalog()->GetTable("keep");
+  ASSERT_TRUE(keep.ok());
+  EXPECT_FALSE(keep.value()->unlogged());
+  ASSERT_EQ(keep.value()->num_rows(), 500u);
+  auto it = keep.value()->Scan();
+  Tuple row;
+  int expect = 0;
+  while (true) {
+    auto more = it->Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    EXPECT_EQ(row.value(0).AsInt32(), expect);
+    EXPECT_EQ(row.value(1).AsInt32(), expect * 2);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 500);
+  auto scratch = (*db)->catalog()->GetTable("scratch");
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(scratch.value()->num_rows(), 0u);
+}
+
+TEST(UnloggedTest, AbandonedChainsAreReclaimedAcrossGenerations) {
+  TempDbFile file("unlogged_reclaim.db");
+  uint64_t pages_after_first_cycle = 0;
+  // Each generation fills an unlogged table and exits; reopen discards the
+  // rows and reclaims the abandoned chain, so the file must not grow by a
+  // chain per generation.
+  for (int generation = 0; generation < 4; ++generation) {
+    auto db = Database::Open(FileOptions(file));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    Table* t = nullptr;
+    if (generation == 0) {
+      auto created = (*db)->catalog()->CreateTable(
+          "scratch", TwoIntSchema(), TableBacking::kHeap, /*unlogged=*/true);
+      ASSERT_TRUE(created.ok());
+      t = created.value();
+    } else {
+      auto found = (*db)->catalog()->GetTable("scratch");
+      ASSERT_TRUE(found.ok());
+      t = found.value();
+      EXPECT_EQ(t->num_rows(), 0u);
+    }
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(t->Insert(Tuple({Value::Int32(i), Value::Int32(i)})).ok());
+    }
+    // The reclaimed pages become allocatable after the next checkpoint, so
+    // generation N reuses what generation N-1 abandoned.
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    if (generation == 1) {
+      pages_after_first_cycle = (*db)->pool()->backend()->NumPages();
+    }
+    if (generation >= 2) {
+      EXPECT_LE((*db)->pool()->backend()->NumPages(),
+                pages_after_first_cycle + 2)
+          << "generation " << generation
+          << " grew the file instead of reusing reclaimed unlogged pages";
+    }
+  }
+}
+
+TEST(UnloggedTest, V2SnapshotWithoutTheFlagStillDecodes) {
+  // A hand-written version-2 snapshot: one heap table, no trailing
+  // unlogged byte. The previous engine wrote exactly this layout.
+  RecordWriter w;
+  w.PutU32(2);  // snapshot version before the unlogged flag existed
+  w.PutU32(1);  // one table
+  w.PutString("t");
+  w.PutU8(1);  // TableBacking::kHeap
+  w.PutU16(1);
+  w.PutString("a");
+  w.PutU8(0);  // ValueType::kInt32
+  w.PutU32(7);    // first_page
+  w.PutU32(9);    // last_page
+  w.PutU64(3);    // num_pages
+  w.PutU64(42);   // row_count
+  w.PutU64(512);  // size_bytes
+  w.PutU32(0);    // no free pages
+  auto decoded = DecodeCatalogSnapshot(w.bytes());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().tables.size(), 1u);
+  EXPECT_FALSE(decoded.value().tables[0].unlogged);
+  EXPECT_EQ(decoded.value().tables[0].row_count, 42u);
+}
+
+TEST(UnloggedTest, SnapshotRoundTripsTheFlagAndRejectsBadTags) {
+  CatalogSnapshot snapshot;
+  PersistedTableMeta logged;
+  logged.name = "keep";
+  logged.backing = TableBacking::kHeap;
+  logged.schema = TwoIntSchema();
+  PersistedTableMeta scratch = logged;
+  scratch.name = "scratch";
+  scratch.unlogged = true;
+  snapshot.tables = {logged, scratch};
+
+  std::string bytes = EncodeCatalogSnapshot(snapshot);
+  auto decoded = DecodeCatalogSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().tables.size(), 2u);
+  EXPECT_FALSE(decoded.value().tables[0].unlogged);
+  EXPECT_TRUE(decoded.value().tables[1].unlogged);
+
+  // The flag is the last byte of each table record; corrupt the final one.
+  bytes[bytes.size() - 5] = 2;  // before the u32 free-page count
+  auto bad = DecodeCatalogSnapshot(bytes);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("unknown unlogged tag"),
+            std::string::npos)
+      << bad.status().ToString();
+}
+
 }  // namespace
 }  // namespace setm

@@ -1,0 +1,382 @@
+// The plan/execute layer: MiningPlanner strategy selection across the
+// decision matrix (cold, dominated, stale-within-budget, stale-over-budget,
+// malformed batches), bit-identity of the answer regardless of the chosen
+// strategy, the PlanStats ledger, and the zero-iteration guarantee of
+// cache-filter plans — all over both TableBackings.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/mining_planner.h"
+#include "core/setm.h"
+#include "datagen/quest_generator.h"
+#include "incremental/itemset_store.h"
+
+namespace setm {
+namespace {
+
+TransactionDb MakeQuestDb(uint64_t seed, uint32_t num_transactions,
+                          uint32_t num_items = 20) {
+  QuestOptions gen;
+  gen.seed = seed;
+  gen.num_transactions = num_transactions;
+  gen.avg_transaction_size = 5;
+  gen.num_items = num_items;
+  gen.num_patterns = 15;
+  return QuestGenerator(gen).Generate();
+}
+
+/// A fresh batch whose transaction ids continue after `start_after`.
+TransactionDb MakeBatch(uint64_t seed, uint32_t count,
+                        TransactionId start_after) {
+  TransactionDb batch = MakeQuestDb(seed, count);
+  for (Transaction& t : batch) t.id += start_after;
+  return batch;
+}
+
+/// Counts observer callbacks; the cache-filter zero-iteration proof.
+class CountingObserver : public MiningObserver {
+ public:
+  bool OnIteration(const IterationStats&) override {
+    ++iterations;
+    return true;
+  }
+  int iterations = 0;
+};
+
+/// The oracle: a plain full mine of `txns` at `options`, independent of any
+/// planner or store state.
+FrequentItemsets Oracle(const TransactionDb& txns,
+                        const MiningOptions& options) {
+  Database db;
+  auto mined = SetmMiner(&db).Mine(txns, options);
+  EXPECT_TRUE(mined.ok()) << mined.status().ToString();
+  return std::move(mined).value().itemsets;
+}
+
+class PlannerTest : public testing::TestWithParam<TableBacking> {
+ protected:
+  PlannerOptions Options() const {
+    PlannerOptions options;
+    options.store_prefix = "fi";
+    options.store_backing = GetParam();
+    options.setm.storage = GetParam();
+    return options;
+  }
+
+  /// Materializes SALES and returns (planner-ready) request pieces.
+  Table* MakeSales(Database* db, const TransactionDb& txns) {
+    auto sales_or = LoadSalesTable(db, "sales", txns, GetParam());
+    EXPECT_TRUE(sales_or.ok()) << sales_or.status().ToString();
+    return sales_or.value();
+  }
+};
+
+// --------------------------------------------------------------------------
+// Strategy selection.
+// --------------------------------------------------------------------------
+
+TEST_P(PlannerTest, ColdQueryFullMinesAndWritesBack) {
+  TransactionDb txns = MakeQuestDb(11, 150);
+  Database db;
+  Table* sales = MakeSales(&db, txns);
+  MiningPlanner planner(&db, Options());
+
+  PlanRequest request;
+  request.table = sales;
+  request.options.min_support_count = 4;
+  auto exec = planner.Execute(request);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec.value().plan.strategy, PlanStrategy::kFullMine);
+  EXPECT_TRUE(exec.value().plan.save_after_mine);
+  EXPECT_TRUE(planner.cache()->Probe().ok());
+  EXPECT_EQ(planner.stats().plans, 1u);
+  EXPECT_EQ(planner.stats().full_mines, 1u);
+  EXPECT_EQ(planner.stats().write_backs, 1u);
+  EXPECT_TRUE(exec.value().result.itemsets == Oracle(txns, request.options));
+}
+
+TEST_P(PlannerTest, DominatedQueryIsServedByCacheFilterWithZeroIterations) {
+  TransactionDb txns = MakeQuestDb(12, 150);
+  Database db;
+  Table* sales = MakeSales(&db, txns);
+  MiningPlanner planner(&db, Options());
+
+  PlanRequest request;
+  request.table = sales;
+  request.options.min_support_count = 3;
+  ASSERT_TRUE(planner.Execute(request).ok());
+
+  CountingObserver observer;
+  request.options.min_support_count = 6;
+  request.options.observer = &observer;
+  auto exec = planner.Execute(request);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec.value().plan.strategy, PlanStrategy::kCacheFilter);
+  // The zero-mining guarantee, observed from the outside: no iterations ran
+  // and none were reported.
+  EXPECT_TRUE(exec.value().result.iterations.empty());
+  EXPECT_EQ(observer.iterations, 0);
+  EXPECT_EQ(planner.stats().cache_filters, 1u);
+
+  request.options.observer = nullptr;
+  EXPECT_TRUE(exec.value().result.itemsets == Oracle(txns, request.options));
+}
+
+TEST_P(PlannerTest, LowerSupportQueryInvalidatesAndRemines) {
+  TransactionDb txns = MakeQuestDb(13, 150);
+  Database db;
+  Table* sales = MakeSales(&db, txns);
+  MiningPlanner planner(&db, Options());
+
+  PlanRequest request;
+  request.table = sales;
+  request.options.min_support_count = 6;
+  ASSERT_TRUE(planner.Execute(request).ok());
+
+  // Support 3 < stored 6: the store cannot answer (anti-monotonicity only
+  // helps upward), so the run is dropped and remined at the new threshold.
+  request.options.min_support_count = 3;
+  auto exec = planner.Execute(request);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec.value().plan.strategy, PlanStrategy::kFullMine);
+  EXPECT_EQ(planner.stats().invalidations, 1u);
+  EXPECT_EQ(planner.stats().full_mines, 2u);
+  EXPECT_TRUE(exec.value().result.itemsets == Oracle(txns, request.options));
+
+  // The write-back re-keyed the store at support 3: the old query is now a
+  // cache hit again.
+  request.options.min_support_count = 6;
+  auto again = planner.Execute(request);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().plan.strategy, PlanStrategy::kCacheFilter);
+}
+
+TEST_P(PlannerTest, SmallAppendIsDeltaDerivedExactly) {
+  TransactionDb base = MakeQuestDb(14, 200);
+  TransactionDb delta = MakeBatch(15, 20, MaxTransactionId(base));
+  Database db;
+  Table* sales = MakeSales(&db, base);
+  MiningPlanner planner(&db, Options());
+
+  PlanRequest request;
+  request.table = sales;
+  request.options.min_support_count = 5;
+  ASSERT_TRUE(planner.Execute(request).ok());
+
+  request.append = &delta;
+  auto exec = planner.Execute(request);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec.value().plan.strategy, PlanStrategy::kDeltaDerive);
+  EXPECT_EQ(exec.value().delta_transactions, delta.size());
+  EXPECT_EQ(planner.stats().delta_derives, 1u);
+
+  TransactionDb combined = base;
+  combined.insert(combined.end(), delta.begin(), delta.end());
+  EXPECT_TRUE(exec.value().result.itemsets ==
+              Oracle(combined, request.options));
+
+  // The derivation refreshed the store: a dominated re-query of the
+  // combined database is a cache hit.
+  request.append = nullptr;
+  request.options.min_support_count = 8;
+  auto requery = planner.Execute(request);
+  ASSERT_TRUE(requery.ok());
+  EXPECT_EQ(requery.value().plan.strategy, PlanStrategy::kCacheFilter);
+  EXPECT_TRUE(requery.value().result.itemsets ==
+              Oracle(combined, request.options));
+}
+
+TEST_P(PlannerTest, OversizedAppendFallsBackToFullMine) {
+  TransactionDb base = MakeQuestDb(16, 100);
+  TransactionDb delta = MakeBatch(17, 80, MaxTransactionId(base));
+  Database db;
+  Table* sales = MakeSales(&db, base);
+  PlannerOptions options = Options();
+  options.full_remine_fraction = 0.10;  // 80/180 is far above 10%
+  MiningPlanner planner(&db, options);
+
+  PlanRequest request;
+  request.table = sales;
+  request.options.min_support_count = 5;
+  ASSERT_TRUE(planner.Execute(request).ok());
+
+  request.append = &delta;
+  auto exec = planner.Execute(request);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec.value().plan.strategy, PlanStrategy::kFullMine);
+  EXPECT_EQ(planner.stats().delta_derives, 0u);
+
+  TransactionDb combined = base;
+  combined.insert(combined.end(), delta.begin(), delta.end());
+  EXPECT_TRUE(exec.value().result.itemsets ==
+              Oracle(combined, request.options));
+}
+
+TEST_P(PlannerTest, InMemorySourceNeverCaches) {
+  TransactionDb txns = MakeQuestDb(18, 100);
+  Database db;
+  MiningPlanner planner(&db, Options());
+
+  PlanRequest request;
+  request.transactions = &txns;
+  request.options.min_support_count = 4;
+  auto exec = planner.Execute(request);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec.value().plan.strategy, PlanStrategy::kFullMine);
+  EXPECT_FALSE(exec.value().plan.save_after_mine);
+  // Nothing keyed on a relation, nothing stored.
+  EXPECT_EQ(planner.cache()->Probe().status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(exec.value().result.itemsets == Oracle(txns, request.options));
+}
+
+// --------------------------------------------------------------------------
+// Plan() is pure inspection.
+// --------------------------------------------------------------------------
+
+TEST_P(PlannerTest, PlanInspectsWithoutMiningOrMutating) {
+  TransactionDb txns = MakeQuestDb(19, 100);
+  Database db;
+  Table* sales = MakeSales(&db, txns);
+  MiningPlanner planner(&db, Options());
+
+  PlanRequest request;
+  request.table = sales;
+  request.options.min_support_count = 4;
+  auto plan = planner.Plan(request);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().strategy, PlanStrategy::kFullMine);
+  EXPECT_FALSE(plan.value().reason.empty());
+  EXPECT_FALSE(plan.value().Explain().empty());
+  // Planned but not executed: no store was written, no strategy charged.
+  EXPECT_EQ(planner.cache()->Probe().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(planner.stats().plans, 1u);
+  EXPECT_EQ(planner.stats().full_mines, 0u);
+  EXPECT_EQ(planner.stats().write_backs, 0u);
+
+  ASSERT_TRUE(planner.Execute(request).ok());
+  auto dominated = planner.Plan(request);
+  ASSERT_TRUE(dominated.ok());
+  EXPECT_EQ(dominated.value().strategy, PlanStrategy::kCacheFilter);
+  EXPECT_TRUE(dominated.value().store_found);
+  EXPECT_EQ(planner.stats().cache_filters, 0u);  // still only inspected
+}
+
+// --------------------------------------------------------------------------
+// Malformed requests.
+// --------------------------------------------------------------------------
+
+TEST_P(PlannerTest, BatchAtOrBelowWatermarkIsRejected) {
+  TransactionDb base = MakeQuestDb(20, 100);
+  Database db;
+  Table* sales = MakeSales(&db, base);
+  MiningPlanner planner(&db, Options());
+
+  PlanRequest request;
+  request.table = sales;
+  request.options.min_support_count = 4;
+  ASSERT_TRUE(planner.Execute(request).ok());
+
+  // Re-submitting already-applied ids must fail loudly, not double-count.
+  request.append = &base;
+  auto exec = planner.Execute(request);
+  ASSERT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(exec.status().message().find("at or below the stored watermark"),
+            std::string::npos)
+      << exec.status().ToString();
+}
+
+TEST_P(PlannerTest, DuplicateBatchIdsAreRejected) {
+  TransactionDb base = MakeQuestDb(21, 100);
+  TransactionDb delta = MakeBatch(22, 10, MaxTransactionId(base));
+  delta.push_back(delta.front());
+  Database db;
+  Table* sales = MakeSales(&db, base);
+  MiningPlanner planner(&db, Options());
+
+  PlanRequest request;
+  request.table = sales;
+  request.options.min_support_count = 4;
+  ASSERT_TRUE(planner.Execute(request).ok());
+
+  request.append = &delta;
+  auto exec = planner.Execute(request);
+  ASSERT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(exec.status().message().find("duplicate delta transaction id"),
+            std::string::npos)
+      << exec.status().ToString();
+}
+
+TEST_P(PlannerTest, RequestsNeedExactlyOneSource) {
+  TransactionDb txns = MakeQuestDb(23, 10);
+  Database db;
+  Table* sales = MakeSales(&db, txns);
+  MiningPlanner planner(&db, Options());
+
+  PlanRequest none;
+  EXPECT_EQ(planner.Execute(none).status().code(),
+            StatusCode::kInvalidArgument);
+
+  PlanRequest both;
+  both.table = sales;
+  both.transactions = &txns;
+  EXPECT_EQ(planner.Execute(both).status().code(),
+            StatusCode::kInvalidArgument);
+
+  PlanRequest mem_append;
+  mem_append.transactions = &txns;
+  mem_append.append = &txns;
+  EXPECT_EQ(planner.Execute(mem_append).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backings, PlannerTest,
+                         testing::Values(TableBacking::kMemory,
+                                         TableBacking::kHeap));
+
+// --------------------------------------------------------------------------
+// Prefix-less planner: the pure dispatch path.
+// --------------------------------------------------------------------------
+
+TEST(PlannerNoStoreTest, EmptyPrefixDisablesCaching) {
+  TransactionDb txns = MakeQuestDb(24, 100);
+  Database db;
+  PlannerOptions options;  // no store_prefix
+  MiningPlanner planner(&db, options);
+
+  PlanRequest request;
+  request.transactions = &txns;
+  request.options.min_support_count = 4;
+  auto exec = planner.Execute(request);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec.value().plan.strategy, PlanStrategy::kFullMine);
+  EXPECT_EQ(planner.cache(), nullptr);
+  EXPECT_TRUE(exec.value().result.itemsets == Oracle(txns, request.options));
+}
+
+TEST(PlannerNoStoreTest, RegistryAlgorithmsRouteThroughTheSamePlanner) {
+  TransactionDb txns = MakeQuestDb(25, 100);
+  MiningOptions mining;
+  mining.min_support_count = 4;
+  FrequentItemsets reference = Oracle(txns, mining);
+
+  for (const char* algo : {"apriori", "setm-sql"}) {
+    Database db;
+    PlannerOptions options;
+    options.algorithm = algo;
+    MiningPlanner planner(&db, options);
+    PlanRequest request;
+    request.transactions = &txns;
+    request.options = mining;
+    auto exec = planner.Execute(request);
+    ASSERT_TRUE(exec.ok()) << algo << ": " << exec.status().ToString();
+    EXPECT_TRUE(exec.value().result.itemsets == reference) << algo;
+  }
+}
+
+}  // namespace
+}  // namespace setm

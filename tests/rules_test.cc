@@ -79,7 +79,7 @@ TEST(ResolveMinSupportTest, AbsoluteCountWins) {
 TEST(RulesTest, EveryRuleMeetsConfidenceAndSupport) {
   FrequentItemsets sets = MineExample();
   MiningOptions options = PaperExampleOptions();
-  auto rules = GenerateRules(sets, options);
+  auto rules = GenerateRules(sets, options).value();
   ASSERT_FALSE(rules.empty());
   for (const auto& r : rules) {
     EXPECT_GE(r.confidence + 1e-12, options.min_confidence);
@@ -98,7 +98,7 @@ TEST(RulesTest, ZeroConfidenceKeepsAllSubsetRules) {
   FrequentItemsets sets = MineExample();
   MiningOptions options = PaperExampleOptions();
   options.min_confidence = 0.0;
-  auto rules = GenerateRules(sets, options);
+  auto rules = GenerateRules(sets, options).value();
   // Every frequent k-pattern (k>=2) yields k single-consequent rules:
   // 6 pairs x 2 + 1 triple x 3 = 15.
   EXPECT_EQ(rules.size(), 15u);
@@ -108,7 +108,7 @@ TEST(RulesTest, AnySubsetModeIncludesLargerConsequents) {
   FrequentItemsets sets = MineExample();
   MiningOptions options = PaperExampleOptions();
   options.min_confidence = 0.0;
-  auto rules = GenerateRules(sets, options, RuleMode::kAnySubset);
+  auto rules = GenerateRules(sets, options, RuleMode::kAnySubset).value();
   // Pairs: 2 each (antecedent size 1). Triple: C(3,1)+C(3,2) = 6.
   EXPECT_EQ(rules.size(), 6u * 2 + 6);
   bool found_wide = false;
@@ -123,8 +123,8 @@ TEST(RulesTest, AnySubsetModeIncludesLargerConsequents) {
 
 TEST(RulesTest, RulesAreSortedAndDeterministic) {
   FrequentItemsets sets = MineExample();
-  auto a = GenerateRules(sets, PaperExampleOptions());
-  auto b = GenerateRules(sets, PaperExampleOptions());
+  auto a = GenerateRules(sets, PaperExampleOptions()).value();
+  auto b = GenerateRules(sets, PaperExampleOptions()).value();
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
   for (size_t i = 1; i < a.size(); ++i) {
@@ -137,7 +137,7 @@ TEST(RulesTest, RulesAreSortedAndDeterministic) {
 TEST(RulesTest, EmptyItemsetsYieldNoRules) {
   FrequentItemsets sets;
   sets.num_transactions = 10;
-  EXPECT_TRUE(GenerateRules(sets, MiningOptions{}).empty());
+  EXPECT_TRUE(GenerateRules(sets, MiningOptions{}).value().empty());
 }
 
 TEST(RulesTest, SingletonsOnlyYieldNoRules) {
@@ -145,7 +145,7 @@ TEST(RulesTest, SingletonsOnlyYieldNoRules) {
   sets.num_transactions = 10;
   sets.Add({1}, 5);
   sets.Add({2}, 6);
-  EXPECT_TRUE(GenerateRules(sets, MiningOptions{}).empty());
+  EXPECT_TRUE(GenerateRules(sets, MiningOptions{}).value().empty());
 }
 
 TEST(RulesTest, ConfidenceOneHundredPercentFormatting) {
@@ -177,9 +177,10 @@ TEST_P(RulesPropertyTest, ModesAreConsistent) {
   auto result = miner.Mine(txns, options);
   ASSERT_TRUE(result.ok());
 
-  auto narrow = GenerateRules(result.value().itemsets, options);
+  auto narrow = GenerateRules(result.value().itemsets, options).value();
   auto wide =
-      GenerateRules(result.value().itemsets, options, RuleMode::kAnySubset);
+      GenerateRules(result.value().itemsets, options, RuleMode::kAnySubset)
+          .value();
   EXPECT_GE(wide.size(), narrow.size());
   // Every single-consequent rule also appears in any-subset mode.
   for (const auto& r : narrow) {
@@ -192,6 +193,69 @@ TEST_P(RulesPropertyTest, ModesAreConsistent) {
     }
     EXPECT_TRUE(found);
   }
+}
+
+// --------------------------------------------------------------------------
+// Observer hooks and cooperative cancellation
+// --------------------------------------------------------------------------
+
+/// Counts callbacks and optionally vetoes after a fixed number of them.
+class VetoingObserver : public MiningObserver {
+ public:
+  explicit VetoingObserver(int veto_after = -1) : veto_after_(veto_after) {}
+  bool OnIteration(const IterationStats& stats) override {
+    ++calls;
+    max_k_seen = std::max(max_k_seen, stats.k);
+    return veto_after_ < 0 || calls < veto_after_;
+  }
+  int calls = 0;
+  size_t max_k_seen = 0;
+
+ private:
+  int veto_after_;
+};
+
+TEST(RulesObserverTest, ReportsEveryPatternSizeInOrder) {
+  FrequentItemsets sets = MineExample();
+  MiningOptions options = PaperExampleOptions();
+  VetoingObserver observer;
+  options.observer = &observer;
+  auto rules = GenerateRules(sets, options, RuleMode::kAnySubset);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  // At least one callback per expandable pattern size (sizes 2..MaxSize);
+  // mid-level callbacks on large levels may add more, never fewer.
+  ASSERT_GE(sets.MaxSize(), 2u);
+  EXPECT_GE(observer.calls, static_cast<int>(sets.MaxSize()) - 1);
+  EXPECT_EQ(observer.max_k_seen, sets.MaxSize());
+
+  // The observer is progress-only: the rules are identical without it.
+  options.observer = nullptr;
+  auto plain = GenerateRules(sets, options, RuleMode::kAnySubset);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(rules.value().size(), plain.value().size());
+  EXPECT_TRUE(rules.value() == plain.value());
+}
+
+TEST(RulesObserverTest, VetoCancelsGeneration) {
+  FrequentItemsets sets = MineExample();
+  MiningOptions options = PaperExampleOptions();
+  VetoingObserver observer(/*veto_after=*/1);
+  options.observer = &observer;
+  auto rules = GenerateRules(sets, options, RuleMode::kAnySubset);
+  ASSERT_FALSE(rules.ok());
+  EXPECT_EQ(rules.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(observer.calls, 1);
+}
+
+TEST(RulesObserverTest, EmptyInputNeverCallsBack) {
+  FrequentItemsets sets;
+  MiningOptions options;
+  VetoingObserver observer(/*veto_after=*/1);
+  options.observer = &observer;
+  auto rules = GenerateRules(sets, options);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules.value().empty());
+  EXPECT_EQ(observer.calls, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RulesPropertyTest,

@@ -5,23 +5,34 @@
 //             [--rules single|subsets]
 //             [--max-k N] [--pool-frames N] [--stats] [--format text|csv]
 //             [--db FILE] [--store PREFIX] [--append FILE.csv]
-//             [--incremental] [--fallback PCT]
+//             [--incremental] [--fallback PCT] [--explain]
 //
 // Reads a (trans_id,item) CSV, mines frequent itemsets with the chosen
-// algorithm, and prints rules. Algorithms are dispatched uniformly through
-// the MinerRegistry: `--algo list` enumerates every registered algorithm
-// (one "name<TAB>description" line each), and `--algo NAME` runs it —
-// a newly registered algorithm needs no CLI change. `--algorithm` is the
-// backward-compatible alias. With --format csv the rules come out as
-// machine-readable rows; --stats adds per-iteration and I/O accounting.
+// algorithm, and prints rules. Every request — cold mine, stored-run
+// re-query, append batch — is answered through the MiningPlanner, which
+// picks one of three strategies and can explain its choice (--explain):
+//
+//   cache-filter  a stored run dominates the query: filter the stored
+//                 level relations, zero mining iterations;
+//   delta-derive  the store is stale but the batch fits the --fallback
+//                 budget: incremental derivation via the DeltaMiner;
+//   full-mine     registry dispatch of --algo, optionally writing the
+//                 result back into the store.
+//
+// Algorithms are dispatched uniformly through the MinerRegistry: `--algo
+// list` enumerates every registered algorithm (one "name<TAB>description"
+// line each), and `--algo NAME` runs it — a newly registered algorithm
+// needs no CLI change. `--algorithm` is the backward-compatible alias.
+// With --format csv the rules come out as machine-readable rows; --stats
+// adds per-iteration, I/O and plan accounting.
 //
 // Incremental modes (SETM only): --store PREFIX materializes the mined
 // itemsets as catalog relations (PREFIX_meta, PREFIX_f1, PREFIX_f2, ...);
 // --append FILE.csv feeds a second batch of transactions (ids above the
-// first file's) and re-derives the combined result — incrementally through
-// the DeltaMiner with --incremental (falling back to a full remine when the
-// batch exceeds --fallback PCT percent of the combined database), or by a
-// plain full remine without it. Rules are printed for the final result.
+// first file's) and re-derives the combined result — incrementally with
+// --incremental (falling back to a full remine when the batch exceeds
+// --fallback PCT percent of the combined database), or by a plain full
+// remine without it. Rules are printed for the final result.
 //
 // Persistence: --db FILE puts the whole database — SALES, the stored
 // itemset relations and the catalog — in a durable file, so store and
@@ -29,25 +40,26 @@
 //
 //   setm_mine --db sales.db --input base.csv --store fi      # process A
 //   setm_mine --db sales.db --append delta.csv --incremental # process B
+//   setm_mine --db sales.db --store fi --minsup 30           # re-query
 //
 // Process B reopens the file, finds SALES and the stored run in the
 // catalog, and brings both up to date without --input (passing --input at
-// reopen is an error — the base data already lives in the file). --db
-// implies --storage heap; it requires store mode (--store and/or --append).
+// reopen is an error — the base data already lives in the file). The
+// re-query at a higher support is answered entirely from the stored
+// relations (cache-filter), without mining. --db implies --storage heap;
+// it requires store mode (--store and/or --append).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <unordered_set>
 
 #include "core/miner_registry.h"
+#include "core/mining_planner.h"
 #include "core/rules.h"
 #include "core/setm.h"
 #include "datagen/transaction_io.h"
-#include "incremental/delta_miner.h"
-#include "incremental/itemset_store.h"
 
 namespace {
 
@@ -70,6 +82,7 @@ struct Args {
   size_t threads = 1;
   bool stats = false;
   bool incremental = false;
+  bool explain = false;
   bool storage_set = false;
 };
 
@@ -82,9 +95,10 @@ void Usage(const char* argv0) {
       "          [--rules single|subsets]\n"
       "          [--max-k N] [--pool-frames N] [--stats] [--format text|csv]\n"
       "          [--db FILE] [--store PREFIX] [--append FILE.csv]\n"
-      "          [--incremental] [--fallback PCT]\n"
+      "          [--incremental] [--fallback PCT] [--explain]\n"
       "(--input may be omitted when --db reopens an existing database;\n"
-      " --algo list prints the registered algorithms and exits)\n",
+      " --algo list prints the registered algorithms and exits;\n"
+      " --explain prints the mining plan for every request to stderr)\n",
       argv0);
 }
 
@@ -165,6 +179,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->fallback_pct = std::atof(v);
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       out->stats = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      out->explain = true;
     } else if (std::strcmp(argv[i], "--format") == 0) {
       const char* v = need_value("--format");
       if (v == nullptr) return false;
@@ -205,12 +221,38 @@ bool ParseArgs(int argc, char** argv, Args* out) {
   return true;
 }
 
-/// Uniform dispatch: every algorithm — built-in or registered later — runs
-/// through the MinerRegistry with one MiningRequest. The CLI knows nothing
-/// about individual miners.
+void MaybeExplain(const Args& args, const MiningPlan& plan) {
+  if (!args.explain) return;
+  std::fprintf(stderr, "plan:\n");
+  // Indent the multi-line rendering so plans stand out from other stderr.
+  std::string text = plan.Explain();
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::fprintf(stderr, "  %.*s\n", static_cast<int>(end - start),
+                 text.c_str() + start);
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+}
+
+SetmOptions PhysicalKnobs(const Args& args) {
+  SetmOptions knobs;
+  knobs.storage = args.storage == "heap" ? TableBacking::kHeap
+                                         : TableBacking::kMemory;
+  knobs.num_threads = args.threads;
+  return knobs;
+}
+
+/// Uniform dispatch of one-shot requests: every algorithm — built-in or
+/// registered later — runs through the planner's full-mine arm, which
+/// creates it from the MinerRegistry. The CLI knows nothing about
+/// individual miners.
 Result<MiningResult> RunAlgorithm(const Args& args, Database* db,
                                   const TransactionDb& txns,
-                                  const MiningOptions& options) {
+                                  const MiningOptions& options,
+                                  PlanStats* plan_stats) {
   auto info = MinerRegistry::Info(args.algorithm);
   if (!info.ok()) return info.status();
   if (args.threads > 1 && !info.value().honors_threads) {
@@ -218,101 +260,90 @@ Result<MiningResult> RunAlgorithm(const Args& args, Database* db,
         "--threads needs a partition-parallel algorithm; '" +
         args.algorithm + "' is not (see --algo list)");
   }
-  SetmOptions knobs;
-  knobs.storage = args.storage == "heap" ? TableBacking::kHeap
-                                         : TableBacking::kMemory;
-  knobs.num_threads = args.threads;
-  auto miner = MinerRegistry::Create(args.algorithm, db, knobs);
-  if (!miner.ok()) return miner.status();
-  MiningRequest request;
+  PlannerOptions planner_options;  // no store prefix: plain full mine
+  planner_options.algorithm = args.algorithm;
+  planner_options.setm = PhysicalKnobs(args);
+  MiningPlanner planner(db, planner_options);
+  PlanRequest request;
   request.transactions = &txns;
   request.options = options;
-  return miner.value()->Mine(request);
+  auto exec_or = planner.Execute(request);
+  if (!exec_or.ok()) return exec_or.status();
+  MaybeExplain(args, exec_or.value().plan);
+  *plan_stats = planner.stats();
+  return std::move(exec_or).value().result;
 }
 
-/// The --store/--append path (SETM only): mine the base file through a
-/// catalog-resident SALES relation, materialize the result as itemset
-/// relations, then (with --append) bring store and result up to date with
-/// the second batch — incrementally via the DeltaMiner or by full remine.
+/// The --store/--append path (SETM only): all request routing is the
+/// planner's job — the CLI merely materializes SALES on first contact,
+/// loads the append batch, and narrates what the planner decided.
 ///
 /// `txns` is null when no --input was given: with --db the SALES relation
-/// and the stored run are expected to already live in the (reopened)
-/// database file, and the base result is loaded instead of remined.
+/// (and usually the stored run) already live in the reopened database file.
 Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
                                     const TransactionDb* txns,
-                                    const MiningOptions& options) {
+                                    const MiningOptions& options,
+                                    PlanStats* plan_stats) {
   const TableBacking backing = args.storage == "heap" ? TableBacking::kHeap
                                                       : TableBacking::kMemory;
-  SetmOptions setm_options;
-  setm_options.storage = backing;
-  setm_options.num_threads = args.threads;
-
   const std::string prefix =
       args.store_prefix.empty() ? "fi" : args.store_prefix;
-  ItemsetStore store(db, prefix, backing);
 
+  PlannerOptions planner_options;
+  planner_options.store_prefix = prefix;
+  planner_options.store_backing = backing;
+  planner_options.algorithm = "setm";
+  planner_options.setm = PhysicalKnobs(args);
+  // Without --incremental an append is answered by a full remine — the
+  // comparison baseline — which a zero derivation budget enforces.
+  planner_options.full_remine_fraction =
+      args.incremental ? args.fallback_pct / 100.0 : 0.0;
+  MiningPlanner planner(db, planner_options);
+
+  // First contact vs reopen. The probe is free of side effects; its only
+  // job here is the CLI narration and the --input sanity checks.
   Table* sales = nullptr;
-  MiningResult base;
-  TransactionId watermark = 0;
-
-  const bool reopened = db->catalog()->HasTable("sales") && store.Exists();
-  if (reopened) {
+  const bool have_sales = db->catalog()->HasTable("sales");
+  if (have_sales) {
+    auto probe = planner.cache()->Probe();
+    if (!probe.ok() && probe.status().code() != StatusCode::kNotFound) {
+      return probe.status();
+    }
     if (txns != nullptr) {
-      return Status::InvalidArgument(
-          "database file already holds the SALES relation and stored run "
-          "'" + prefix + "'; omit --input when reopening with --db");
+      return probe.ok()
+                 ? Status::InvalidArgument(
+                       "database file already holds the SALES relation and "
+                       "stored run '" + prefix +
+                       "'; omit --input when reopening with --db")
+                 : Status::InvalidArgument(
+                       "database file already holds the SALES relation (but "
+                       "no stored run '" + prefix +
+                       "'); omit --input to remine it and build the store");
     }
     auto sales_or = db->catalog()->GetTable("sales");
     if (!sales_or.ok()) return sales_or.status();
     sales = sales_or.value();
-    auto loaded_or = store.Load();
-    if (!loaded_or.ok()) return loaded_or.status();
-    base.itemsets = std::move(loaded_or.value().itemsets);
-    watermark = loaded_or.value().meta.watermark;
-    std::fprintf(stderr,
-                 "reopened database: %llu rows in sales, %zu stored "
-                 "patterns under '%s' (watermark %d)\n",
-                 static_cast<unsigned long long>(sales->num_rows()),
-                 base.itemsets.TotalPatterns(), prefix.c_str(),
-                 static_cast<int>(watermark));
-  } else if (db->catalog()->HasTable("sales")) {
-    // SALES survived a previous invocation but the requested store did not
-    // (killed before store.Save, or a different --store prefix): remine
-    // the persisted rows and (re)build the store — the recovery path.
-    // Accepting --input here would double-load the base data.
-    if (txns != nullptr) {
-      return Status::InvalidArgument(
-          "database file already holds the SALES relation (but no stored "
-          "run '" + prefix + "'); omit --input to remine it and build the "
-          "store");
+    if (probe.ok()) {
+      // Pattern count for the narration: one cheap load of the stored
+      // levels (the planner re-reads what it needs through the cache).
+      auto stored_or = planner.cache()->LoadAll();
+      if (!stored_or.ok()) return stored_or.status();
+      std::fprintf(stderr,
+                   "reopened database: %llu rows in sales, %zu stored "
+                   "patterns under '%s' (watermark %d)\n",
+                   static_cast<unsigned long long>(sales->num_rows()),
+                   stored_or.value().itemsets.TotalPatterns(), prefix.c_str(),
+                   static_cast<int>(probe.value().watermark));
+    } else {
+      // SALES survived a previous invocation but the requested store did
+      // not (killed before the write-back, or a different --store prefix):
+      // the planner remines the persisted rows and (re)builds the store.
+      std::fprintf(stderr,
+                   "reopened database: %llu rows in sales, no stored run "
+                   "under '%s' — remining\n",
+                   static_cast<unsigned long long>(sales->num_rows()),
+                   prefix.c_str());
     }
-    auto sales_or = db->catalog()->GetTable("sales");
-    if (!sales_or.ok()) return sales_or.status();
-    sales = sales_or.value();
-    std::fprintf(stderr,
-                 "reopened database: %llu rows in sales, no stored run "
-                 "under '%s' — remining\n",
-                 static_cast<unsigned long long>(sales->num_rows()),
-                 prefix.c_str());
-
-    SetmMiner miner(db, setm_options);
-    auto base_or = miner.MineTable(*sales, options);
-    if (!base_or.ok()) return base_or.status();
-    base = std::move(base_or).value();
-    {
-      // Watermark = highest trans_id in the persisted relation.
-      auto it = sales->Scan();
-      Tuple row;
-      while (true) {
-        auto more = it->Next(&row);
-        if (!more.ok()) return more.status();
-        if (!more.value()) break;
-        watermark = std::max(watermark, row.value(0).AsInt32());
-      }
-    }
-    SETM_RETURN_IF_ERROR(store.Save(
-        base.itemsets, MakeRunMeta(base.itemsets, options, watermark,
-                                   "sales")));
   } else {
     if (txns == nullptr) {
       return Status::InvalidArgument(
@@ -322,81 +353,64 @@ Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
     auto sales_or = LoadSalesTable(db, "sales", *txns, backing);
     if (!sales_or.ok()) return sales_or.status();
     sales = sales_or.value();
+  }
 
-    SetmMiner miner(db, setm_options);
-    auto base_or = miner.MineTable(*sales, options);
-    if (!base_or.ok()) return base_or.status();
-    base = std::move(base_or).value();
-    watermark = MaxTransactionId(*txns);
-
-    SETM_RETURN_IF_ERROR(store.Save(
-        base.itemsets, MakeRunMeta(base.itemsets, options, watermark,
-                                   "sales")));
-    if (base.itemsets.MaxSize() == 0) {
+  // The base request: answered from the store when it dominates, mined and
+  // written back otherwise.
+  PlanRequest base_request;
+  base_request.table = sales;
+  base_request.options = options;
+  auto base_or = planner.Execute(base_request);
+  if (!base_or.ok()) return base_or.status();
+  PlanExecution base = std::move(base_or).value();
+  MaybeExplain(args, base.plan);
+  if (!have_sales) {
+    // First materialization: narrate the store DDL like CREATE TABLE would.
+    ItemsetStore* store = planner.cache()->store();
+    if (base.result.itemsets.MaxSize() == 0) {
       std::fprintf(stderr, "stored empty result as relation %s\n",
-                   store.MetaTableName().c_str());
+                   store->MetaTableName().c_str());
     } else {
       std::fprintf(stderr,
                    "stored %zu patterns as relations %s, %s .. %s\n",
-                   base.itemsets.TotalPatterns(),
-                   store.MetaTableName().c_str(),
-                   store.LevelTableName(1).c_str(),
-                   store.LevelTableName(base.itemsets.MaxSize()).c_str());
+                   base.result.itemsets.TotalPatterns(),
+                   store->MetaTableName().c_str(),
+                   store->LevelTableName(1).c_str(),
+                   store->LevelTableName(base.result.itemsets.MaxSize())
+                       .c_str());
     }
   }
 
-  if (args.append.empty()) return base;
+  if (args.append.empty()) {
+    *plan_stats = planner.stats();
+    return std::move(base.result);
+  }
 
   auto delta_or = LoadTransactionsCsv(args.append);
   if (!delta_or.ok()) return delta_or.status();
   const TransactionDb& delta = delta_or.value();
 
+  PlanRequest append_request;
+  append_request.table = sales;
+  append_request.append = &delta;
+  append_request.options = options;
+  auto appended_or = planner.Execute(append_request);
+  if (!appended_or.ok()) return appended_or.status();
+  PlanExecution appended = std::move(appended_or).value();
+  MaybeExplain(args, appended.plan);
   if (args.incremental) {
-    DeltaOptions delta_options;
-    delta_options.setm = setm_options;
-    delta_options.full_remine_fraction = args.fallback_pct / 100.0;
-    DeltaMiner delta_miner(db, delta_options);
-    auto out_or = delta_miner.AppendAndUpdate(&store, sales, delta, options);
-    if (!out_or.ok()) return out_or.status();
-    DeltaMineResult out = std::move(out_or).value();
+    const bool full_remine =
+        appended.plan.strategy != PlanStrategy::kDeltaDerive ||
+        appended.delta_full_remine;
     std::fprintf(
         stderr, "incremental update: %s, %llu delta transactions, "
                 "%llu borderline re-counts\n",
-        out.full_remine ? "full-remine fallback" : "delta path",
-        static_cast<unsigned long long>(out.delta_transactions),
-        static_cast<unsigned long long>(out.borderline_candidates));
-    return out.result;
+        full_remine ? "full-remine fallback" : "delta path",
+        static_cast<unsigned long long>(appended.delta_transactions),
+        static_cast<unsigned long long>(appended.borderline_candidates));
   }
-
-  // Plain full remine of the combined relation (the comparison baseline).
-  // Same watermark discipline as the incremental path: a reused or
-  // duplicate id would silently merge two transactions in the remine.
-  {
-    std::unordered_set<TransactionId> seen;
-    for (const Transaction& t : delta) {
-      if (t.id <= watermark || !seen.insert(t.id).second) {
-        return Status::InvalidArgument(
-            "append batch reuses transaction id " + std::to_string(t.id) +
-            " (ids must be unique and above the stored watermark)");
-      }
-    }
-  }
-  for (const Transaction& t : delta) {
-    for (ItemId item : t.items) {
-      SETM_RETURN_IF_ERROR(
-          sales->Insert(Tuple({Value::Int32(t.id), Value::Int32(item)})));
-    }
-  }
-  SetmMiner miner(db, setm_options);
-  auto remined = miner.MineTable(*sales, options);
-  if (!remined.ok()) return remined.status();
-  const TransactionId new_watermark =
-      std::max(watermark, MaxTransactionId(delta));
-  SETM_RETURN_IF_ERROR(store.Save(
-      remined.value().itemsets,
-      MakeRunMeta(remined.value().itemsets, options, new_watermark,
-                  "sales")));
-  return remined;
+  *plan_stats = planner.stats();
+  return std::move(appended.result);
 }
 
 std::string JoinItems(const std::vector<ItemId>& items, char sep) {
@@ -458,12 +472,13 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<Database> db = std::move(db_or).value();
 
+  PlanStats plan_stats;
   const bool store_mode = !args.store_prefix.empty() || !args.append.empty();
   auto result =
       store_mode
           ? RunStoreAppend(args, db.get(), have_txns ? &txns : nullptr,
-                           options)
-          : RunAlgorithm(args, db.get(), txns, options);
+                           options, &plan_stats)
+          : RunAlgorithm(args, db.get(), txns, options, &plan_stats);
   if (!result.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());
@@ -472,7 +487,13 @@ int main(int argc, char** argv) {
 
   const RuleMode mode = args.rules == "subsets" ? RuleMode::kAnySubset
                                                 : RuleMode::kSingleConsequent;
-  auto rules = GenerateRules(result.value().itemsets, options, mode);
+  auto rules_or = GenerateRules(result.value().itemsets, options, mode);
+  if (!rules_or.ok()) {
+    std::fprintf(stderr, "rule generation failed: %s\n",
+                 rules_or.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<AssociationRule>& rules = rules_or.value();
 
   if (args.format == "csv") {
     std::printf("antecedent,consequent,confidence,support,lift\n");
@@ -510,6 +531,7 @@ int main(int argc, char** argv) {
     // fair basis for cross-invocation page-count comparisons.
     std::fprintf(stderr, "db io: %s\n",
                  db->io_stats()->ToString().c_str());
+    std::fprintf(stderr, "plan: %s\n", plan_stats.ToString().c_str());
     std::fprintf(stderr, "total: %.3f s\n", result.value().total_seconds);
   }
 
