@@ -14,9 +14,38 @@
 #include "core/miner_registry.h"
 #include "core/types.h"
 #include "datagen/retail_generator.h"
+#include "obs/metrics.h"
 #include "relational/database.h"
 
 namespace setm::bench {
+
+/// Measures what one code region cost in process-wide metric terms:
+/// snapshot the registry at construction, then ask for counter deltas.
+/// Lets benches *assert* their claims ("the re-query read 10x fewer
+/// pages") against the same series a scrape would see, instead of only
+/// printing numbers.
+///
+///     MetricsDelta delta;
+///     RunTheQuery();
+///     uint64_t reads = delta.Counter("setm_io_page_reads_total");
+class MetricsDelta {
+ public:
+  MetricsDelta() : before_(obs::MetricsRegistry::Global()->Snapshot()) {}
+
+  /// Counter increase since construction (0 for unknown names).
+  uint64_t Counter(const std::string& name) const {
+    const uint64_t now =
+        obs::MetricsRegistry::Global()->Snapshot().CounterValue(name);
+    const uint64_t then = before_.CounterValue(name);
+    return now >= then ? now - then : 0;
+  }
+
+  /// Re-anchors the baseline at now.
+  void Reset() { before_ = obs::MetricsRegistry::Global()->Snapshot(); }
+
+ private:
+  obs::MetricsSnapshot before_;
+};
 
 /// The paper's minimum-support sweep (Sections 6.1-6.2), in percent.
 inline const std::vector<double>& PaperMinSupSweep() {

@@ -60,3 +60,11 @@ fi
 if [[ -x "$mine_bin" ]]; then
   scripts/smoke_algos.sh "$mine_bin"
 fi
+
+# Observability smoke: a store/re-query pair with --trace and
+# --metrics prom must produce a full-mine trace with per-iteration read
+# deltas, a cache-filter trace with zero iteration spans, parseable
+# Prometheus exports and the pool:/wal: --stats ledger lines.
+if [[ -x "$mine_bin" ]]; then
+  scripts/smoke_observability.sh "$mine_bin"
+fi

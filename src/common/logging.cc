@@ -1,11 +1,40 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstring>
 
 namespace setm {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Initial level: SETM_LOG_LEVEL from the environment when set (by name —
+/// debug/info/warn/error, case-insensitive — or as the numeric enum value),
+/// kWarn otherwise so library internals stay quiet in tests and benches.
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("SETM_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+  std::string value;
+  for (const char* p = env; *p; ++p) {
+    value += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (value == "debug" || value == "0") return LogLevel::kDebug;
+  if (value == "info" || value == "1") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning" || value == "2") {
+    return LogLevel::kWarn;
+  }
+  if (value == "error" || value == "3") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+/// Meyer singleton so the env var is honored even when a static
+/// initializer in another translation unit logs first.
+std::atomic<LogLevel>& GlobalLevel() {
+  static std::atomic<LogLevel> level{InitialLogLevel()};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,22 +49,31 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Seconds since the first log call, monotonic — correlates log lines with
+/// trace spans and latency histograms without wall-clock skew.
+double UptimeSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) { GlobalLevel().store(level); }
+LogLevel GetLogLevel() { return GlobalLevel().load(); }
 
 namespace internal {
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
-  if (level < g_level.load()) return;
+  if (level < GlobalLevel().load()) return;
   // Strip directories from __FILE__ for readable output.
   const char* base = file;
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
-               message.c_str());
+  std::fprintf(stderr, "[%.6f %s %s:%d] %s\n", UptimeSeconds(),
+               LevelName(level), base, line, message.c_str());
 }
 }  // namespace internal
 

@@ -12,7 +12,10 @@ namespace setm {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are dropped.
-/// Defaults to kWarn so library internals stay quiet in tests and benches.
+/// Defaults to kWarn so library internals stay quiet in tests and benches;
+/// the SETM_LOG_LEVEL environment variable (debug/info/warn/error or 0-3)
+/// overrides the default at startup. Lines are prefixed with a monotonic
+/// seconds-since-start timestamp.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

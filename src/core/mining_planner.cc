@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -10,10 +11,51 @@
 #include "common/timer.h"
 #include "core/miner_registry.h"
 #include "incremental/delta_miner.h"
+#include "obs/metrics.h"
+#include "obs/mining_trace.h"
 
 namespace setm {
 
 namespace {
+
+// Process-wide mirror of the per-planner PlanStats, plus the request
+// latency distribution — what a scrape sees across every planner instance.
+struct GlobalPlanMetrics {
+  obs::Counter* requests;
+  obs::Counter* cache_filters;
+  obs::Counter* delta_derives;
+  obs::Counter* full_mines;
+  obs::Counter* write_backs;
+  obs::Counter* invalidations;
+  obs::Histogram* request_micros;
+};
+
+const GlobalPlanMetrics& PlanMetrics() {
+  static const GlobalPlanMetrics metrics = [] {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+    GlobalPlanMetrics m;
+    m.requests = registry->GetCounter("setm_plan_requests_total",
+                                      "Mining requests planned");
+    m.cache_filters = registry->GetCounter(
+        "setm_plan_cache_filter_total",
+        "Requests answered by filtering a stored run (zero mining)");
+    m.delta_derives = registry->GetCounter(
+        "setm_plan_delta_derive_total",
+        "Requests answered by incremental derivation");
+    m.full_mines = registry->GetCounter("setm_plan_full_mine_total",
+                                        "Requests answered by a full mine");
+    m.write_backs = registry->GetCounter(
+        "setm_plan_write_back_total", "Results written back into the store");
+    m.invalidations = registry->GetCounter(
+        "setm_plan_invalidation_total",
+        "Stored runs found unusable for a request");
+    m.request_micros = registry->GetHistogram(
+        "setm_plan_request_micros",
+        "Microseconds per executed mining request, end to end");
+    return m;
+  }();
+  return metrics;
+}
 
 /// Non-empty transactions — the unit every support fraction resolves
 /// against (empty baskets carry no items and are not counted as coverage).
@@ -119,6 +161,7 @@ Result<MiningPlan> MiningPlanner::Plan(const PlanRequest& request) {
 Result<MiningPlan> MiningPlanner::PlanInternal(const PlanRequest& request) {
   SETM_RETURN_IF_ERROR(ValidateRequest(request));
   ++stats_.plans;
+  PlanMetrics().requests->Increment();
 
   MiningPlan plan;
   const bool has_batch =
@@ -220,6 +263,7 @@ Result<MiningPlan> MiningPlanner::PlanInternal(const PlanRequest& request) {
                   "', not '" + table->name() + "'";
     plan.save_after_mine = options_.write_back;
     ++stats_.invalidations;
+    PlanMetrics().invalidations->Increment();
     return plan;
   }
 
@@ -277,6 +321,7 @@ Result<MiningPlan> MiningPlanner::PlanInternal(const PlanRequest& request) {
                     " — stored counts are unusable";
       plan.save_after_mine = options_.write_back;
       ++stats_.invalidations;
+    PlanMetrics().invalidations->Increment();
       return plan;
     }
     for (auto& [tid, items] : tail) {
@@ -330,6 +375,7 @@ Result<MiningPlan> MiningPlanner::PlanInternal(const PlanRequest& request) {
                     " — the store cannot contain every answer";
     }
     ++stats_.invalidations;
+    PlanMetrics().invalidations->Increment();
     return plan;
   }
 
@@ -343,6 +389,7 @@ Result<MiningPlan> MiningPlanner::PlanInternal(const PlanRequest& request) {
         "cap differ) — derivation impossible";
     plan.save_after_mine = options_.write_back;
     ++stats_.invalidations;
+    PlanMetrics().invalidations->Increment();
     return plan;
   }
 
@@ -368,6 +415,7 @@ Result<MiningPlan> MiningPlanner::PlanInternal(const PlanRequest& request) {
                   " derivation budget";
     plan.save_after_mine = options_.write_back;
     ++stats_.invalidations;
+    PlanMetrics().invalidations->Increment();
     return plan;
   }
   plan.strategy = PlanStrategy::kDeltaDerive;
@@ -383,32 +431,72 @@ Result<MiningPlan> MiningPlanner::PlanInternal(const PlanRequest& request) {
 Result<PlanExecution> MiningPlanner::Execute(const PlanRequest& request) {
   WallTimer total_timer;
   const IoStats io_before = *db_->io_stats();
+  obs::TraceSpan* root = request.trace;
 
+  obs::TraceSpan* plan_span =
+      root != nullptr ? root->StartChild("plan") : nullptr;
   auto plan_or = PlanInternal(request);
+  if (plan_span != nullptr) plan_span->End();
   if (!plan_or.ok()) return plan_or.status();
 
   PlanExecution out;
   out.plan = std::move(plan_or).value();
   out.delta_transactions = CountNonEmpty(out.plan.delta);
 
+  // With a trace attached, the execution phase gets its own child span and
+  // mining strategies get a TracingObserver wrapped around the caller's
+  // observer, so every iteration lands as a span. Cache filtering runs no
+  // iterations; its "load" span stays childless by construction.
+  PlanRequest run = request;
+  std::optional<obs::TracingObserver> tracing;
+  obs::TraceSpan* exec_span = nullptr;
+  if (root != nullptr) {
+    root->AddTag("strategy", PlanStrategyName(out.plan.strategy));
+    switch (out.plan.strategy) {
+      case PlanStrategy::kCacheFilter:
+        exec_span = root->StartChild("load");
+        break;
+      case PlanStrategy::kDeltaDerive:
+        exec_span = root->StartChild("derive");
+        break;
+      case PlanStrategy::kFullMine:
+        exec_span = root->StartChild("mine");
+        exec_span->AddTag("algorithm", options_.algorithm);
+        break;
+    }
+    if (out.plan.strategy != PlanStrategy::kCacheFilter) {
+      tracing.emplace(exec_span, db_->io_stats(), request.options.observer);
+      run.options.observer = &*tracing;
+    }
+  }
+
   Status status;
   switch (out.plan.strategy) {
     case PlanStrategy::kCacheFilter:
-      status = ExecuteCacheFilter(request, &out.plan, &out);
-      if (status.ok()) ++stats_.cache_filters;
+      status = ExecuteCacheFilter(run, &out.plan, &out);
+      if (status.ok()) {
+        ++stats_.cache_filters;
+        PlanMetrics().cache_filters->Increment();
+      }
       break;
     case PlanStrategy::kDeltaDerive:
-      status = ExecuteDeltaDerive(request, &out.plan, &out);
+      status = ExecuteDeltaDerive(run, &out.plan, &out);
       if (status.ok()) {
         ++stats_.delta_derives;
         ++stats_.write_backs;
+        PlanMetrics().delta_derives->Increment();
+        PlanMetrics().write_backs->Increment();
       }
       break;
     case PlanStrategy::kFullMine:
-      status = ExecuteFullMine(request, &out.plan, &out);
-      if (status.ok()) ++stats_.full_mines;
+      status = ExecuteFullMine(run, &out.plan, &out);
+      if (status.ok()) {
+        ++stats_.full_mines;
+        PlanMetrics().full_mines->Increment();
+      }
       break;
   }
+  if (exec_span != nullptr) exec_span->End();
   SETM_RETURN_IF_ERROR(status);
 
   // Plan-layer accounting covers the whole answer — probe, tail scan,
@@ -416,6 +504,8 @@ Result<PlanExecution> MiningPlanner::Execute(const PlanRequest& request) {
   // strategies against each other.
   out.result.total_seconds = total_timer.ElapsedSeconds();
   out.result.io = Diff(*db_->io_stats(), io_before);
+  PlanMetrics().request_micros->Observe(
+      static_cast<uint64_t>(out.result.total_seconds * 1e6));
   return out;
 }
 
@@ -489,6 +579,7 @@ Status MiningPlanner::ExecuteFullMine(const PlanRequest& request,
         request.table->name(), request.table->num_rows());
     SETM_RETURN_IF_ERROR(cache_->Put(out->result.itemsets, meta));
     ++stats_.write_backs;
+    PlanMetrics().write_backs->Increment();
   }
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 
 #include "core/mining_cache.h"
 #include "core/miner.h"
+#include "obs/trace.h"
 #include "relational/database.h"
 
 namespace setm {
@@ -66,6 +67,11 @@ struct PlanRequest {
   const TransactionDb* append = nullptr;
   /// The logical question: thresholds, pattern cap, observer.
   MiningOptions options;
+  /// Optional trace root (not owned; must outlive Execute). Execute hangs
+  /// a "plan" child and one execution child ("load" / "derive" / "mine",
+  /// with per-iteration spans under "mine") off it and tags the root with
+  /// the chosen strategy. The caller Ends and renders the root.
+  obs::TraceSpan* trace = nullptr;
 };
 
 /// An inspectable plan: the strategy, why it was chosen, and everything the

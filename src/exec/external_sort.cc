@@ -6,10 +6,29 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace setm {
 
 namespace {
+
+/// Folds one finished sort's counters into the process-wide registry.
+void FlushSortMetrics(const SortStats& stats) {
+  static obs::Counter* rows = obs::MetricsRegistry::Global()->GetCounter(
+      "setm_sort_rows_total", "Rows pushed through external sorts");
+  static obs::Counter* runs = obs::MetricsRegistry::Global()->GetCounter(
+      "setm_sort_runs_total", "Sorted runs created by external sorts");
+  static obs::Counter* spilled = obs::MetricsRegistry::Global()->GetCounter(
+      "setm_sort_spilled_runs_total",
+      "Runs that overflowed the sort budget and spilled to temp storage");
+  static obs::Counter* passes = obs::MetricsRegistry::Global()->GetCounter(
+      "setm_sort_merge_passes_total",
+      "Cascaded merge passes run by external sorts");
+  rows->Increment(stats.rows);
+  runs->Increment(stats.runs);
+  spilled->Increment(stats.spilled_runs);
+  passes->Increment(stats.merge_passes);
+}
 
 /// Upper bound on runs merged at once. The effective fan-in is further
 /// capped by the temp buffer pool capacity (each run needs its head page
@@ -261,6 +280,7 @@ Result<std::unique_ptr<TupleIterator>> ExternalSort::Finish() {
     // Fully in-memory (possibly zero rows — an empty stream, not an error).
     std::stable_sort(buffer_.begin(), buffer_.end(), cmp_);
     if (!buffer_.empty()) stats_.runs = 1;
+    FlushSortMetrics(stats_);
     return std::unique_ptr<TupleIterator>(
         std::make_unique<VectorIterator>(std::move(buffer_), schema_));
   }
@@ -332,6 +352,7 @@ Result<std::unique_ptr<TupleIterator>> ExternalSort::Finish() {
   auto merge = std::make_unique<OwningMergeIterator>(std::move(runs_), schema_,
                                                      cmp_);
   SETM_RETURN_IF_ERROR(merge->Prime());
+  FlushSortMetrics(stats_);
   return std::unique_ptr<TupleIterator>(std::move(merge));
 }
 

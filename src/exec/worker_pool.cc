@@ -5,6 +5,14 @@
 namespace setm {
 
 WorkerPool::WorkerPool(size_t num_threads) {
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+  metric_queue_depth_ = registry->GetGauge(
+      "setm_workers_queue_depth", "Tasks queued and not yet started");
+  metric_queue_wait_micros_ = registry->GetHistogram(
+      "setm_worker_queue_wait_micros",
+      "Microseconds tasks spent queued before a worker picked them up");
+  metric_task_micros_ = registry->GetHistogram(
+      "setm_worker_task_micros", "Microseconds tasks spent executing");
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -24,14 +32,15 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), WallTimer()});
   }
+  metric_queue_depth_->Add(1);
   cv_.notify_one();
 }
 
 void WorkerPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
@@ -39,7 +48,13 @@ void WorkerPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    metric_queue_depth_->Add(-1);
+    metric_queue_wait_micros_->Observe(
+        static_cast<uint64_t>(task.enqueued.ElapsedMicros()));
+    WallTimer run_timer;
+    task.fn();
+    metric_task_micros_->Observe(
+        static_cast<uint64_t>(run_timer.ElapsedMicros()));
   }
 }
 

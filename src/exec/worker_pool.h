@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace setm {
 
@@ -44,13 +46,26 @@ class WorkerPool {
   size_t num_threads() const { return threads_.size(); }
 
  private:
+  /// A queued task remembers when it was submitted so the worker that
+  /// dequeues it can report the queue wait.
+  struct QueuedTask {
+    std::function<void()> fn;
+    WallTimer enqueued;
+  };
+
   void WorkerLoop();
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool shutting_down_ = false;
   std::vector<std::thread> threads_;
+
+  // Process-wide series shared by all pools (resolved at construction):
+  // live queue depth plus queue-wait and run-time distributions.
+  obs::Gauge* metric_queue_depth_;
+  obs::Histogram* metric_queue_wait_micros_;
+  obs::Histogram* metric_task_micros_;
 };
 
 /// Tracks completion of one batch of Status-returning tasks on a WorkerPool.

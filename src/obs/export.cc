@@ -1,0 +1,170 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace setm::obs {
+
+namespace {
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+/// Highest bucket index holding any observation (0 when empty) — exports
+/// trim the long zero tail of the 64 log2 buckets.
+size_t HighestNonEmptyBucket(const HistogramSnapshot& h) {
+  size_t highest = 0;
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] > 0) highest = i;
+  }
+  return highest;
+}
+
+/// Minimal JSON string escaping (metric names are identifier-shaped, but
+/// help texts may hold anything).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Prometheus label value of a bucket bound: the numeric inclusive upper
+/// bound, with the overflow bucket as the conventional "+Inf".
+std::string BucketLabel(size_t index) {
+  const uint64_t bound = HistogramSnapshot::UpperBound(index);
+  return bound == UINT64_MAX ? "+Inf" : U64(bound);
+}
+
+}  // namespace
+
+std::string RenderText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    char line[256];
+    switch (m.type) {
+      case MetricType::kCounter:
+        std::snprintf(line, sizeof(line), "%-44s %" PRIu64 "\n",
+                      m.name.c_str(), m.counter_value);
+        break;
+      case MetricType::kGauge:
+        std::snprintf(line, sizeof(line), "%-44s %" PRId64 "\n",
+                      m.name.c_str(), m.gauge_value);
+        break;
+      case MetricType::kHistogram:
+        std::snprintf(line, sizeof(line),
+                      "%-44s count=%" PRIu64 " sum=%" PRIu64 " p50=%" PRIu64
+                      " p90=%" PRIu64 " p99=%" PRIu64 "\n",
+                      m.name.c_str(), m.histogram.count, m.histogram.sum,
+                      m.histogram.Quantile(0.50), m.histogram.Quantile(0.90),
+                      m.histogram.Quantile(0.99));
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(m.name) + "\"";
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += ",\"type\":\"counter\",\"value\":" + U64(m.counter_value);
+        break;
+      case MetricType::kGauge:
+        out += ",\"type\":\"gauge\",\"value\":" +
+               std::to_string(m.gauge_value);
+        break;
+      case MetricType::kHistogram:
+        out += ",\"type\":\"histogram\",\"count\":" + U64(m.histogram.count) +
+               ",\"sum\":" + U64(m.histogram.sum) +
+               ",\"p50\":" + U64(m.histogram.Quantile(0.50)) +
+               ",\"p90\":" + U64(m.histogram.Quantile(0.90)) +
+               ",\"p99\":" + U64(m.histogram.Quantile(0.99));
+        break;
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!m.help.empty()) {
+      // Exposition-format escaping for HELP text: backslash and newline.
+      std::string help;
+      for (char c : m.help) {
+        if (c == '\\') {
+          help += "\\\\";
+        } else if (c == '\n') {
+          help += "\\n";
+        } else {
+          help += c;
+        }
+      }
+      out += "# HELP " + m.name + " " + help + "\n";
+    }
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += "# TYPE " + m.name + " counter\n";
+        out += m.name + " " + U64(m.counter_value) + "\n";
+        break;
+      case MetricType::kGauge:
+        out += "# TYPE " + m.name + " gauge\n";
+        out += m.name + " " + std::to_string(m.gauge_value) + "\n";
+        break;
+      case MetricType::kHistogram: {
+        out += "# TYPE " + m.name + " histogram\n";
+        // Cumulative buckets up to the highest populated bound, then the
+        // mandatory +Inf bucket equal to _count.
+        const size_t highest = HighestNonEmptyBucket(m.histogram);
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i <= highest && i < m.histogram.buckets.size();
+             ++i) {
+          cumulative += m.histogram.buckets[i];
+          const std::string label = BucketLabel(i);
+          if (label == "+Inf") continue;  // emitted once below
+          out += m.name + "_bucket{le=\"" + label + "\"} " +
+                 U64(cumulative) + "\n";
+        }
+        out += m.name + "_bucket{le=\"+Inf\"} " + U64(m.histogram.count) +
+               "\n";
+        out += m.name + "_sum " + U64(m.histogram.sum) + "\n";
+        out += m.name + "_count " + U64(m.histogram.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace setm::obs

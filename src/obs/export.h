@@ -1,0 +1,29 @@
+#ifndef SETM_OBS_EXPORT_H_
+#define SETM_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace setm::obs {
+
+/// Renders a registry snapshot in three formats, all deterministic (the
+/// snapshot is name-sorted):
+///
+///   RenderText        aligned human-readable lines, histograms with
+///                     count/sum and p50/p90/p99 estimates;
+///   RenderJson        one {"metrics": [...]} document for scripting;
+///   RenderPrometheus  the text exposition format a scrape endpoint
+///                     serves — counters and gauges as single samples,
+///                     histograms as cumulative _bucket{le=...} series
+///                     plus _sum and _count.
+///
+/// These are the three faces of `setm_mine --metrics` and the payloads the
+/// future `setm_served` daemon will return from its STATS verb.
+std::string RenderText(const MetricsSnapshot& snapshot);
+std::string RenderJson(const MetricsSnapshot& snapshot);
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace setm::obs
+
+#endif  // SETM_OBS_EXPORT_H_

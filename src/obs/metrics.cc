@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace setm::obs {
+
+namespace {
+
+/// Bucket index for a value: 0 for 0, else 1 + ceil(log2(v)), capped so the
+/// last bucket absorbs the astronomical tail.
+size_t BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  if (v == 1) return 1;
+  // ceil(log2(v)) == bit_width(v - 1) for v >= 2.
+  const size_t ceil_log2 =
+      64 - static_cast<size_t>(__builtin_clzll(v - 1));
+  return std::min<size_t>(1 + ceil_log2, Histogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+uint64_t HistogramSnapshot::UpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= Histogram::kNumBuckets - 1) return UINT64_MAX;
+  return uint64_t{1} << (i - 1);
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-th observation, 1-based (nearest-rank definition).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(count) - 1e-9)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return UpperBound(i);
+  }
+  return UpperBound(buckets.empty() ? 0 : buckets.size() - 1);
+}
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Derive count/sum totals that can never *understate* the buckets copied
+  // above (an Observe between the loops would otherwise leave a snapshot
+  // whose buckets sum past its count).
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  snap.count = std::max(count_.load(std::memory_order_relaxed), bucket_total);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && m.type == MetricType::kCounter) {
+      return m.counter_value;
+    }
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && m.type == MetricType::kHistogram) {
+      return &m.histogram;
+    }
+  }
+  return nullptr;
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(const std::string& name,
+                                                     const std::string& help,
+                                                     MetricType type) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    // Re-registration under a different kind is a naming bug, not a
+    // recoverable condition — two layers fighting over one series would
+    // silently corrupt both.
+    SETM_CHECK(it->second.type == type);
+    return &it->second;
+  }
+  Entry entry;
+  entry.type = type;
+  entry.help = help;
+  switch (type) {
+    case MetricType::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  return GetOrCreate(name, help, MetricType::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  return GetOrCreate(name, help, MetricType::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  return GetOrCreate(name, help, MetricType::kHistogram)->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.metrics.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      MetricSnapshot m;
+      m.name = name;
+      m.help = entry.help;
+      m.type = entry.type;
+      switch (entry.type) {
+        case MetricType::kCounter:
+          m.counter_value = entry.counter->Value();
+          break;
+        case MetricType::kGauge:
+          m.gauge_value = entry.gauge->Value();
+          break;
+        case MetricType::kHistogram:
+          m.histogram = entry.histogram->Snapshot();
+          break;
+      }
+      snap.metrics.push_back(std::move(m));
+    }
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+}  // namespace setm::obs

@@ -1,0 +1,29 @@
+#include "obs/mining_trace.h"
+
+namespace setm::obs {
+
+TracingObserver::TracingObserver(TraceSpan* parent, const IoStats* ledger,
+                                 MiningObserver* inner)
+    : parent_(parent), ledger_(ledger), inner_(inner) {
+  if (ledger_ != nullptr) {
+    last_reads_ = ledger_->page_reads.load(std::memory_order_relaxed);
+  }
+}
+
+bool TracingObserver::OnIteration(const IterationStats& stats) {
+  uint64_t delta = 0;
+  if (ledger_ != nullptr) {
+    const uint64_t now = ledger_->page_reads.load(std::memory_order_relaxed);
+    delta = now >= last_reads_ ? now - last_reads_ : 0;
+    last_reads_ = now;
+  }
+  TraceSpan* span =
+      parent_->AddCompletedChild("iteration", stats.seconds, delta);
+  span->AddCount("k", stats.k);
+  span->AddCount("r_prime_rows", stats.r_prime_rows);
+  span->AddCount("r_rows", stats.r_rows);
+  span->AddCount("c_size", stats.c_size);
+  return inner_ == nullptr || inner_->OnIteration(stats);
+}
+
+}  // namespace setm::obs

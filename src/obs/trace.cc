@@ -1,0 +1,78 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace setm::obs {
+
+TraceSpan::TraceSpan(std::string name, const IoStats* ledger)
+    : name_(std::move(name)), ledger_(ledger) {
+  if (ledger_ != nullptr) {
+    start_reads_ = ledger_->page_reads.load(std::memory_order_relaxed);
+  }
+}
+
+TraceSpan* TraceSpan::StartChild(std::string name) {
+  children_.push_back(
+      std::make_unique<TraceSpan>(std::move(name), ledger_));
+  return children_.back().get();
+}
+
+TraceSpan* TraceSpan::AddCompletedChild(std::string name, double seconds,
+                                        uint64_t page_reads) {
+  // A pre-measured child: no ledger, clock frozen at the reported values.
+  children_.push_back(std::make_unique<TraceSpan>(std::move(name), nullptr));
+  TraceSpan* child = children_.back().get();
+  child->seconds_ = seconds;
+  child->page_reads_ = page_reads;
+  child->ended_ = true;
+  return child;
+}
+
+void TraceSpan::End() {
+  if (ended_) return;
+  for (auto& child : children_) child->End();
+  seconds_ = timer_.ElapsedSeconds();
+  if (ledger_ != nullptr) {
+    const uint64_t now = ledger_->page_reads.load(std::memory_order_relaxed);
+    page_reads_ = now >= start_reads_ ? now - start_reads_ : 0;
+  }
+  ended_ = true;
+}
+
+void TraceSpan::AddTag(std::string key, std::string value) {
+  tags_.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::AddCount(std::string key, uint64_t value) {
+  counts_.emplace_back(std::move(key), value);
+}
+
+double TraceSpan::seconds() const {
+  return ended_ ? seconds_ : timer_.ElapsedSeconds();
+}
+
+std::string TraceSpan::Render(size_t indent) const {
+  std::string out(indent, ' ');
+  out += name_;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %.3fms", seconds() * 1000.0);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), " reads=%llu",
+                static_cast<unsigned long long>(page_reads_));
+  out += buf;
+  for (const auto& [key, value] : tags_) {
+    out += " " + key + "=" + value;
+  }
+  for (const auto& [key, value] : counts_) {
+    std::snprintf(buf, sizeof(buf), " %s=%llu", key.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  out += "\n";
+  for (const auto& child : children_) {
+    out += child->Render(indent + 2);
+  }
+  return out;
+}
+
+}  // namespace setm::obs

@@ -1,0 +1,98 @@
+#ifndef SETM_OBS_TRACE_H_
+#define SETM_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "storage/io_stats.h"
+
+namespace setm::obs {
+
+/// One node of a per-request trace tree.
+///
+/// The paper costs SETM in page accesses; a span carries exactly that next
+/// to wall time: constructed against an IoStats ledger, it records the
+/// ledger's page_reads at start and attributes the delta to itself at
+/// End(). A mining request builds one root span with children for plan /
+/// load-or-mine / per-iteration work / rule generation, so "where did this
+/// request's milliseconds and pages go" has a structural answer.
+///
+/// Spans also carry string tags (strategy, algorithm) and named counts
+/// (tuple cardinalities). The tree is single-writer: all Start/End/annotate
+/// calls for one tree must come from the thread driving the request — the
+/// same contract MiningObserver callbacks already have.
+///
+///     TraceSpan root("request", db->io_stats());
+///     TraceSpan* mine = root.StartChild("mine");
+///     ... run ...
+///     mine->End();
+///     root.End();
+///     fputs(root.Render().c_str(), stderr);
+class TraceSpan {
+ public:
+  /// Starts the span's clock. `ledger` (optional) is sampled now and again
+  /// at End() for the span's page-read delta; it must outlive the span.
+  explicit TraceSpan(std::string name, const IoStats* ledger = nullptr);
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Starts a child span (inheriting this span's ledger). The child is
+  /// owned by this span; the returned pointer stays valid for the parent's
+  /// lifetime.
+  TraceSpan* StartChild(std::string name);
+
+  /// Attaches an already-measured child (the observer seam reports
+  /// iterations after the fact, with their timing already taken).
+  TraceSpan* AddCompletedChild(std::string name, double seconds,
+                               uint64_t page_reads);
+
+  /// Freezes seconds and the page-read delta. Ends still-open children
+  /// first (in creation order), so ending the root finalizes the tree.
+  /// Idempotent.
+  void End();
+
+  void AddTag(std::string key, std::string value);
+  void AddCount(std::string key, uint64_t value);
+
+  const std::string& name() const { return name_; }
+  bool ended() const { return ended_; }
+  /// Wall time (valid after End(); live reading before).
+  double seconds() const;
+  /// Page reads attributed to this span, children included (valid after
+  /// End(); 0 without a ledger).
+  uint64_t page_reads() const { return page_reads_; }
+  const std::vector<std::unique_ptr<TraceSpan>>& children() const {
+    return children_;
+  }
+  const std::vector<std::pair<std::string, std::string>>& tags() const {
+    return tags_;
+  }
+  const std::vector<std::pair<std::string, uint64_t>>& counts() const {
+    return counts_;
+  }
+
+  /// Indented rendering of this span's subtree, one line per span:
+  ///   name 12.345ms reads=120 strategy=full-mine k=2 |R'|=930
+  std::string Render(size_t indent = 0) const;
+
+ private:
+  std::string name_;
+  const IoStats* ledger_;
+  WallTimer timer_;
+  uint64_t start_reads_ = 0;
+  double seconds_ = 0.0;
+  uint64_t page_reads_ = 0;
+  bool ended_ = false;
+  std::vector<std::pair<std::string, std::string>> tags_;
+  std::vector<std::pair<std::string, uint64_t>> counts_;
+  std::vector<std::unique_ptr<TraceSpan>> children_;
+};
+
+}  // namespace setm::obs
+
+#endif  // SETM_OBS_TRACE_H_

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "persist/catalog_codec.h"
 
 namespace setm {
@@ -18,6 +19,35 @@ namespace {
 
 constexpr uint8_t kWalRecordPage = 1;
 constexpr uint8_t kWalRecordCommit = 2;
+
+// Process-wide WAL series, shared by every Wal instance.
+struct GlobalWalMetrics {
+  obs::Counter* page_records;
+  obs::Counter* commit_records;
+  obs::Counter* bytes;
+  obs::Counter* fsyncs;
+  obs::Histogram* group_commit_batch;
+};
+
+const GlobalWalMetrics& WalMetrics() {
+  static const GlobalWalMetrics metrics = [] {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+    GlobalWalMetrics m;
+    m.page_records = registry->GetCounter(
+        "setm_wal_page_records_total", "Page after-images appended to WALs");
+    m.commit_records = registry->GetCounter(
+        "setm_wal_commit_records_total", "Commit markers appended to WALs");
+    m.bytes = registry->GetCounter("setm_wal_bytes_total",
+                                   "Record bytes appended to WALs");
+    m.fsyncs = registry->GetCounter("setm_wal_fsyncs_total",
+                                    "WAL syncs that reached the file");
+    m.group_commit_batch = registry->GetHistogram(
+        "setm_wal_group_commit_batch",
+        "Commit records made durable per WAL fsync");
+    return m;
+  }();
+  return metrics;
+}
 
 static_assert(kWalPageRecordSize == 21 + kPageSize,
               "page record layout drifted from the documented format");
@@ -156,6 +186,10 @@ Status Wal::AppendPage(PageId id, const Page& page) {
   append_offset_ += record.size();
   needs_commit_ = true;
   unsynced_ = true;
+  ++stats_.page_records;
+  stats_.bytes_appended += record.size();
+  WalMetrics().page_records->Increment();
+  WalMetrics().bytes->Increment(record.size());
   return Status::OK();
 }
 
@@ -166,6 +200,11 @@ Status Wal::AppendCommit() {
   append_offset_ += record.size();
   needs_commit_ = false;
   unsynced_ = true;
+  ++stats_.commit_records;
+  stats_.bytes_appended += record.size();
+  ++commits_since_sync_;
+  WalMetrics().commit_records->Increment();
+  WalMetrics().bytes->Increment(record.size());
   return Status::OK();
 }
 
@@ -174,6 +213,12 @@ Status Wal::Sync() {
   if (!unsynced_) return Status::OK();
   SETM_RETURN_IF_ERROR(file_->Sync());
   unsynced_ = false;
+  ++stats_.fsyncs;
+  WalMetrics().fsyncs->Increment();
+  // How many commit markers this fsync made durable — the group-commit
+  // payoff the commit window buys.
+  WalMetrics().group_commit_batch->Observe(commits_since_sync_);
+  commits_since_sync_ = 0;
   return Status::OK();
 }
 
@@ -245,6 +290,11 @@ bool Wal::NeedsCommitMarker() const {
 bool Wal::HasUnsyncedData() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return unsynced_;
+}
+
+WalStats Wal::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 // ---------------------------------------------------------------------------

@@ -92,6 +92,16 @@ class PosixWalFile : public WalFile {
   uint64_t size_;  // append offset; kept in memory, seeded from lseek
 };
 
+/// Cumulative WAL activity since open — the instance-level ledger behind
+/// the `wal:` line of `setm_mine --stats`. The same events feed the
+/// process-wide setm_wal_* registry series.
+struct WalStats {
+  uint64_t page_records = 0;    ///< page after-images appended
+  uint64_t commit_records = 0;  ///< commit markers appended
+  uint64_t bytes_appended = 0;  ///< total record bytes appended
+  uint64_t fsyncs = 0;          ///< log syncs that actually hit the file
+};
+
 /// The runtime WAL: appends records, tracks the in-epoch page overlay
 /// (latest after-image per page, so reads see epoch writes even after the
 /// buffer pool evicts them), and materializes the overlay into the main
@@ -145,6 +155,9 @@ class Wal {
   /// True when records were appended after the last Sync.
   bool HasUnsyncedData() const;
 
+  /// Cumulative activity counters (see WalStats).
+  WalStats Stats() const;
+
  private:
   std::unique_ptr<WalFile> file_;
   mutable std::mutex mutex_;
@@ -154,6 +167,10 @@ class Wal {
   std::unordered_map<PageId, uint64_t> overlay_;
   bool needs_commit_ = false;
   bool unsynced_ = false;
+  WalStats stats_;
+  /// Commit records appended since the last real sync — the group-commit
+  /// batch size observed into setm_wal_group_commit_batch at each fsync.
+  uint64_t commits_since_sync_ = 0;
 };
 
 /// StorageBackend decorator that makes the decorated (inner) file

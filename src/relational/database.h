@@ -150,6 +150,12 @@ class Database {
   IoStats* io_stats() { return &stats_; }
   const IoStats& io_stats() const { return stats_; }
 
+  /// WAL activity counters since open (all zeros for in-memory databases,
+  /// which have no log).
+  WalStats wal_stats() const {
+    return wal_ != nullptr ? wal_->Stats() : WalStats{};
+  }
+
  private:
   struct UncheckedTag {};
   explicit Database(UncheckedTag);  // defined out of line: members need

@@ -46,6 +46,19 @@ BufferPool::BufferPool(StorageBackend* backend, size_t capacity)
     : backend_(backend), frames_(capacity == 0 ? 1 : capacity) {
   free_frames_.reserve(frames_.size());
   for (size_t i = frames_.size(); i > 0; --i) free_frames_.push_back(i - 1);
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+  metric_hits_ = registry->GetCounter(
+      "setm_pool_hits_total", "Buffer pool fetches served from cache");
+  metric_misses_ = registry->GetCounter(
+      "setm_pool_misses_total", "Buffer pool fetches that hit the backend");
+  metric_evictions_ = registry->GetCounter(
+      "setm_pool_evictions_total", "Frames recycled for another page");
+  metric_dirty_writebacks_ = registry->GetCounter(
+      "setm_pool_dirty_writebacks_total",
+      "Dirty pages written back to the backend");
+  metric_eviction_retries_ = registry->GetCounter(
+      "setm_pool_eviction_retries_total",
+      "Eviction candidates skipped after a failed dirty write-back");
 }
 
 BufferPool::~BufferPool() {
@@ -61,6 +74,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
+    metric_hits_->Increment();
     Frame& f = frames_[it->second];
     if (f.pin_count == 0 && f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -71,6 +85,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   }
 
   ++misses_;
+  metric_misses_->Increment();
   auto victim = GetVictimFrameLocked();
   if (!victim.ok()) return victim.status();
   const size_t idx = victim.value();
@@ -99,6 +114,7 @@ Result<PageGuard> BufferPool::FetchPageForOverwrite(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
+    metric_hits_->Increment();
     Frame& f = frames_[it->second];
     if (f.pin_count == 0 && f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -109,6 +125,7 @@ Result<PageGuard> BufferPool::FetchPageForOverwrite(PageId id) {
   }
 
   ++misses_;
+  metric_misses_->Increment();
   auto victim = GetVictimFrameLocked();
   if (!victim.ok()) return victim.status();
   const size_t idx = victim.value();
@@ -175,6 +192,8 @@ Status BufferPool::FlushPage(PageId id) {
   if (f.dirty) {
     SETM_RETURN_IF_ERROR(backend_->WritePage(f.id, f.page));
     f.dirty = false;
+    ++dirty_writebacks_;
+    metric_dirty_writebacks_->Increment();
   }
   return Status::OK();
 }
@@ -185,9 +204,22 @@ Status BufferPool::FlushAll() {
     if (f.id != kInvalidPageId && f.dirty) {
       SETM_RETURN_IF_ERROR(backend_->WritePage(f.id, f.page));
       f.dirty = false;
+      ++dirty_writebacks_;
+      metric_dirty_writebacks_->Increment();
     }
   }
   return Status::OK();
+}
+
+BufferPool::PoolStats BufferPool::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PoolStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.dirty_writebacks = dirty_writebacks_;
+  s.eviction_retries = eviction_retries_;
+  return s;
 }
 
 uint64_t BufferPool::hits() const {
@@ -248,16 +280,22 @@ Result<size_t> BufferPool::GetVictimFrameLocked() {
     if (f.dirty) {
       Status write = backend_->WritePage(f.id, f.page);
       if (!write.ok()) {
+        ++eviction_retries_;
+        metric_eviction_retries_->Increment();
         if (first_error.ok()) first_error = std::move(write);
         if (it == lru_.begin()) break;
         continue;
       }
       f.dirty = false;
+      ++dirty_writebacks_;
+      metric_dirty_writebacks_->Increment();
     }
     lru_.erase(it);
     f.in_lru = false;
     page_table_.erase(f.id);
     f.id = kInvalidPageId;
+    ++evictions_;
+    metric_evictions_->Increment();
     return idx;
   }
   // Every unpinned frame is dirty on a failing backend; report the first

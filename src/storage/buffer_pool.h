@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/storage_backend.h"
 
@@ -124,6 +125,20 @@ class BufferPool {
   /// Number of frames.
   size_t capacity() const { return frames_.size(); }
 
+  /// Point-in-time cache statistics of this pool instance. The same events
+  /// also feed the process-wide metrics registry (setm_pool_* counters);
+  /// the instance view is what `setm_mine --stats` prints per database.
+  struct PoolStats {
+    uint64_t hits = 0;    ///< fetches served from a resident frame
+    uint64_t misses = 0;  ///< fetches that went to the backend
+    uint64_t evictions = 0;         ///< frames recycled for another page
+    uint64_t dirty_writebacks = 0;  ///< dirty pages written to the backend
+    /// Poisoned-victim skips: eviction candidates whose dirty write-back
+    /// failed and that were left resident for a later retry.
+    uint64_t eviction_retries = 0;
+  };
+  PoolStats Stats() const;
+
   /// Cache statistics.
   uint64_t hits() const;
   uint64_t misses() const;
@@ -165,6 +180,17 @@ class BufferPool {
   std::unordered_map<PageId, size_t> page_table_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t dirty_writebacks_ = 0;
+  uint64_t eviction_retries_ = 0;
+
+  // Process-wide series (resolved once at construction; all pools share
+  // them, mirroring the instance counters above).
+  obs::Counter* metric_hits_;
+  obs::Counter* metric_misses_;
+  obs::Counter* metric_evictions_;
+  obs::Counter* metric_dirty_writebacks_;
+  obs::Counter* metric_eviction_retries_;
 };
 
 }  // namespace setm

@@ -6,7 +6,38 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace setm {
+
+namespace {
+
+// Process-wide page-traffic series, shared by every backend instance (the
+// per-operation ledgers stay per-IoStats). Resolved once; reads after the
+// magic-static init are lock-free.
+struct GlobalIoMetrics {
+  obs::Counter* reads;
+  obs::Counter* writes;
+  obs::Counter* allocations;
+};
+
+const GlobalIoMetrics& IoMetrics() {
+  static const GlobalIoMetrics metrics = [] {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+    GlobalIoMetrics m;
+    m.reads = registry->GetCounter("setm_io_page_reads_total",
+                                   "Pages read from storage backends");
+    m.writes = registry->GetCounter("setm_io_page_writes_total",
+                                    "Pages written to storage backends");
+    m.allocations = registry->GetCounter(
+        "setm_io_pages_allocated_total",
+        "Fresh pages allocated in storage backends");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 bool StorageBackend::ClassifySequential(PageId id) {
   std::lock_guard<std::mutex> lock(heads_mutex_);
@@ -23,6 +54,7 @@ bool StorageBackend::ClassifySequential(PageId id) {
 }
 
 void StorageBackend::AccountRead(PageId id) {
+  IoMetrics().reads->Increment();
   if (stats_ == nullptr) return;
   ++stats_->page_reads;
   if (ClassifySequential(id)) {
@@ -33,6 +65,7 @@ void StorageBackend::AccountRead(PageId id) {
 }
 
 void StorageBackend::AccountWrite(PageId id) {
+  IoMetrics().writes->Increment();
   if (stats_ == nullptr) return;
   ++stats_->page_writes;
   if (ClassifySequential(id)) {
@@ -43,6 +76,7 @@ void StorageBackend::AccountWrite(PageId id) {
 }
 
 void StorageBackend::AccountAllocation() {
+  IoMetrics().allocations->Increment();
   if (stats_ != nullptr) ++stats_->pages_allocated;
 }
 

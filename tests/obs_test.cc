@@ -1,0 +1,532 @@
+// The observability subsystem: metrics registry (get-or-create stability,
+// exact totals under 8-thread contention, log2-histogram quantiles against
+// a sorted oracle), trace spans (tree shape, timing/read attribution,
+// idempotent End), the three exporters against golden strings, and the
+// layer instrumentation the registry aggregates — buffer-pool hit/miss/
+// eviction ledger (including poisoned-victim retries), WAL activity
+// counters, and the TracingObserver bridge that turns miner iterations
+// into spans.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/mining_planner.h"
+#include "core/setm.h"
+#include "datagen/quest_generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/mining_trace.h"
+#include "obs/trace.h"
+#include "relational/database.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
+#include "storage/io_stats.h"
+#include "storage/storage_backend.h"
+
+namespace setm {
+namespace {
+
+using obs::HistogramSnapshot;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::TraceSpan;
+
+// --------------------------------------------------------------------------
+// Registry: get-or-create semantics and concurrency
+// --------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("c", "first registration wins");
+  obs::Counter* b = registry.GetCounter("c", "ignored on lookup");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("c2"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+
+  a->Increment(5);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("c"), 5u);
+  EXPECT_EQ(snap.CounterValue("missing"), 0u);
+  EXPECT_EQ(snap.FindHistogram("missing"), nullptr);
+  ASSERT_NE(snap.FindHistogram("h"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra");
+  registry.GetGauge("alpha");
+  registry.GetHistogram("mid");
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  EXPECT_EQ(snap.metrics[0].name, "alpha");
+  EXPECT_EQ(snap.metrics[1].name, "mid");
+  EXPECT_EQ(snap.metrics[2].name, "zebra");
+}
+
+// The hot-path contract: 8 threads hammering one counter, one gauge and
+// one histogram — registering by name as they go — lose no increments.
+// This is the suite's TSan target for the lock-free metric path.
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreExact) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  MetricsRegistry registry;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Half the threads re-resolve the names mid-flight: registration
+      // (mutexed) must coexist with updates (lock-free).
+      obs::Counter* counter = registry.GetCounter("events");
+      obs::Gauge* gauge = registry.GetGauge("level");
+      obs::Histogram* histogram = registry.GetHistogram("latency");
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0 && i % 4096 == 0) {
+          counter = registry.GetCounter("events");
+          histogram = registry.GetHistogram("latency");
+        }
+        counter->Increment();
+        gauge->Add(1);
+        histogram->Observe(i % 1024);
+        gauge->Add(-1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("events"), kThreads * kPerThread);
+  const HistogramSnapshot* h = snap.FindHistogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h->count);
+  for (const obs::MetricSnapshot& m : snap.metrics) {
+    if (m.name == "level") {
+      EXPECT_EQ(m.gauge_value, 0);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Histogram: bucket bounds and quantiles vs a sorted oracle
+// --------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  EXPECT_EQ(HistogramSnapshot::UpperBound(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::UpperBound(1), 1u);
+  EXPECT_EQ(HistogramSnapshot::UpperBound(2), 2u);
+  EXPECT_EQ(HistogramSnapshot::UpperBound(3), 4u);
+  EXPECT_EQ(HistogramSnapshot::UpperBound(10), 512u);
+  EXPECT_EQ(HistogramSnapshot::UpperBound(obs::Histogram::kNumBuckets - 1),
+            UINT64_MAX);
+}
+
+/// Nearest-rank quantile over the true values — the oracle the log2
+/// estimate is held against.
+uint64_t OracleQuantile(std::vector<uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(values.size()) - 1e-9)));
+  return values[rank - 1];
+}
+
+// The documented accuracy contract: because buckets are log2-spaced and the
+// estimate is the containing bucket's inclusive upper bound, the estimate E
+// of a true quantile v satisfies v <= E < 2v (E == 0 exactly when v == 0).
+TEST(HistogramTest, QuantilesMatchSortedOracleWithinLog2Bound) {
+  obs::Histogram histogram;
+  std::vector<uint64_t> values;
+  // Deterministic LCG spanning zeros through multi-million values, so the
+  // oracle exercises many buckets including bucket 0.
+  uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t v = (x >> 33) % 3000000;
+    values.push_back(i % 50 == 0 ? 0 : v);
+    histogram.Observe(values.back());
+  }
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, values.size());
+
+  for (double q : {0.0, 0.25, 0.50, 0.90, 0.99, 1.0}) {
+    const uint64_t oracle = OracleQuantile(values, q);
+    const uint64_t estimate = snap.Quantile(q);
+    if (oracle == 0) {
+      EXPECT_EQ(estimate, 0u) << "q=" << q;
+    } else {
+      EXPECT_GE(estimate, oracle) << "q=" << q;
+      EXPECT_LT(estimate, 2 * oracle) << "q=" << q;
+    }
+  }
+}
+
+TEST(HistogramTest, EmptyHistogramQuantileIsZero) {
+  obs::Histogram histogram;
+  EXPECT_EQ(histogram.Snapshot().Quantile(0.5), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Trace spans
+// --------------------------------------------------------------------------
+
+TEST(TraceSpanTest, TreeShapeAndTimingInvariants) {
+  IoStats ledger;
+  TraceSpan root("request", &ledger);
+
+  TraceSpan* plan = root.StartChild("plan");
+  plan->End();
+
+  TraceSpan* mine = root.StartChild("mine");
+  ledger.page_reads.fetch_add(7, std::memory_order_relaxed);
+  mine->End();
+  ledger.page_reads.fetch_add(3, std::memory_order_relaxed);
+  root.End();
+
+  ASSERT_EQ(root.children().size(), 2u);
+  EXPECT_TRUE(root.ended());
+  // A child's wall time can never exceed its parent's.
+  EXPECT_LE(plan->seconds(), root.seconds());
+  EXPECT_LE(mine->seconds(), root.seconds());
+  // Reads attribute to the span whose window they fell in; the root sees
+  // everything, children only their own windows.
+  EXPECT_EQ(mine->page_reads(), 7u);
+  EXPECT_EQ(plan->page_reads(), 0u);
+  EXPECT_EQ(root.page_reads(), 10u);
+}
+
+TEST(TraceSpanTest, EndIsIdempotentAndEndsOpenChildren) {
+  TraceSpan root("request");
+  TraceSpan* open_child = root.StartChild("left-open");
+  root.End();
+  EXPECT_TRUE(open_child->ended());
+  const double frozen = root.seconds();
+  root.End();  // second End must not re-freeze anything
+  EXPECT_EQ(root.seconds(), frozen);
+}
+
+TEST(TraceSpanTest, AddCompletedChildWorksEvenAfterEnd) {
+  TraceSpan root("request");
+  root.End();
+  TraceSpan* rules = root.AddCompletedChild("rules", 0.5, 42);
+  ASSERT_EQ(root.children().size(), 1u);
+  EXPECT_TRUE(rules->ended());
+  EXPECT_DOUBLE_EQ(rules->seconds(), 0.5);
+  EXPECT_EQ(rules->page_reads(), 42u);
+}
+
+TEST(TraceSpanTest, RenderShowsTagsCountsAndIndentedChildren) {
+  TraceSpan root("request");
+  root.AddTag("strategy", "full-mine");
+  TraceSpan* child = root.StartChild("mine");
+  child->AddCount("k", 3);
+  root.End();
+  const std::string rendered = root.Render(2);
+  EXPECT_NE(rendered.find("  request "), std::string::npos);
+  EXPECT_NE(rendered.find("strategy=full-mine"), std::string::npos);
+  EXPECT_NE(rendered.find("\n    mine "), std::string::npos);
+  EXPECT_NE(rendered.find("k=3"), std::string::npos);
+  EXPECT_NE(rendered.find("reads="), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Exporters: golden strings over a local registry
+// --------------------------------------------------------------------------
+
+/// A tiny registry with one metric of each kind and known values; every
+/// exporter golden below is derived from this fixture by hand.
+MetricsSnapshot GoldenSnapshot() {
+  static MetricsRegistry registry;
+  static bool populated = false;
+  if (!populated) {
+    populated = true;
+    registry.GetCounter("t_counter", "ticks")->Increment(3);
+    registry.GetGauge("t_gauge")->Set(-2);
+    obs::Histogram* h = registry.GetHistogram("t_hist");
+    for (uint64_t v : {0u, 1u, 3u, 8u}) h->Observe(v);
+  }
+  return registry.Snapshot();
+}
+
+TEST(ExportTest, TextGolden) {
+  const std::string expected =
+      "t_counter                                    3\n"
+      "t_gauge                                      -2\n"
+      "t_hist                                       "
+      "count=4 sum=12 p50=1 p90=8 p99=8\n";
+  EXPECT_EQ(obs::RenderText(GoldenSnapshot()), expected);
+}
+
+TEST(ExportTest, JsonGolden) {
+  const std::string expected =
+      "{\"metrics\":["
+      "{\"name\":\"t_counter\",\"type\":\"counter\",\"value\":3},"
+      "{\"name\":\"t_gauge\",\"type\":\"gauge\",\"value\":-2},"
+      "{\"name\":\"t_hist\",\"type\":\"histogram\",\"count\":4,\"sum\":12,"
+      "\"p50\":1,\"p90\":8,\"p99\":8}"
+      "]}\n";
+  EXPECT_EQ(obs::RenderJson(GoldenSnapshot()), expected);
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  const std::string expected =
+      "# HELP t_counter ticks\n"
+      "# TYPE t_counter counter\n"
+      "t_counter 3\n"
+      "# TYPE t_gauge gauge\n"
+      "t_gauge -2\n"
+      "# TYPE t_hist histogram\n"
+      "t_hist_bucket{le=\"0\"} 1\n"
+      "t_hist_bucket{le=\"1\"} 2\n"
+      "t_hist_bucket{le=\"2\"} 2\n"
+      "t_hist_bucket{le=\"4\"} 3\n"
+      "t_hist_bucket{le=\"8\"} 4\n"
+      "t_hist_bucket{le=\"+Inf\"} 4\n"
+      "t_hist_sum 12\n"
+      "t_hist_count 4\n";
+  EXPECT_EQ(obs::RenderPrometheus(GoldenSnapshot()), expected);
+}
+
+// --------------------------------------------------------------------------
+// Buffer-pool instrumentation
+// --------------------------------------------------------------------------
+
+TEST(PoolStatsTest, HitsMissesEvictionsAndWritebacks) {
+  MemoryBackend backend(nullptr);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(backend.AllocatePage().ok());
+  BufferPool pool(&backend, 2);
+
+  ASSERT_TRUE(pool.FetchPage(0).ok());  // miss
+  ASSERT_TRUE(pool.FetchPage(0).ok());  // hit
+  {
+    auto guard = pool.FetchPage(1);  // miss
+    ASSERT_TRUE(guard.ok());
+    guard.value().MarkDirty();
+  }
+  // Pool is full; page 2 evicts the LRU (page 0, clean — no write-back).
+  ASSERT_TRUE(pool.FetchPage(2).ok());  // miss + eviction
+
+  BufferPool::PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.dirty_writebacks, 0u);
+  EXPECT_EQ(stats.eviction_retries, 0u);
+
+  // Flushing the dirty page 1 is a write-back without an eviction.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  stats = pool.Stats();
+  EXPECT_EQ(stats.dirty_writebacks, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(PoolStatsTest, PoisonedVictimSkipCountsAsEvictionRetry) {
+  constexpr size_t kFrames = 3;
+  IoStats io;
+  MemoryBackend real(&io);
+  for (size_t i = 0; i < kFrames + 1; ++i) {
+    ASSERT_TRUE(real.AllocatePage().ok());
+  }
+  FaultInjectionBackend flaky(&real, ~0ull);
+  BufferPool pool(&flaky, kFrames);
+  for (size_t i = 0; i < kFrames; ++i) {
+    auto guard = pool.FetchPage(static_cast<PageId>(i));
+    ASSERT_TRUE(guard.ok());
+    guard.value().MarkDirty();
+  }
+  flaky.PoisonWrites(0);
+
+  // Eviction must route around the poisoned LRU victim: one retry, then a
+  // successful dirty write-back of the next candidate.
+  ASSERT_TRUE(pool.FetchPage(static_cast<PageId>(kFrames)).ok());
+  const BufferPool::PoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.eviction_retries, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.dirty_writebacks, 1u);
+  flaky.Heal();
+  flaky.PoisonWrites(kInvalidPageId);
+}
+
+// --------------------------------------------------------------------------
+// WAL instrumentation
+// --------------------------------------------------------------------------
+
+TEST(WalStatsTest, InMemoryDatabaseReportsZeros) {
+  Database db;
+  const WalStats stats = db.wal_stats();
+  EXPECT_EQ(stats.page_records, 0u);
+  EXPECT_EQ(stats.commit_records, 0u);
+  EXPECT_EQ(stats.bytes_appended, 0u);
+  EXPECT_EQ(stats.fsyncs, 0u);
+}
+
+TEST(WalStatsTest, CommitsAndPageImagesAreCounted) {
+  const std::string path = testing::TempDir() + "/obs_wal_stats.db";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+
+  DatabaseOptions options;
+  options.file_path = path;
+  auto db_or = Database::Open(options);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  Database* db = db_or.value().get();
+
+  Schema schema({Column{"a", ValueType::kInt32}});
+  auto table = db->catalog()->CreateTable("t", schema, TableBacking::kHeap);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(table.value()->Insert(Tuple({Value::Int32(i)})).ok());
+  }
+  ASSERT_TRUE(db->Commit().ok());
+
+  const WalStats stats = db->wal_stats();
+  EXPECT_GE(stats.page_records, 1u);   // the inserted heap pages
+  EXPECT_GE(stats.commit_records, 1u); // our Commit()
+  EXPECT_GE(stats.fsyncs, 1u);         // default window 0: every commit syncs
+  EXPECT_GT(stats.bytes_appended, 0u);
+
+  ASSERT_TRUE(db->Close().ok());
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+// --------------------------------------------------------------------------
+// TracingObserver: the observer seam as a span source
+// --------------------------------------------------------------------------
+
+TransactionDb SmallQuestDb() {
+  QuestOptions gen;
+  gen.seed = 17;
+  gen.num_transactions = 120;
+  gen.avg_transaction_size = 5;
+  gen.num_items = 20;
+  gen.num_patterns = 10;
+  return QuestGenerator(gen).Generate();
+}
+
+TEST(TracingObserverTest, OneSpanPerIterationWithCardinalities) {
+  TransactionDb txns = SmallQuestDb();
+  Database db;
+  TraceSpan mine_span("mine", db.io_stats());
+  obs::TracingObserver tracing(&mine_span, db.io_stats());
+
+  MiningOptions options;
+  options.min_support_count = 3;
+  options.observer = &tracing;
+  auto result = SetmMiner(&db).Mine(txns, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  mine_span.End();
+
+  ASSERT_FALSE(result.value().iterations.empty());
+  ASSERT_EQ(mine_span.children().size(), result.value().iterations.size());
+  for (size_t i = 0; i < mine_span.children().size(); ++i) {
+    const TraceSpan& span = *mine_span.children()[i];
+    EXPECT_EQ(span.name(), "iteration");
+    // First count is k, matching the reported IterationStats in order.
+    ASSERT_FALSE(span.counts().empty());
+    EXPECT_EQ(span.counts()[0].first, "k");
+    EXPECT_EQ(span.counts()[0].second, result.value().iterations[i].k);
+  }
+}
+
+/// Cancels after the first iteration — the chained-inner-observer verdict.
+class CancelAfterOne : public MiningObserver {
+ public:
+  bool OnIteration(const IterationStats&) override { return ++calls_ < 1; }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST(TracingObserverTest, ChainsInnerObserverVerdict) {
+  TransactionDb txns = SmallQuestDb();
+  Database db;
+  TraceSpan mine_span("mine", db.io_stats());
+  CancelAfterOne inner;
+  obs::TracingObserver tracing(&mine_span, db.io_stats(), &inner);
+
+  MiningOptions options;
+  options.min_support_count = 3;
+  options.observer = &tracing;
+  auto result = SetmMiner(&db).Mine(txns, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  mine_span.End();
+  // The iteration that ran before cancellation was still traced.
+  EXPECT_EQ(mine_span.children().size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Planner trace integration: the acceptance shape of ISSUE 8
+// --------------------------------------------------------------------------
+
+size_t CountSpansNamed(const TraceSpan& span, const std::string& name) {
+  size_t n = span.name() == name ? 1 : 0;
+  for (const auto& child : span.children()) {
+    n += CountSpansNamed(*child, name);
+  }
+  return n;
+}
+
+bool HasTag(const TraceSpan& span, const std::string& key,
+            const std::string& value) {
+  for (const auto& [k, v] : span.tags()) {
+    if (k == key && v == value) return true;
+  }
+  return false;
+}
+
+TEST(PlannerTraceTest, FullMineThenCacheFilterSpanShapes) {
+  TransactionDb txns = SmallQuestDb();
+  Database db;
+  auto sales_or = LoadSalesTable(&db, "sales", txns, TableBacking::kHeap);
+  ASSERT_TRUE(sales_or.ok()) << sales_or.status().ToString();
+
+  PlannerOptions planner_options;
+  planner_options.store_prefix = "fi";
+  MiningPlanner planner(&db, planner_options);
+
+  PlanRequest request;
+  request.table = sales_or.value();
+  request.options.min_support_count = 3;
+
+  // Cold query: root -> plan + mine, with one iteration span per reported
+  // iteration hanging under "mine".
+  TraceSpan cold_root("request", db.io_stats());
+  request.trace = &cold_root;
+  auto cold = planner.Execute(request);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  cold_root.End();
+  EXPECT_TRUE(HasTag(cold_root, "strategy", "full-mine"));
+  EXPECT_EQ(CountSpansNamed(cold_root, "plan"), 1u);
+  EXPECT_EQ(CountSpansNamed(cold_root, "mine"), 1u);
+  EXPECT_EQ(CountSpansNamed(cold_root, "iteration"),
+            cold.value().result.iterations.size());
+
+  // Dominated re-query: cache-filter, root -> plan + load, and — the
+  // zero-mining guarantee, visible structurally — no iteration spans.
+  TraceSpan requery_root("request", db.io_stats());
+  request.options.min_support_count = 6;
+  request.trace = &requery_root;
+  auto requery = planner.Execute(request);
+  ASSERT_TRUE(requery.ok()) << requery.status().ToString();
+  requery_root.End();
+  ASSERT_EQ(requery.value().plan.strategy, PlanStrategy::kCacheFilter);
+  EXPECT_TRUE(HasTag(requery_root, "strategy", "cache-filter"));
+  EXPECT_EQ(CountSpansNamed(requery_root, "plan"), 1u);
+  EXPECT_EQ(CountSpansNamed(requery_root, "load"), 1u);
+  EXPECT_EQ(CountSpansNamed(requery_root, "iteration"), 0u);
+}
+
+}  // namespace
+}  // namespace setm

@@ -53,13 +53,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "common/timer.h"
 #include "core/miner_registry.h"
 #include "core/mining_planner.h"
 #include "core/rules.h"
 #include "core/setm.h"
 #include "datagen/transaction_io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -84,6 +90,24 @@ struct Args {
   bool incremental = false;
   bool explain = false;
   bool storage_set = false;
+  std::string metrics;  // "", "text", "json" or "prom"
+  bool trace = false;
+};
+
+/// Owns the per-request trace roots when --trace is on. Each
+/// planner.Execute gets a fresh root span measured against the database's
+/// I/O ledger; main() renders the collected trees at exit.
+struct TraceSink {
+  bool enabled = false;
+  const IoStats* ledger = nullptr;
+  std::vector<std::unique_ptr<obs::TraceSpan>> roots;
+
+  /// Null when tracing is off — PlanRequest::trace accepts that directly.
+  obs::TraceSpan* NewRoot() {
+    if (!enabled) return nullptr;
+    roots.push_back(std::make_unique<obs::TraceSpan>("request", ledger));
+    return roots.back().get();
+  }
 };
 
 void Usage(const char* argv0) {
@@ -96,9 +120,12 @@ void Usage(const char* argv0) {
       "          [--max-k N] [--pool-frames N] [--stats] [--format text|csv]\n"
       "          [--db FILE] [--store PREFIX] [--append FILE.csv]\n"
       "          [--incremental] [--fallback PCT] [--explain]\n"
+      "          [--metrics text|json|prom] [--trace]\n"
       "(--input may be omitted when --db reopens an existing database;\n"
       " --algo list prints the registered algorithms and exits;\n"
-      " --explain prints the mining plan for every request to stderr)\n",
+      " --explain prints the mining plan for every request to stderr;\n"
+      " --metrics dumps the process metrics registry to stderr at exit;\n"
+      " --trace prints one span tree per mining request to stderr)\n",
       argv0);
 }
 
@@ -181,6 +208,17 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->stats = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       out->explain = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      const char* v = need_value("--metrics");
+      if (v == nullptr) return false;
+      out->metrics = v;
+      if (out->metrics != "text" && out->metrics != "json" &&
+          out->metrics != "prom") {
+        std::fprintf(stderr, "--metrics must be text, json or prom\n");
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      out->trace = true;
     } else if (std::strcmp(argv[i], "--format") == 0) {
       const char* v = need_value("--format");
       if (v == nullptr) return false;
@@ -252,7 +290,7 @@ SetmOptions PhysicalKnobs(const Args& args) {
 Result<MiningResult> RunAlgorithm(const Args& args, Database* db,
                                   const TransactionDb& txns,
                                   const MiningOptions& options,
-                                  PlanStats* plan_stats) {
+                                  PlanStats* plan_stats, TraceSink* sink) {
   auto info = MinerRegistry::Info(args.algorithm);
   if (!info.ok()) return info.status();
   if (args.threads > 1 && !info.value().honors_threads) {
@@ -267,7 +305,9 @@ Result<MiningResult> RunAlgorithm(const Args& args, Database* db,
   PlanRequest request;
   request.transactions = &txns;
   request.options = options;
+  request.trace = sink->NewRoot();
   auto exec_or = planner.Execute(request);
+  if (request.trace != nullptr) request.trace->End();
   if (!exec_or.ok()) return exec_or.status();
   MaybeExplain(args, exec_or.value().plan);
   *plan_stats = planner.stats();
@@ -283,7 +323,7 @@ Result<MiningResult> RunAlgorithm(const Args& args, Database* db,
 Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
                                     const TransactionDb* txns,
                                     const MiningOptions& options,
-                                    PlanStats* plan_stats) {
+                                    PlanStats* plan_stats, TraceSink* sink) {
   const TableBacking backing = args.storage == "heap" ? TableBacking::kHeap
                                                       : TableBacking::kMemory;
   const std::string prefix =
@@ -360,7 +400,9 @@ Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
   PlanRequest base_request;
   base_request.table = sales;
   base_request.options = options;
+  base_request.trace = sink->NewRoot();
   auto base_or = planner.Execute(base_request);
+  if (base_request.trace != nullptr) base_request.trace->End();
   if (!base_or.ok()) return base_or.status();
   PlanExecution base = std::move(base_or).value();
   MaybeExplain(args, base.plan);
@@ -394,7 +436,9 @@ Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
   append_request.table = sales;
   append_request.append = &delta;
   append_request.options = options;
+  append_request.trace = sink->NewRoot();
   auto appended_or = planner.Execute(append_request);
+  if (append_request.trace != nullptr) append_request.trace->End();
   if (!appended_or.ok()) return appended_or.status();
   PlanExecution appended = std::move(appended_or).value();
   MaybeExplain(args, appended.plan);
@@ -473,12 +517,15 @@ int main(int argc, char** argv) {
   std::unique_ptr<Database> db = std::move(db_or).value();
 
   PlanStats plan_stats;
+  TraceSink sink;
+  sink.enabled = args.trace;
+  sink.ledger = db->io_stats();
   const bool store_mode = !args.store_prefix.empty() || !args.append.empty();
   auto result =
       store_mode
           ? RunStoreAppend(args, db.get(), have_txns ? &txns : nullptr,
-                           options, &plan_stats)
-          : RunAlgorithm(args, db.get(), txns, options, &plan_stats);
+                           options, &plan_stats, &sink)
+          : RunAlgorithm(args, db.get(), txns, options, &plan_stats, &sink);
   if (!result.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());
@@ -487,6 +534,7 @@ int main(int argc, char** argv) {
 
   const RuleMode mode = args.rules == "subsets" ? RuleMode::kAnySubset
                                                 : RuleMode::kSingleConsequent;
+  WallTimer rules_timer;
   auto rules_or = GenerateRules(result.value().itemsets, options, mode);
   if (!rules_or.ok()) {
     std::fprintf(stderr, "rule generation failed: %s\n",
@@ -494,6 +542,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::vector<AssociationRule>& rules = rules_or.value();
+  if (!sink.roots.empty()) {
+    // Rule generation answers the *last* request's result; hang its span
+    // under that root (pure in-memory work, zero page reads).
+    obs::TraceSpan* rules_span = sink.roots.back()->AddCompletedChild(
+        "rules", rules_timer.ElapsedSeconds(), 0);
+    rules_span->AddCount("rules", rules.size());
+  }
 
   if (args.format == "csv") {
     std::printf("antecedent,consequent,confidence,support,lift\n");
@@ -515,6 +570,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.trace) {
+    std::fprintf(stderr, "trace:\n");
+    for (const auto& root : sink.roots) {
+      std::fputs(root->Render(2).c_str(), stderr);
+    }
+  }
+
   if (args.stats) {
     std::fprintf(stderr, "\niterations:\n");
     for (const IterationStats& it : result.value().iterations) {
@@ -531,8 +593,49 @@ int main(int argc, char** argv) {
     // fair basis for cross-invocation page-count comparisons.
     std::fprintf(stderr, "db io: %s\n",
                  db->io_stats()->ToString().c_str());
+    // Both pools (base + temp) summed, matching the scope of `db io:`.
+    BufferPool::PoolStats pool = db->pool()->Stats();
+    const BufferPool::PoolStats temp = db->temp_pool()->Stats();
+    pool.hits += temp.hits;
+    pool.misses += temp.misses;
+    pool.evictions += temp.evictions;
+    pool.dirty_writebacks += temp.dirty_writebacks;
+    pool.eviction_retries += temp.eviction_retries;
+    const uint64_t fetches = pool.hits + pool.misses;
+    std::fprintf(stderr,
+                 "pool: hits=%llu misses=%llu hit_ratio=%.3f evictions=%llu "
+                 "writebacks=%llu retries=%llu\n",
+                 static_cast<unsigned long long>(pool.hits),
+                 static_cast<unsigned long long>(pool.misses),
+                 fetches == 0 ? 0.0
+                              : static_cast<double>(pool.hits) /
+                                    static_cast<double>(fetches),
+                 static_cast<unsigned long long>(pool.evictions),
+                 static_cast<unsigned long long>(pool.dirty_writebacks),
+                 static_cast<unsigned long long>(pool.eviction_retries));
+    const WalStats wal = db->wal_stats();
+    std::fprintf(stderr, "wal: records=%llu commits=%llu bytes=%llu "
+                         "fsyncs=%llu\n",
+                 static_cast<unsigned long long>(wal.page_records),
+                 static_cast<unsigned long long>(wal.commit_records),
+                 static_cast<unsigned long long>(wal.bytes_appended),
+                 static_cast<unsigned long long>(wal.fsyncs));
     std::fprintf(stderr, "plan: %s\n", plan_stats.ToString().c_str());
     std::fprintf(stderr, "total: %.3f s\n", result.value().total_seconds);
+  }
+
+  if (!args.metrics.empty()) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global()->Snapshot();
+    std::string rendered;
+    if (args.metrics == "json") {
+      rendered = obs::RenderJson(snapshot);
+    } else if (args.metrics == "prom") {
+      rendered = obs::RenderPrometheus(snapshot);
+    } else {
+      rendered = obs::RenderText(snapshot);
+    }
+    std::fputs(rendered.c_str(), stderr);
   }
 
   // Explicit close: the final checkpoint's status is the only signal that
