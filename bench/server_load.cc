@@ -1,0 +1,314 @@
+// server_load — concurrency and correctness under load for setm_served.
+//
+// Spins up an in-process MiningServer over a shared database, then lets N
+// concurrent clients hammer it with the mixed interactive workload the
+// daemon exists for: MINE at a rotating support ladder, RULES off the
+// session's last answer, STATS scrapes and PINGs. Latencies go through the
+// same log2-bucketed histogram machinery the server itself exports, so the
+// p50/p90/p99 printed here are the numbers a scrape would see.
+//
+// Hard claims, enforced (non-zero exit on violation):
+//   - every MINE payload, from every client, is bit-identical to a direct
+//     single-threaded mine of the same question (computed up front, before
+//     the server starts);
+//   - every RULES payload matches GenerateRules + FormatRulesCsv on that
+//     same oracle result;
+//   - zero protocol errors across the whole run;
+//   - the shared result cache engages: after the cold mines, re-queries
+//     are answered by cache-filter (the counter must move).
+//
+// usage: server_load [--smoke] [--clients N] [--rounds N]
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/rules.h"
+#include "core/setm.h"
+#include "datagen/quest_generator.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+namespace {
+
+using namespace setm;
+
+struct Oracle {
+  std::string spec;          // the SUPPORT spec sent on the wire, e.g. "2%"
+  std::string mine_payload;  // RenderItemsets of the normalized result
+  std::string rules_payload; // FormatRulesCsv at the fixed confidence
+};
+
+constexpr double kRuleConfidence = 0.6;
+
+struct ClientReport {
+  uint64_t requests = 0;
+  uint64_t mismatches = 0;
+  uint64_t errors = 0;
+  bool transport_ok = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  size_t num_clients = 8;
+  size_t rounds = 12;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      num_clients = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = static_cast<size_t>(std::atol(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--clients N] [--rounds N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    num_clients = num_clients > 4 ? 4 : num_clients;
+    rounds = rounds > 4 ? 4 : rounds;
+  }
+
+  bench::Banner(
+      "server_load",
+      "ROADMAP: setm_served — a long-lived mining server",
+      "N concurrent clients get bit-identical answers; re-queries hit the "
+      "shared result cache");
+
+  QuestOptions gen;
+  gen.num_transactions = smoke ? 1500 : 12000;
+  gen.avg_transaction_size = 8;
+  gen.num_items = 200;
+  gen.num_patterns = 30;
+  gen.seed = 17;
+  const TransactionDb txns = QuestGenerator(gen).Generate();
+
+  // The oracle answers, computed single-threaded before the server starts:
+  // what every client must receive, byte for byte. The ladder is ordered
+  // ascending so the lowest support lands first and the stored run can
+  // serve everything above it.
+  const std::vector<std::pair<std::string, double>> ladder = {
+      {"1%", 0.01}, {"2%", 0.02}, {"5%", 0.05}};
+  std::vector<Oracle> oracles;
+  for (const auto& [spec, fraction] : ladder) {
+    MiningOptions options;
+    options.min_support = fraction;
+    Database oracle_db;
+    auto mined = SetmMiner(&oracle_db).Mine(txns, options);
+    if (!mined.ok()) {
+      std::fprintf(stderr, "oracle mine at %s failed: %s\n", spec.c_str(),
+                   mined.status().ToString().c_str());
+      return 1;
+    }
+    FrequentItemsets itemsets = std::move(mined.value().itemsets);
+    itemsets.Normalize();
+    MiningOptions rule_options;
+    rule_options.min_confidence = kRuleConfidence;
+    auto rules = GenerateRules(itemsets, rule_options);
+    if (!rules.ok()) {
+      std::fprintf(stderr, "oracle rules at %s failed: %s\n", spec.c_str(),
+                   rules.status().ToString().c_str());
+      return 1;
+    }
+    Oracle oracle;
+    oracle.spec = spec;
+    oracle.mine_payload = net::RenderItemsets(itemsets);
+    oracle.rules_payload = FormatRulesCsv(rules.value());
+    oracles.push_back(std::move(oracle));
+    std::printf("oracle %-4s %6zu patterns, %5zu rules\n", spec.c_str(),
+                itemsets.TotalPatterns(), rules.value().size());
+  }
+
+  Database db;
+  auto sales_or = LoadSalesTable(&db, "sales", txns, TableBacking::kMemory);
+  if (!sales_or.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 sales_or.status().ToString().c_str());
+    return 1;
+  }
+
+  net::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.job_threads = 4;
+  auto server_or = net::MiningServer::Create(&db, server_options);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "server create failed: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::MiningServer> server = std::move(server_or).value();
+  Status started = server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = server->port();
+  std::printf("\nserver on 127.0.0.1:%u, %zu clients x %zu rounds\n\n", port,
+              num_clients, rounds);
+
+  // The same histogram plane the server exports; one series per verb.
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Global();
+  obs::Histogram* mine_hist = registry->GetHistogram(
+      "bench_srv_mine_micros", "client-observed MINE round trip");
+  obs::Histogram* rules_hist = registry->GetHistogram(
+      "bench_srv_rules_micros", "client-observed RULES round trip");
+  obs::Histogram* stats_hist = registry->GetHistogram(
+      "bench_srv_stats_micros", "client-observed STATS round trip");
+  bench::MetricsDelta plan_delta;
+
+  WallTimer wall;
+  std::vector<ClientReport> reports(num_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c]() {
+      ClientReport& report = reports[c];
+      auto client_or = net::BlockingClient::Connect("127.0.0.1", port);
+      if (!client_or.ok()) {
+        std::fprintf(stderr, "client %zu connect: %s\n", c,
+                     client_or.status().ToString().c_str());
+        report.transport_ok = false;
+        return;
+      }
+      std::unique_ptr<net::BlockingClient> client =
+          std::move(client_or).value();
+
+      auto exec = [&](const std::string& line, obs::Histogram* hist,
+                      const std::string* expected_payload) {
+        WallTimer timer;
+        auto response_or = client->Exec(line);
+        if (!response_or.ok()) {
+          std::fprintf(stderr, "client %zu [%s]: %s\n", c, line.c_str(),
+                       response_or.status().ToString().c_str());
+          report.transport_ok = false;
+          return false;
+        }
+        if (hist != nullptr) {
+          hist->Observe(static_cast<uint64_t>(timer.ElapsedMicros()));
+        }
+        ++report.requests;
+        const net::ClientResponse& response = response_or.value();
+        if (!response.ok) {
+          std::fprintf(stderr, "client %zu [%s]: ERR %s %s\n", c,
+                       line.c_str(), response.code.c_str(),
+                       response.info.c_str());
+          ++report.errors;
+          return true;
+        }
+        if (expected_payload != nullptr &&
+            response.payload != *expected_payload) {
+          std::fprintf(stderr,
+                       "client %zu [%s]: payload diverged (%zu vs %zu "
+                       "bytes)\n",
+                       c, line.c_str(), response.payload.size(),
+                       expected_payload->size());
+          ++report.mismatches;
+        }
+        return true;
+      };
+
+      for (size_t r = 0; r < rounds; ++r) {
+        const Oracle& oracle = oracles[(c + r) % oracles.size()];
+        if (!exec("MINE sales SUPPORT " + oracle.spec, mine_hist,
+                  &oracle.mine_payload)) {
+          return;
+        }
+        if (!exec("RULES 60", rules_hist, &oracle.rules_payload)) return;
+        if (!exec("STATS json", stats_hist, nullptr)) return;
+        if (!exec("PING", nullptr, nullptr)) return;
+      }
+      auto quit = client->Exec("QUIT");
+      if (!quit.ok()) report.transport_ok = false;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  const uint64_t cache_filter_hits =
+      plan_delta.Counter("setm_plan_cache_filter_total");
+  const uint64_t full_mines = plan_delta.Counter("setm_plan_full_mine_total");
+  const net::ServerStats stats = server->Stats();
+  Status stopped = server->Stop();
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "server stop failed: %s\n",
+                 stopped.ToString().c_str());
+    return 1;
+  }
+
+  ClientReport total;
+  bool transport_ok = true;
+  for (const ClientReport& report : reports) {
+    total.requests += report.requests;
+    total.mismatches += report.mismatches;
+    total.errors += report.errors;
+    transport_ok = transport_ok && report.transport_ok;
+  }
+
+  const obs::MetricsSnapshot snapshot = registry->Snapshot();
+  std::printf("%-8s %10s %10s %10s %10s\n", "verb", "count", "p50(us)",
+              "p90(us)", "p99(us)");
+  for (const char* name :
+       {"bench_srv_mine_micros", "bench_srv_rules_micros",
+        "bench_srv_stats_micros"}) {
+    const obs::HistogramSnapshot* hist = snapshot.FindHistogram(name);
+    if (hist == nullptr) continue;
+    const char* verb = name + std::strlen("bench_srv_");
+    std::printf("%-8.*s %10llu %10llu %10llu %10llu\n",
+                static_cast<int>(std::strcspn(verb, "_")), verb,
+                static_cast<unsigned long long>(hist->count),
+                static_cast<unsigned long long>(hist->Quantile(0.5)),
+                static_cast<unsigned long long>(hist->Quantile(0.9)),
+                static_cast<unsigned long long>(hist->Quantile(0.99)));
+  }
+  std::printf("\n%llu requests in %.3f s (%.0f req/s), %llu connections, "
+              "%llu full mines, %llu cache-filter answers\n",
+              static_cast<unsigned long long>(total.requests), elapsed,
+              elapsed > 0 ? static_cast<double>(total.requests) / elapsed : 0,
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(full_mines),
+              static_cast<unsigned long long>(cache_filter_hits));
+
+  bool ok = true;
+  if (!transport_ok) {
+    std::fprintf(stderr, "FAIL: transport errors\n");
+    ok = false;
+  }
+  if (total.errors != 0) {
+    std::fprintf(stderr, "FAIL: %llu protocol errors\n",
+                 static_cast<unsigned long long>(total.errors));
+    ok = false;
+  }
+  if (total.mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu responses diverged from the direct mine\n",
+                 static_cast<unsigned long long>(total.mismatches));
+    ok = false;
+  }
+  const uint64_t expected_requests = num_clients * rounds * 4;
+  if (total.requests != expected_requests) {
+    std::fprintf(stderr, "FAIL: %llu responses, expected %llu\n",
+                 static_cast<unsigned long long>(total.requests),
+                 static_cast<unsigned long long>(expected_requests));
+    ok = false;
+  }
+  if (cache_filter_hits == 0) {
+    std::fprintf(stderr, "FAIL: the shared result cache never engaged\n");
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "all checks passed" : "CHECKS FAILED");
+  return ok ? 0 : 1;
+}

@@ -68,3 +68,21 @@ fi
 if [[ -x "$mine_bin" ]]; then
   scripts/smoke_observability.sh "$mine_bin"
 fi
+
+# Server smoke: setm_served on a seeded database, concurrent clients
+# byte-identical to the CLI, cache-filter traces without iteration spans,
+# parseable STATS prom, survival of a client killed mid-MINE, graceful
+# SIGTERM shutdown.
+served_bin="build/$preset/tools/setm_served"
+loadgen_bin="build/$preset/tools/setm_loadgen"
+if [[ -x "$served_bin" && -x "$loadgen_bin" && -x "$mine_bin" ]]; then
+  scripts/smoke_server.sh "$served_bin" "$loadgen_bin" "$mine_bin"
+fi
+
+# Server load bench smoke: N concurrent in-process clients over a mixed
+# MINE/RULES/STATS workload; asserts zero protocol errors, bit-identity
+# with a direct mine, and that the shared result cache engages.
+server_load_bin="build/$preset/bench/server_load"
+if [[ -x "$server_load_bin" ]]; then
+  "$server_load_bin" --smoke
+fi

@@ -504,8 +504,8 @@ Result<PlanExecution> MiningPlanner::Execute(const PlanRequest& request) {
   // strategies against each other.
   out.result.total_seconds = total_timer.ElapsedSeconds();
   out.result.io = Diff(*db_->io_stats(), io_before);
-  PlanMetrics().request_micros->Observe(
-      static_cast<uint64_t>(out.result.total_seconds * 1e6));
+  PlanMetrics().request_micros->ObserveDurationMicros(
+      out.result.total_seconds);
   return out;
 }
 

@@ -152,4 +152,24 @@ std::string FormatRule(const AssociationRule& rule,
   return out;
 }
 
+std::string FormatRulesCsv(const std::vector<AssociationRule>& rules) {
+  std::string out = "antecedent,consequent,confidence,support,lift\n";
+  auto join = [](const std::vector<ItemId>& items, std::string* dst) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) *dst += ' ';
+      *dst += std::to_string(items[i]);
+    }
+  };
+  char buf[96];
+  for (const AssociationRule& r : rules) {
+    join(r.antecedent, &out);
+    out += ',';
+    join(r.consequent, &out);
+    std::snprintf(buf, sizeof(buf), ",%.6f,%.6f,%.6f\n", r.confidence,
+                  r.support, r.lift);
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace setm

@@ -44,6 +44,14 @@ std::string FormatRule(
     const AssociationRule& rule,
     const std::function<std::string(ItemId)>& item_name = {});
 
+/// Renders rules as CSV with a header row:
+///   antecedent,consequent,confidence,support,lift
+///   1 2,3,0.750000,0.300000,1.250000
+/// Items are space-joined, metrics fixed at six decimals. This single
+/// implementation backs both `setm_mine --format csv` and the server's
+/// RULES payload, so the two surfaces are bit-identical by construction.
+std::string FormatRulesCsv(const std::vector<AssociationRule>& rules);
+
 }  // namespace setm
 
 #endif  // SETM_CORE_RULES_H_

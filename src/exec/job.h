@@ -1,0 +1,79 @@
+#ifndef SETM_EXEC_JOB_H_
+#define SETM_EXEC_JOB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace setm {
+
+/// Off-loop completion delivery: the bridge between WorkerPool threads and
+/// a poll-based event loop.
+///
+/// A loop thread dispatches work onto the pool and goes back to poll(2);
+/// when a worker finishes, it calls Notify(token) — the token lands in an
+/// internal queue and one byte goes down a self-pipe, whose read end the
+/// loop has registered for readability. The loop then Drain()s the tokens
+/// and routes each completion back to its session.
+///
+///     // loop thread                      // worker thread
+///     pipe->read_fd() -> poll set          ... run the job ...
+///     on readable: for (t : pipe->Drain()) pipe->Notify(job_id);
+///       FinishJob(t);
+///
+/// Tokens ride a mutex-guarded vector rather than the pipe itself, so a
+/// burst of completions can never be lost to a full pipe buffer (the pipe
+/// carries at most one pending byte per Notify and is drained dry on read).
+/// Notify/Drain establish a happens-before edge: everything a worker wrote
+/// to the job object before Notify is visible to the loop after Drain.
+class CompletionPipe {
+ public:
+  static Result<std::unique_ptr<CompletionPipe>> Create();
+  ~CompletionPipe();
+
+  CompletionPipe(const CompletionPipe&) = delete;
+  CompletionPipe& operator=(const CompletionPipe&) = delete;
+
+  /// The fd a poller watches for readability. Non-blocking.
+  int read_fd() const { return fds_[0]; }
+
+  /// Queues one completion token and wakes the poller. Thread-safe; called
+  /// from worker threads.
+  void Notify(uint64_t token);
+
+  /// Returns-and-clears every queued token, reading the pipe dry. Called
+  /// from the loop thread when read_fd() polls readable.
+  std::vector<uint64_t> Drain();
+
+ private:
+  CompletionPipe() = default;
+
+  int fds_[2] = {-1, -1};
+  std::mutex mutex_;
+  std::vector<uint64_t> tokens_;
+};
+
+/// A cooperative cancellation flag shared between an event loop and a
+/// running job. The loop Cancel()s on client disconnect, request timeout or
+/// shutdown; the job's MiningObserver polls cancelled() once per iteration
+/// and vetoes continuing — which is exactly the "stops within one
+/// iteration" contract every miner already honors.
+class CancelFlag {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace setm
+
+#endif  // SETM_EXEC_JOB_H_

@@ -1,0 +1,137 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/protocol.h"
+
+namespace setm::net {
+
+Result<std::unique_ptr<BlockingClient>> BlockingClient::Connect(
+    const std::string& host, uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket: " + std::string(strerror(errno)));
+  }
+  if (timeout_ms > 0) {
+    struct timeval tv;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status s = Status::IOError("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::string(strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<BlockingClient>(new BlockingClient(fd));
+}
+
+BlockingClient::~BlockingClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status BlockingClient::SendLine(const std::string& line) {
+  std::string data = line;
+  data += '\n';
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("send: " + std::string(strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> BlockingClient::ReadLine() {
+  while (true) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("response timed out");
+    }
+    return Status::IOError("recv: " + std::string(strerror(errno)));
+  }
+}
+
+Result<ClientResponse> BlockingClient::ReadResponse() {
+  auto first_or = ReadLine();
+  if (!first_or.ok()) return first_or.status();
+  const std::string& first = first_or.value();
+
+  ClientResponse response;
+  if (first.rfind("OK", 0) == 0 &&
+      (first.size() == 2 || first[2] == ' ')) {
+    response.ok = true;
+    if (first.size() > 3) response.info = first.substr(3);
+    while (true) {
+      auto line_or = ReadLine();
+      if (!line_or.ok()) return line_or.status();
+      const std::string& line = line_or.value();
+      if (line == ".") break;
+      response.payload += UnstuffPayloadLine(line);
+      response.payload += '\n';
+    }
+    return response;
+  }
+  if (first.rfind("ERR ", 0) == 0) {
+    response.ok = false;
+    const std::string rest = first.substr(4);
+    const size_t space = rest.find(' ');
+    if (space == std::string::npos) {
+      response.code = rest;
+    } else {
+      response.code = rest.substr(0, space);
+      response.info = rest.substr(space + 1);
+    }
+    return response;
+  }
+  return Status::Corruption("malformed response line: " + first);
+}
+
+Result<ClientResponse> BlockingClient::Exec(const std::string& command) {
+  SETM_RETURN_IF_ERROR(SendLine(command));
+  return ReadResponse();
+}
+
+}  // namespace setm::net

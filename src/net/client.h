@@ -1,0 +1,59 @@
+#ifndef SETM_NET_CLIENT_H_
+#define SETM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace setm::net {
+
+/// One parsed server response.
+struct ClientResponse {
+  bool ok = false;      ///< "OK ..." vs "ERR ..."
+  std::string code;     ///< ERR only: the StatusCode name ("NotFound", ...)
+  std::string info;     ///< the rest of the OK line / the ERR message
+  std::string payload;  ///< OK only: dot-unstuffed lines up to the "." frame
+};
+
+/// A synchronous client for the setm_served line protocol — the building
+/// block of setm_loadgen, the server bench and the tests. One request at a
+/// time: Exec() writes the command line and blocks until the terminating
+/// frame (the "." line of an OK payload, or the single ERR line) arrives.
+class BlockingClient {
+ public:
+  /// Connects with a socket receive timeout (0 = none): a server that stops
+  /// responding turns into an IOError instead of a hung client.
+  static Result<std::unique_ptr<BlockingClient>> Connect(
+      const std::string& host, uint16_t port, int timeout_ms = 30000);
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Sends one raw line (LF appended). Used for APPEND data rows.
+  Status SendLine(const std::string& line);
+
+  /// Sends `command` and reads the full response.
+  Result<ClientResponse> Exec(const std::string& command);
+
+  /// Reads one response without sending anything (the APPEND flow: rows are
+  /// streamed with SendLine, then the final "." triggers the response).
+  Result<ClientResponse> ReadResponse();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit BlockingClient(int fd) : fd_(fd) {}
+
+  Result<std::string> ReadLine();
+
+  int fd_;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace setm::net
+
+#endif  // SETM_NET_CLIENT_H_

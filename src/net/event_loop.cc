@@ -1,0 +1,125 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace setm::net {
+
+namespace {
+
+Status SetNonBlockingCloexec(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError("fcntl(O_NONBLOCK): " +
+                           std::string(strerror(errno)));
+  }
+  int fdflags = ::fcntl(fd, F_GETFD, 0);
+  if (fdflags < 0 || ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) < 0) {
+    return Status::IOError("fcntl(FD_CLOEXEC): " +
+                           std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  std::unique_ptr<EventLoop> loop(new EventLoop());
+  if (::pipe(loop->wake_fds_) != 0) {
+    return Status::IOError("pipe: " + std::string(strerror(errno)));
+  }
+  SETM_RETURN_IF_ERROR(SetNonBlockingCloexec(loop->wake_fds_[0]));
+  SETM_RETURN_IF_ERROR(SetNonBlockingCloexec(loop->wake_fds_[1]));
+  return loop;
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+Status EventLoop::Add(int fd, uint32_t interest, Handler handler) {
+  auto [it, inserted] = fds_.emplace(fd, Registration{});
+  if (!inserted) {
+    return Status::AlreadyExists("fd " + std::to_string(fd) +
+                                 " already registered");
+  }
+  it->second.interest = interest;
+  it->second.handler = std::move(handler);
+  it->second.gen = next_gen_++;
+  return Status::OK();
+}
+
+Status EventLoop::SetInterest(int fd, uint32_t interest) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return Status::NotFound("fd " + std::to_string(fd) + " not registered");
+  }
+  it->second.interest = interest;
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) { fds_.erase(fd); }
+
+Result<int> EventLoop::PollOnce(int timeout_ms) {
+  pollfds_.clear();
+  // Slot 0 is always the wakeup pipe; handler slots follow with their
+  // registration generation remembered so a handler that closes an fd
+  // mid-round (whose number accept may immediately reuse) cannot have the
+  // stale readiness delivered to the new owner.
+  pollfds_.push_back({wake_fds_[0], POLLIN, 0});
+  std::vector<std::pair<int, uint64_t>> order;
+  order.reserve(fds_.size());
+  for (const auto& [fd, reg] : fds_) {
+    short events = 0;
+    if (reg.interest & kReadEvent) events |= POLLIN;
+    if (reg.interest & kWriteEvent) events |= POLLOUT;
+    pollfds_.push_back({fd, events, 0});
+    order.emplace_back(fd, reg.gen);
+  }
+
+  int ready = ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return 0;
+    return Status::IOError("poll: " + std::string(strerror(errno)));
+  }
+
+  // Drain wakeup bytes; their only job was ending the wait.
+  if (pollfds_[0].revents != 0) {
+    char buf[256];
+    while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  int dispatched = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    short revents = pollfds_[i + 1].revents;
+    if (revents == 0) continue;
+    auto it = fds_.find(order[i].first);
+    if (it == fds_.end() || it->second.gen != order[i].second) continue;
+    uint32_t events = 0;
+    if (revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) {
+      events |= kReadEvent;
+    }
+    if (revents & POLLOUT) events |= kWriteEvent;
+    if (events == 0) continue;
+    // The handler may mutate fds_; copy enough to survive that.
+    Handler handler = it->second.handler;
+    handler(events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::Wakeup() {
+  // Async-signal-safe by construction: one write, errors ignored (a full
+  // pipe already guarantees the loop will wake).
+  char byte = 'w';
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+}  // namespace setm::net

@@ -1,0 +1,83 @@
+#ifndef SETM_NET_EVENT_LOOP_H_
+#define SETM_NET_EVENT_LOOP_H_
+
+#include <poll.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace setm::net {
+
+/// Readiness bits delivered to handlers. Error and hangup conditions are
+/// folded into kReadEvent so the handler's next read() observes them (EOF
+/// or errno) instead of the loop inventing a third code path.
+constexpr uint32_t kReadEvent = 1u << 0;
+constexpr uint32_t kWriteEvent = 1u << 1;
+
+/// A single-threaded readiness loop over poll(2) — the dispatcher under the
+/// mining server. One thread owns the loop; handlers run inline inside
+/// PollOnce. The only cross-thread (and async-signal-safe) entry point is
+/// Wakeup(): worker threads and signal handlers write one byte to an
+/// internal self-pipe to make a sleeping PollOnce return immediately, which
+/// is how job completions and SIGTERM reach the loop thread.
+///
+/// Handlers may Add/SetInterest/Remove any fd — including their own — from
+/// inside a callback: registrations are generation-counted, so readiness
+/// gathered for an fd that was closed (and possibly reused by accept) in
+/// the same round is discarded rather than misdelivered.
+class EventLoop {
+ public:
+  using Handler = std::function<void(uint32_t events)>;
+
+  /// Builds the loop and its wakeup self-pipe.
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with an interest mask. AlreadyExists if registered.
+  Status Add(int fd, uint32_t interest, Handler handler);
+
+  /// Replaces the interest mask of a registered fd.
+  Status SetInterest(int fd, uint32_t interest);
+
+  /// Drops the registration (the caller closes the fd). Safe to call from
+  /// the fd's own handler; no-op for unregistered fds.
+  void Remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = indefinitely) for readiness, then
+  /// dispatches every ready handler once. Returns the number of handler
+  /// dispatches; a Wakeup() counts zero but still ends the wait.
+  Result<int> PollOnce(int timeout_ms);
+
+  /// Interrupts a sleeping PollOnce. Callable from any thread and from
+  /// signal handlers (one write(2), nothing else).
+  void Wakeup();
+
+  size_t registered_fds() const { return fds_.size(); }
+
+ private:
+  EventLoop() = default;
+
+  struct Registration {
+    uint32_t interest = 0;
+    Handler handler;
+    uint64_t gen = 0;
+  };
+
+  std::unordered_map<int, Registration> fds_;
+  uint64_t next_gen_ = 1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
+  std::vector<struct pollfd> pollfds_;  ///< scratch, rebuilt per round
+};
+
+}  // namespace setm::net
+
+#endif  // SETM_NET_EVENT_LOOP_H_

@@ -1,0 +1,103 @@
+#include "net/line_buffer.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace setm::net {
+
+void LineBuffer::Feed(const char* data, size_t n) {
+  size_t i = 0;
+  while (i < n) {
+    if (discarding_) {
+      // Eat the rest of the oversized line; resync after its newline.
+      while (i < n && data[i] != '\n') ++i;
+      if (i < n) {
+        discarding_ = false;
+        ++i;
+      }
+      continue;
+    }
+    // The next segment: up to the chunk's next newline (or its end).
+    size_t start = i;
+    while (i < n && data[i] != '\n') ++i;
+    const bool terminated = i < n;
+    // Length the in-progress line would reach with this segment appended;
+    // everything before the last buffered newline is already-accepted
+    // complete lines.
+    const size_t last_nl = pending_.rfind('\n');
+    const size_t open = last_nl == std::string::npos
+                            ? pending_.size()
+                            : pending_.size() - last_nl - 1;
+    if (open + (i - start) > max_line_) {
+      // Oversized: drop the partial line, count the event once, and eat
+      // bytes up to and including the line's newline.
+      pending_.resize(last_nl == std::string::npos ? 0 : last_nl + 1);
+      ++oversized_;
+      if (terminated) {
+        ++i;  // its newline is in this chunk: already resynchronized
+      } else {
+        discarding_ = true;
+      }
+      continue;
+    }
+    pending_.append(data + start, i - start);
+    if (terminated) {
+      pending_.push_back('\n');
+      ++i;
+    }
+  }
+}
+
+bool LineBuffer::NextLine(std::string* line) {
+  size_t nl = pending_.find('\n');
+  if (nl == std::string::npos) return false;
+  size_t len = nl;
+  if (len > 0 && pending_[len - 1] == '\r') --len;  // CRLF
+  line->assign(pending_, 0, len);
+  pending_.erase(0, nl + 1);
+  return true;
+}
+
+size_t LineBuffer::TakeOversized() {
+  size_t n = oversized_;
+  oversized_ = 0;
+  return n;
+}
+
+Status WriteBuffer::Append(const std::string& data) {
+  if (pending_bytes() + data.size() > max_) {
+    return Status::ResourceExhausted(
+        "write backlog would exceed " + std::to_string(max_) +
+        " bytes (client not reading responses)");
+  }
+  // Compact before growing: the already-written prefix is dead weight.
+  if (offset_ > 0 && (offset_ >= buf_.size() || offset_ > (max_ >> 2))) {
+    buf_.erase(0, offset_);
+    offset_ = 0;
+  }
+  buf_.append(data);
+  return Status::OK();
+}
+
+Result<size_t> WriteBuffer::DrainTo(int fd) {
+  size_t total = 0;
+  while (offset_ < buf_.size()) {
+    ssize_t n = ::write(fd, buf_.data() + offset_, buf_.size() - offset_);
+    if (n > 0) {
+      offset_ += static_cast<size_t>(n);
+      total += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError("write: " + std::string(strerror(errno)));
+  }
+  if (offset_ >= buf_.size()) {
+    buf_.clear();
+    offset_ = 0;
+  }
+  return total;
+}
+
+}  // namespace setm::net

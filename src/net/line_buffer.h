@@ -1,0 +1,79 @@
+#ifndef SETM_NET_LINE_BUFFER_H_
+#define SETM_NET_LINE_BUFFER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace setm::net {
+
+/// Incremental line framing over a byte stream, the read half of a
+/// connection. Bytes arrive in arbitrary chunks (partial lines, many lines
+/// coalesced into one read); NextLine() hands back complete lines with the
+/// trailing LF — and an optional preceding CR — stripped, so CRLF and LF
+/// clients look identical to the protocol layer.
+///
+/// The buffer is bounded: a line longer than `max_line_bytes` is *rejected,
+/// not buffered* — the offending bytes are discarded up to and including
+/// the terminating newline, one oversize event is recorded for the session
+/// to answer with a protocol error, and framing resynchronizes on the next
+/// line. Memory stays O(max_line_bytes) no matter what a client sends.
+class LineBuffer {
+ public:
+  explicit LineBuffer(size_t max_line_bytes) : max_line_(max_line_bytes) {}
+
+  /// Appends one read()'s worth of bytes.
+  void Feed(const char* data, size_t n);
+
+  /// Extracts the next complete line (terminator stripped). Returns false
+  /// when no complete line is buffered yet.
+  bool NextLine(std::string* line);
+
+  /// Oversized-line events recorded since the last call (each counts one
+  /// discarded line); calling resets the counter to zero.
+  size_t TakeOversized();
+
+  /// Bytes currently buffered (the partial tail of the next line).
+  size_t buffered_bytes() const { return pending_.size(); }
+
+ private:
+  size_t max_line_;
+  std::string pending_;
+  bool discarding_ = false;  ///< inside an oversized line, eat until LF
+  size_t oversized_ = 0;
+};
+
+/// The write half: a bounded outgoing byte queue with short-write handling.
+/// Responses are Append()ed whole; DrainTo() writes as much as the socket
+/// accepts right now and keeps the rest for the next writable event.
+///
+/// The cap is an admission-control backstop against clients that request
+/// large payloads and never read them: Append fails with ResourceExhausted
+/// once the backlog would exceed `max_bytes`, and the session closes the
+/// connection instead of buffering without bound.
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(size_t max_bytes) : max_(max_bytes) {}
+
+  /// Queues `data`; ResourceExhausted when the backlog would exceed the cap.
+  Status Append(const std::string& data);
+
+  /// Writes buffered bytes to `fd` until done or the socket would block.
+  /// Returns the byte count written (possibly 0); IOError on a write
+  /// failure other than EAGAIN/EINTR.
+  Result<size_t> DrainTo(int fd);
+
+  bool empty() const { return offset_ >= buf_.size(); }
+  size_t pending_bytes() const { return buf_.size() - offset_; }
+
+ private:
+  size_t max_;
+  std::string buf_;
+  size_t offset_ = 0;  ///< bytes of buf_ already written
+};
+
+}  // namespace setm::net
+
+#endif  // SETM_NET_LINE_BUFFER_H_

@@ -1,0 +1,103 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace setm::net {
+
+Status MakeNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError("fcntl(O_NONBLOCK): " +
+                           std::string(strerror(errno)));
+  }
+  int fdflags = ::fcntl(fd, F_GETFD, 0);
+  if (fdflags < 0 || ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) < 0) {
+    return Status::IOError("fcntl(FD_CLOEXEC): " +
+                           std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<std::unique_ptr<Listener>> Listener::Bind(const std::string& host,
+                                                 uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket: " + std::string(strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("bind " + host + ":" + std::to_string(port) +
+                               ": " + strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status s = Status::IOError("listen: " + std::string(strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  Status nb = MakeNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  // Recover the port the kernel picked when 0 was requested.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status s = Status::IOError("getsockname: " + std::string(strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<Listener>(new Listener(fd, ntohs(bound.sin_port)));
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<int> Listener::Accept() {
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return -1;
+    }
+    if (errno == EMFILE || errno == ENFILE) {
+      return Status::ResourceExhausted("accept: " +
+                                       std::string(strerror(errno)));
+    }
+    return Status::IOError("accept: " + std::string(strerror(errno)));
+  }
+  Status nb = MakeNonBlocking(client);
+  if (!nb.ok()) {
+    ::close(client);
+    return nb;
+  }
+  SetNoDelay(client);
+  return client;
+}
+
+}  // namespace setm::net

@@ -1,0 +1,53 @@
+#ifndef SETM_NET_LISTENER_H_
+#define SETM_NET_LISTENER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace setm::net {
+
+/// Marks `fd` non-blocking + close-on-exec. Every fd the server touches —
+/// listener, accepted connections, pipes — goes through this.
+Status MakeNonBlocking(int fd);
+
+/// Disables Nagle on a TCP socket; best-effort (a failure is ignorable for
+/// correctness, it only batches small responses).
+void SetNoDelay(int fd);
+
+/// A non-blocking TCP listening socket bound to an IPv4 address.
+///
+/// Port 0 asks the kernel for an ephemeral port; port() reports the one
+/// actually bound, which the daemon prints (and writes to --port-file) so
+/// scripts and tests never race on a fixed port.
+class Listener {
+ public:
+  static Result<std::unique_ptr<Listener>> Bind(const std::string& host,
+                                                uint16_t port, int backlog);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection, already non-blocking + NODELAY.
+  /// Returns -1 when no connection is pending (EAGAIN); an IOError Status
+  /// for real failures. EMFILE/ENFILE come back as ResourceExhausted so the
+  /// server can shed load instead of dying.
+  Result<int> Accept();
+
+ private:
+  Listener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  uint16_t port_;
+};
+
+}  // namespace setm::net
+
+#endif  // SETM_NET_LISTENER_H_

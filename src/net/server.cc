@@ -1,0 +1,857 @@
+#include "net/server.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/mining_planner.h"
+#include "core/miner_registry.h"
+#include "core/rules.h"
+#include "exec/worker_pool.h"
+#include "net/line_buffer.h"
+#include "net/protocol.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace setm::net {
+
+namespace {
+
+/// Process-wide `setm_srv_*` series, resolved once (the same registry the
+/// STATS verb exports, so the server reports on itself).
+struct SrvMetrics {
+  obs::Counter* connections_total;
+  obs::Gauge* connections_active;
+  obs::Counter* requests_total;
+  obs::Counter* rejected_connections_total;
+  obs::Counter* rejected_busy_total;
+  obs::Counter* oversized_lines_total;
+  obs::Counter* parse_errors_total;
+  obs::Counter* disconnects_total;
+  obs::Counter* cancelled_jobs_total;
+  obs::Counter* request_timeouts_total;
+  obs::Counter* idle_closes_total;
+  obs::Counter* bytes_read_total;
+  obs::Counter* bytes_written_total;
+  obs::Histogram* request_micros;
+};
+
+SrvMetrics& Srv() {
+  static SrvMetrics m = [] {
+    auto* reg = obs::MetricsRegistry::Global();
+    SrvMetrics s;
+    s.connections_total = reg->GetCounter(
+        "setm_srv_connections_total", "connections accepted by the server");
+    s.connections_active =
+        reg->GetGauge("setm_srv_connections_active", "open connections");
+    s.requests_total = reg->GetCounter("setm_srv_requests_total",
+                                       "request lines parsed successfully");
+    s.rejected_connections_total =
+        reg->GetCounter("setm_srv_rejected_connections_total",
+                        "connections refused by the max-connections cap");
+    s.rejected_busy_total =
+        reg->GetCounter("setm_srv_rejected_busy_total",
+                        "requests refused because one was already in flight");
+    s.oversized_lines_total = reg->GetCounter(
+        "setm_srv_oversized_lines_total", "request lines over the byte cap");
+    s.parse_errors_total =
+        reg->GetCounter("setm_srv_parse_errors_total",
+                        "request lines answered with a parse error");
+    s.disconnects_total = reg->GetCounter("setm_srv_disconnects_total",
+                                          "client-initiated disconnects");
+    s.cancelled_jobs_total =
+        reg->GetCounter("setm_srv_cancelled_jobs_total",
+                        "jobs cancelled (disconnect, timeout, shutdown)");
+    s.request_timeouts_total =
+        reg->GetCounter("setm_srv_request_timeouts_total",
+                        "jobs cancelled by the request timeout");
+    s.idle_closes_total = reg->GetCounter(
+        "setm_srv_idle_closes_total", "connections closed by the idle timeout");
+    s.bytes_read_total =
+        reg->GetCounter("setm_srv_bytes_read_total", "bytes read from clients");
+    s.bytes_written_total = reg->GetCounter("setm_srv_bytes_written_total",
+                                            "bytes written to clients");
+    s.request_micros = reg->GetHistogram(
+        "setm_srv_request_micros",
+        "dispatch-to-completion latency of mining jobs, microseconds");
+    return s;
+  }();
+  return m;
+}
+
+obs::Counter* VerbCounter(Verb verb) {
+  return obs::MetricsRegistry::Global()->GetCounter(
+      std::string("setm_srv_requests_") + VerbName(verb) + "_total",
+      "requests by verb");
+}
+
+}  // namespace
+
+/// One connected client, owned by the loop thread.
+struct MiningServer::Session {
+  enum class State {
+    kCommand,      ///< expecting a request line
+    kAppend,       ///< collecting APPEND rows until "."
+    kAppendDrain,  ///< row error: swallow rows until ".", then answer ERR
+    kClosing,      ///< QUIT/shutdown: flush, then close; input ignored
+  };
+
+  Session(uint64_t id_in, int fd_in, const ServerOptions& options)
+      : id(id_in),
+        fd(fd_in),
+        in(options.max_line_bytes),
+        out(options.max_write_buffer_bytes) {}
+
+  uint64_t id;
+  int fd;
+  LineBuffer in;
+  WriteBuffer out;
+  State state = State::kCommand;
+  /// The in-flight job (at most one per connection).
+  std::shared_ptr<Job> job;
+  /// The last successful MINE/APPEND answer, the input RULES works on.
+  std::shared_ptr<const FrequentItemsets> last_itemsets;
+  /// APPEND collection state.
+  Command append_cmd;
+  TransactionDb append_batch;
+  Status append_error;
+  WallTimer activity;
+};
+
+/// One dispatched request. The loop thread fills the inputs before Submit,
+/// the worker fills the results before Notify; the pool and pipe mutexes
+/// order the two phases, so neither side needs further locking (the cancel
+/// flag and timeout bit, written concurrently, are atomics).
+struct MiningServer::Job {
+  uint64_t id = 0;
+  uint64_t session_id = 0;
+  Verb verb = Verb::kMine;
+  Command cmd;
+  CancelFlag cancel;
+  std::atomic<bool> timed_out{false};
+  WallTimer dispatched;
+  TransactionDb append_batch;                             ///< APPEND input
+  std::shared_ptr<const FrequentItemsets> rules_input;    ///< RULES input
+
+  // Worker-filled results.
+  std::string response;  ///< fully framed (OK payload or ERR line)
+  std::shared_ptr<const FrequentItemsets> result_itemsets;
+  bool cancelled_result = false;
+  std::unique_ptr<obs::TraceSpan> trace_root;
+};
+
+namespace {
+
+/// The per-job cancellation seam: vetoes the next iteration once the loop
+/// thread cancelled the job (disconnect, QUIT, shutdown) or the request
+/// timeout elapsed. Runs on the job thread inside the mining loop.
+class JobObserver : public MiningObserver {
+ public:
+  JobObserver(CancelFlag* cancel, std::atomic<bool>* timed_out,
+              const WallTimer* dispatched, const ServerOptions* options)
+      : cancel_(cancel),
+        timed_out_(timed_out),
+        dispatched_(dispatched),
+        options_(options) {}
+
+  bool OnIteration(const IterationStats& stats) override {
+    if (options_->hooks.on_iteration) options_->hooks.on_iteration(stats);
+    if (options_->request_timeout_ms > 0 &&
+        dispatched_->ElapsedSeconds() * 1000.0 >
+            static_cast<double>(options_->request_timeout_ms)) {
+      timed_out_->store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return !cancel_->cancelled();
+  }
+
+ private:
+  CancelFlag* cancel_;
+  std::atomic<bool>* timed_out_;
+  const WallTimer* dispatched_;
+  const ServerOptions* options_;
+};
+
+}  // namespace
+
+MiningServer::MiningServer(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+MiningServer::~MiningServer() {
+  RequestShutdown();
+  if (run_thread_.joinable()) run_thread_.join();
+  for (auto& [id, job] : jobs_) job->cancel.Cancel();
+  // job_pool_ (declared last, destroyed first) joins in-flight jobs here.
+  job_pool_.reset();
+  for (auto& [id, session] : sessions_) ::close(session->fd);
+  sessions_.clear();
+}
+
+Result<std::unique_ptr<MiningServer>> MiningServer::Create(
+    Database* db, ServerOptions options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("server requires an open database");
+  }
+  if (options.job_threads == 0) options.job_threads = 1;
+  if (options.default_mine_threads == 0) options.default_mine_threads = 1;
+  if (options.max_connections == 0) options.max_connections = 1;
+  std::unique_ptr<MiningServer> server(
+      new MiningServer(db, std::move(options)));
+
+  auto loop_or = EventLoop::Create();
+  if (!loop_or.ok()) return loop_or.status();
+  server->loop_ = std::move(loop_or).value();
+
+  auto pipe_or = CompletionPipe::Create();
+  if (!pipe_or.ok()) return pipe_or.status();
+  server->completions_ = std::move(pipe_or).value();
+
+  auto listener_or = Listener::Bind(server->options_.host,
+                                    server->options_.port,
+                                    server->options_.backlog);
+  if (!listener_or.ok()) return listener_or.status();
+  server->listener_ = std::move(listener_or).value();
+  server->bound_port_ = server->listener_->port();
+
+  server->job_pool_ =
+      std::make_unique<WorkerPool>(server->options_.job_threads);
+
+  MiningServer* s = server.get();
+  SETM_RETURN_IF_ERROR(server->loop_->Add(
+      server->listener_->fd(), kReadEvent,
+      [s](uint32_t) { s->AcceptPending(); }));
+  SETM_RETURN_IF_ERROR(server->loop_->Add(
+      server->completions_->read_fd(), kReadEvent,
+      [s](uint32_t) { s->DrainCompletions(); }));
+  return server;
+}
+
+uint16_t MiningServer::port() const { return bound_port_; }
+
+void MiningServer::RequestShutdown() {
+  shutdown_requested_.store(true, std::memory_order_relaxed);
+  if (loop_ != nullptr) loop_->Wakeup();
+}
+
+Status MiningServer::Start() {
+  if (run_thread_.joinable()) {
+    return Status::AlreadyExists("server already started");
+  }
+  run_thread_ = std::thread([this] {
+    Status s = Run();
+    std::lock_guard<std::mutex> lock(run_status_mutex_);
+    run_status_ = s;
+  });
+  return Status::OK();
+}
+
+Status MiningServer::Stop() {
+  RequestShutdown();
+  if (run_thread_.joinable()) run_thread_.join();
+  std::lock_guard<std::mutex> lock(run_status_mutex_);
+  return run_status_;
+}
+
+ServerStats MiningServer::Stats() const {
+  ServerStats out;
+  out.connections_accepted = stats_.connections_accepted.load();
+  out.connections_active = stats_.connections_active.load();
+  out.requests = stats_.requests.load();
+  out.disconnects = stats_.disconnects.load();
+  out.cancelled_jobs = stats_.cancelled_jobs.load();
+  out.rejected_connections = stats_.rejected_connections.load();
+  out.rejected_busy = stats_.rejected_busy.load();
+  out.parse_errors = stats_.parse_errors.load();
+  out.oversized_lines = stats_.oversized_lines.load();
+  out.request_timeouts = stats_.request_timeouts.load();
+  out.idle_closes = stats_.idle_closes.load();
+  return out;
+}
+
+Status MiningServer::Run() {
+  SETM_LOG(kInfo) << "serving on " << options_.host << ":" << bound_port_
+                  << " (" << options_.job_threads << " job threads)";
+  while (!stop_loop_) {
+    const int timeout_ms = shutting_down_ ? 20 : 100;
+    auto n_or = loop_->PollOnce(timeout_ms);
+    if (!n_or.ok()) return n_or.status();
+    Tick();
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  for (uint64_t id : ids) CloseSession(id, "server stopped");
+  SETM_LOG(kInfo) << "server stopped";
+  return Status::OK();
+}
+
+void MiningServer::Tick() {
+  if (!shutting_down_ &&
+      (shutdown_requested_.load(std::memory_order_relaxed) ||
+       (options_.shutdown_flag != nullptr && *options_.shutdown_flag != 0))) {
+    BeginShutdown();
+  }
+
+  if (options_.request_timeout_ms > 0) {
+    for (auto& [id, session] : sessions_) {
+      Job* job = session->job.get();
+      if (job != nullptr && !job->cancel.cancelled() &&
+          job->dispatched.ElapsedSeconds() * 1000.0 >
+              static_cast<double>(options_.request_timeout_ms)) {
+        job->timed_out.store(true, std::memory_order_relaxed);
+        job->cancel.Cancel();
+      }
+    }
+  }
+
+  if (options_.idle_timeout_ms > 0 && !shutting_down_) {
+    std::vector<uint64_t> idle;
+    for (auto& [id, session] : sessions_) {
+      if (session->job == nullptr && session->out.empty() &&
+          session->state == Session::State::kCommand &&
+          session->activity.ElapsedSeconds() * 1000.0 >
+              static_cast<double>(options_.idle_timeout_ms)) {
+        idle.push_back(id);
+      }
+    }
+    for (uint64_t id : idle) {
+      stats_.idle_closes.fetch_add(1);
+      Srv().idle_closes_total->Increment();
+      CloseSession(id, "idle timeout");
+    }
+  }
+
+  if (shutting_down_) {
+    const bool grace_over =
+        shutdown_timer_.ElapsedSeconds() * 1000.0 >
+        static_cast<double>(options_.shutdown_grace_ms);
+    if (jobs_.empty()) {
+      std::vector<uint64_t> done;
+      for (auto& [id, session] : sessions_) {
+        if (session->out.empty() || grace_over) done.push_back(id);
+      }
+      for (uint64_t id : done) CloseSession(id, "shutdown");
+      if (sessions_.empty()) stop_loop_ = true;
+    } else if (grace_over) {
+      SETM_LOG(kWarn) << "shutdown grace elapsed with " << jobs_.size()
+                      << " jobs still running; abandoning their responses";
+      std::vector<uint64_t> ids;
+      for (const auto& [id, session] : sessions_) ids.push_back(id);
+      for (uint64_t id : ids) CloseSession(id, "shutdown (grace elapsed)");
+      stop_loop_ = true;
+    }
+  }
+}
+
+void MiningServer::BeginShutdown() {
+  shutting_down_ = true;
+  shutdown_timer_.Restart();
+  SETM_LOG(kInfo) << "shutdown requested: " << sessions_.size()
+                  << " connections, " << jobs_.size() << " jobs in flight";
+  if (listener_ != nullptr) {
+    loop_->Remove(listener_->fd());
+    listener_.reset();  // stop accepting; closes the socket
+  }
+  for (auto& [id, session] : sessions_) {
+    session->state = Session::State::kClosing;
+    if (session->job != nullptr) session->job->cancel.Cancel();
+  }
+}
+
+void MiningServer::AcceptPending() {
+  while (listener_ != nullptr) {
+    auto fd_or = listener_->Accept();
+    if (!fd_or.ok()) {
+      SETM_LOG(kWarn) << "accept failed: " << fd_or.status().ToString();
+      return;
+    }
+    const int fd = fd_or.value();
+    if (fd < 0) return;  // drained
+    stats_.connections_accepted.fetch_add(1);
+    Srv().connections_total->Increment();
+    if (shutting_down_ || sessions_.size() >= options_.max_connections) {
+      stats_.rejected_connections.fetch_add(1);
+      Srv().rejected_connections_total->Increment();
+      const std::string err = FrameError(Status::ResourceExhausted(
+          shutting_down_
+              ? "server shutting down"
+              : "server at --max-conns " +
+                    std::to_string(options_.max_connections) +
+                    " connections"));
+      // Best-effort: the empty socket buffer virtually always takes it.
+      [[maybe_unused]] ssize_t n = ::write(fd, err.data(), err.size());
+      ::close(fd);
+      continue;
+    }
+    const uint64_t id = next_session_id_++;
+    auto session = std::make_unique<Session>(id, fd, options_);
+    Status added = loop_->Add(
+        fd, kReadEvent, [this, id](uint32_t events) {
+          OnSessionEvent(id, events);
+        });
+    if (!added.ok()) {
+      SETM_LOG(kWarn) << "cannot register connection: " << added.ToString();
+      ::close(fd);
+      continue;
+    }
+    sessions_[id] = std::move(session);
+    stats_.connections_active.store(sessions_.size());
+    Srv().connections_active->Set(static_cast<int64_t>(sessions_.size()));
+  }
+}
+
+void MiningServer::OnSessionEvent(uint64_t session_id, uint32_t events) {
+  if (events & kWriteEvent) {
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;
+    FlushSession(it->second.get());
+  }
+  if ((events & kReadEvent) == 0) return;
+
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;  // closed by the flush above
+  Session* session = it->second.get();
+
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(session->fd, buf, sizeof(buf));
+    if (n > 0) {
+      Srv().bytes_read_total->Increment(static_cast<uint64_t>(n));
+      session->in.Feed(buf, static_cast<size_t>(n));
+      session->activity.Restart();
+      continue;
+    }
+    if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+      if (n < 0 && errno == EINTR) continue;
+      // EOF or a hard error: the client went away. Cancel its job — the
+      // observer vetoes the next iteration — and free the connection slot.
+      stats_.disconnects.fetch_add(1);
+      Srv().disconnects_total->Increment();
+      CloseSession(session_id, n == 0 ? "client disconnected"
+                                      : "read error");
+      return;
+    }
+    break;  // EAGAIN: drained
+  }
+
+  const size_t oversized = session->in.TakeOversized();
+  for (size_t i = 0; i < oversized; ++i) {
+    stats_.oversized_lines.fetch_add(1);
+    Srv().oversized_lines_total->Increment();
+    auto sit = sessions_.find(session_id);
+    if (sit == sessions_.end()) return;  // Send() may close on overflow
+    Send(sit->second.get(),
+         FrameError(Status::ResourceExhausted(
+             "line exceeds " + std::to_string(options_.max_line_bytes) +
+             " bytes")));
+  }
+  ProcessLines(session_id);
+}
+
+void MiningServer::ProcessLines(uint64_t session_id) {
+  std::string line;
+  while (true) {
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;  // closed by a handler below
+    Session* session = it->second.get();
+    if (!session->in.NextLine(&line)) return;
+    switch (session->state) {
+      case Session::State::kCommand:
+        HandleCommand(session, line);
+        break;
+      case Session::State::kAppend:
+      case Session::State::kAppendDrain:
+        HandleAppendData(session, line);
+        break;
+      case Session::State::kClosing:
+        break;  // input after QUIT is ignored
+    }
+  }
+}
+
+void MiningServer::HandleCommand(Session* session, const std::string& line) {
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return;
+
+  auto cmd_or = ParseCommand(line);
+  if (!cmd_or.ok()) {
+    stats_.parse_errors.fetch_add(1);
+    Srv().parse_errors_total->Increment();
+    Send(session, FrameError(cmd_or.status()));
+    return;
+  }
+  Command cmd = std::move(cmd_or).value();
+  stats_.requests.fetch_add(1);
+  Srv().requests_total->Increment();
+  VerbCounter(cmd.verb)->Increment();
+
+  switch (cmd.verb) {
+    case Verb::kPing:
+      Send(session, FrameOk("pong", ""));
+      return;
+    case Verb::kQuit: {
+      if (session->job != nullptr) session->job->cancel.Cancel();
+      session->state = Session::State::kClosing;
+      Send(session, FrameOk("bye", ""));
+      return;
+    }
+    case Verb::kStats: {
+      obs::MetricsSnapshot snapshot =
+          obs::MetricsRegistry::Global()->Snapshot();
+      std::string payload = cmd.stats_format == "json"
+                                ? obs::RenderJson(snapshot)
+                            : cmd.stats_format == "prom"
+                                ? obs::RenderPrometheus(snapshot)
+                                : obs::RenderText(snapshot);
+      Send(session, FrameOk("stats format=" + cmd.stats_format, payload));
+      return;
+    }
+    default:
+      break;
+  }
+
+  // Job verbs: one in flight per connection.
+  if (session->job != nullptr) {
+    stats_.rejected_busy.fetch_add(1);
+    Srv().rejected_busy_total->Increment();
+    Send(session,
+         FrameError(Status::ResourceExhausted(
+             "a request is already in flight on this connection; wait for "
+             "its response (PING, STATS and QUIT are always served)")));
+    return;
+  }
+
+  if (cmd.verb == Verb::kMine || cmd.verb == Verb::kExplain ||
+      cmd.verb == Verb::kAppend) {
+    auto info_or = MinerRegistry::Info(cmd.algo);
+    if (!info_or.ok()) {
+      Send(session, FrameError(info_or.status()));
+      return;
+    }
+  }
+
+  if (cmd.verb == Verb::kAppend) {
+    session->state = Session::State::kAppend;
+    session->append_cmd = cmd;
+    session->append_batch.clear();
+    session->append_error = Status::OK();
+    return;  // rows follow; the response comes after "."
+  }
+
+  auto job = std::make_shared<Job>();
+  job->verb = cmd.verb;
+  if (cmd.verb == Verb::kRules) {
+    if (session->last_itemsets == nullptr) {
+      Send(session,
+           FrameError(Status::NotFound(
+               "no mining result on this connection; run MINE first")));
+      return;
+    }
+    job->rules_input = session->last_itemsets;
+  }
+  job->cmd = std::move(cmd);
+  DispatchJob(session, std::move(job));
+}
+
+void MiningServer::HandleAppendData(Session* session,
+                                    const std::string& line) {
+  if (line == ".") {
+    if (session->state == Session::State::kAppendDrain) {
+      session->state = Session::State::kCommand;
+      Send(session, FrameError(session->append_error));
+      return;
+    }
+    session->state = Session::State::kCommand;
+    auto job = std::make_shared<Job>();
+    job->verb = Verb::kAppend;
+    job->cmd = session->append_cmd;
+    job->append_batch = std::move(session->append_batch);
+    session->append_batch.clear();
+    DispatchJob(session, std::move(job));
+    return;
+  }
+  if (session->state == Session::State::kAppendDrain) return;
+
+  if (session->append_batch.size() >= options_.max_append_rows) {
+    session->state = Session::State::kAppendDrain;
+    session->append_error = Status::ResourceExhausted(
+        "APPEND batch exceeds " + std::to_string(options_.max_append_rows) +
+        " rows");
+    return;
+  }
+  auto row_or = ParseAppendRow(line);
+  if (!row_or.ok()) {
+    stats_.parse_errors.fetch_add(1);
+    Srv().parse_errors_total->Increment();
+    session->state = Session::State::kAppendDrain;
+    session->append_error = row_or.status();
+    return;
+  }
+  session->append_batch.push_back(std::move(row_or).value());
+}
+
+void MiningServer::DispatchJob(Session* session, std::shared_ptr<Job> job) {
+  job->id = next_job_id_++;
+  job->session_id = session->id;
+  job->dispatched.Restart();
+  session->job = job;
+  jobs_[job->id] = job;
+  std::shared_ptr<Job> j = std::move(job);
+  job_pool_->Submit([this, j] { RunJobBody(j); });
+}
+
+void MiningServer::RunJobBody(const std::shared_ptr<Job>& job) {
+  Status status;
+  if (job->cancel.cancelled()) {
+    status = Status::Cancelled("request cancelled before it started");
+  } else if (job->verb == Verb::kRules) {
+    // Pure in-memory work on a shared snapshot: no database, no mutex.
+    if (options_.trace) {
+      job->trace_root = std::make_unique<obs::TraceSpan>("request");
+      job->trace_root->AddTag("verb", VerbName(job->verb));
+    }
+    status = ExecuteRulesJob(job.get());
+  } else {
+    std::lock_guard<std::mutex> lock(db_mutex_);
+    if (job->cancel.cancelled()) {
+      status = Status::Cancelled("request cancelled while queued");
+    } else {
+      // The trace root starts inside the mutex so its page-read delta
+      // covers exactly this job's work, not a concurrent job's.
+      if (options_.trace) {
+        job->trace_root =
+            std::make_unique<obs::TraceSpan>("request", db_->io_stats());
+        job->trace_root->AddTag("verb", VerbName(job->verb));
+        job->trace_root->AddTag("table", job->cmd.table);
+      }
+      status = job->verb == Verb::kExplain ? ExecuteExplainJob(job.get())
+                                           : ExecuteMineJob(job.get());
+    }
+  }
+
+  if (!status.ok()) {
+    if (status.IsCancelled()) {
+      job->cancelled_result = true;
+      if (job->timed_out.load(std::memory_order_relaxed)) {
+        status = Status::Cancelled(
+            "request exceeded the " +
+            std::to_string(options_.request_timeout_ms) +
+            " ms request timeout");
+      }
+    }
+    job->response = FrameError(status);
+  }
+  if (job->trace_root != nullptr) {
+    job->trace_root->AddTag(
+        "status",
+        status.ok() ? "ok" : std::string(StatusCodeName(status.code())));
+    job->trace_root->End();
+  }
+  completions_->Notify(job->id);
+}
+
+Status MiningServer::ExecuteMineJob(Job* job) {
+  auto table_or = db_->catalog()->GetTable(job->cmd.table);
+  if (!table_or.ok()) return table_or.status();
+
+  auto info_or = MinerRegistry::Info(job->cmd.algo);
+  if (!info_or.ok()) return info_or.status();
+  size_t threads = job->cmd.threads;
+  if (threads == 0) {
+    threads = info_or.value().honors_threads ? options_.default_mine_threads
+                                             : 1;
+  }
+
+  JobObserver observer(&job->cancel, &job->timed_out, &job->dispatched,
+                       &options_);
+  const TableBacking backing =
+      db_->persistent() ? TableBacking::kHeap : TableBacking::kMemory;
+
+  PlannerOptions planner_options;
+  planner_options.store_prefix = options_.store_prefix;
+  planner_options.store_backing = backing;
+  planner_options.algorithm = job->cmd.algo;
+  planner_options.setm.storage = backing;
+  planner_options.setm.num_threads = threads;
+  planner_options.full_remine_fraction = options_.full_remine_fraction;
+
+  PlanRequest request;
+  request.table = table_or.value();
+  request.options.min_support = job->cmd.min_support;
+  request.options.min_support_count = job->cmd.min_support_count;
+  request.options.max_pattern_length = job->cmd.max_k;
+  request.options.observer = &observer;
+  if (job->verb == Verb::kAppend && !job->append_batch.empty()) {
+    request.append = &job->append_batch;
+  }
+  request.trace = job->trace_root.get();
+
+  // A planner per job is cheap (the cache keys on catalog relations, which
+  // are shared); per-request ALGO/THREADS never leak into another request.
+  MiningPlanner planner(db_, planner_options);
+  auto exec_or = planner.Execute(request);
+  if (!exec_or.ok()) return exec_or.status();
+  PlanExecution exec = std::move(exec_or).value();
+
+  auto itemsets =
+      std::make_shared<FrequentItemsets>(std::move(exec.result.itemsets));
+  itemsets->Normalize();
+  job->result_itemsets = itemsets;
+
+  // The info line is deterministic — no timing, no strategy — so answers to
+  // the same question are byte-identical no matter which plan served them.
+  char info[160];
+  if (job->verb == Verb::kAppend) {
+    std::snprintf(info, sizeof(info),
+                  "appended=%zu patterns=%zu transactions=%llu",
+                  job->append_batch.size(), itemsets->TotalPatterns(),
+                  static_cast<unsigned long long>(itemsets->num_transactions));
+  } else {
+    std::snprintf(info, sizeof(info),
+                  "patterns=%zu transactions=%llu maxk=%zu",
+                  itemsets->TotalPatterns(),
+                  static_cast<unsigned long long>(itemsets->num_transactions),
+                  itemsets->MaxSize());
+  }
+  job->response = FrameOk(info, RenderItemsets(*itemsets));
+  return Status::OK();
+}
+
+Status MiningServer::ExecuteExplainJob(Job* job) {
+  auto table_or = db_->catalog()->GetTable(job->cmd.table);
+  if (!table_or.ok()) return table_or.status();
+
+  PlannerOptions planner_options;
+  planner_options.store_prefix = options_.store_prefix;
+  planner_options.store_backing =
+      db_->persistent() ? TableBacking::kHeap : TableBacking::kMemory;
+  planner_options.algorithm = job->cmd.algo;
+  planner_options.full_remine_fraction = options_.full_remine_fraction;
+
+  PlanRequest request;
+  request.table = table_or.value();
+  request.options.min_support = job->cmd.min_support;
+  request.options.min_support_count = job->cmd.min_support_count;
+  request.options.max_pattern_length = job->cmd.max_k;
+
+  MiningPlanner planner(db_, planner_options);
+  auto plan_or = planner.Plan(request);
+  if (!plan_or.ok()) return plan_or.status();
+  const MiningPlan& plan = plan_or.value();
+  job->response =
+      FrameOk(std::string("explain strategy=") + PlanStrategyName(plan.strategy),
+              plan.Explain());
+  return Status::OK();
+}
+
+Status MiningServer::ExecuteRulesJob(Job* job) {
+  JobObserver observer(&job->cancel, &job->timed_out, &job->dispatched,
+                       &options_);
+  MiningOptions options;
+  options.min_confidence = job->cmd.min_confidence;
+  options.observer = &observer;
+  auto rules_or =
+      GenerateRules(*job->rules_input, options, job->cmd.rule_mode);
+  if (!rules_or.ok()) return rules_or.status();
+  const std::vector<AssociationRule>& rules = rules_or.value();
+  job->response = FrameOk("rules=" + std::to_string(rules.size()),
+                          FormatRulesCsv(rules));
+  return Status::OK();
+}
+
+void MiningServer::DrainCompletions() {
+  for (uint64_t token : completions_->Drain()) FinishJob(token);
+}
+
+void MiningServer::FinishJob(uint64_t job_id) {
+  auto jit = jobs_.find(job_id);
+  if (jit == jobs_.end()) return;
+  std::shared_ptr<Job> job = jit->second;
+  jobs_.erase(jit);
+
+  Srv().request_micros->ObserveDurationMicros(
+      job->dispatched.ElapsedSeconds());
+  if (job->cancelled_result) {
+    stats_.cancelled_jobs.fetch_add(1);
+    Srv().cancelled_jobs_total->Increment();
+    if (job->timed_out.load(std::memory_order_relaxed)) {
+      stats_.request_timeouts.fetch_add(1);
+      Srv().request_timeouts_total->Increment();
+    }
+  }
+  if (job->trace_root != nullptr) {
+    std::fprintf(stderr, "trace:\n%s",
+                 job->trace_root->Render(2).c_str());
+  }
+
+  auto sit = sessions_.find(job->session_id);
+  if (sit == sessions_.end()) return;  // client gone; response dropped
+  Session* session = sit->second.get();
+  if (session->job != nullptr && session->job->id == job->id) {
+    session->job.reset();
+  }
+  if (job->result_itemsets != nullptr) {
+    session->last_itemsets = job->result_itemsets;
+  }
+  session->activity.Restart();
+  if (session->state == Session::State::kClosing) {
+    // The client already said QUIT (or shutdown began); it got its "bye".
+    FlushSession(session);
+    return;
+  }
+  Send(session, job->response);
+}
+
+void MiningServer::Send(Session* session, const std::string& framed) {
+  Status appended = session->out.Append(framed);
+  if (!appended.ok()) {
+    SETM_LOG(kWarn) << "session " << session->id
+                    << ": write backlog over "
+                    << options_.max_write_buffer_bytes
+                    << " bytes, closing: " << appended.ToString();
+    CloseSession(session->id, "write backlog exceeded");
+    return;
+  }
+  FlushSession(session);
+}
+
+void MiningServer::FlushSession(Session* session) {
+  auto n_or = session->out.DrainTo(session->fd);
+  if (!n_or.ok()) {
+    CloseSession(session->id, "write failed");
+    return;
+  }
+  if (n_or.value() > 0) {
+    Srv().bytes_written_total->Increment(n_or.value());
+  }
+  if (session->out.empty()) {
+    if (session->state == Session::State::kClosing &&
+        session->job == nullptr) {
+      CloseSession(session->id, "quit");
+      return;
+    }
+    loop_->SetInterest(session->fd, kReadEvent);
+  } else {
+    loop_->SetInterest(session->fd, kReadEvent | kWriteEvent);
+  }
+}
+
+void MiningServer::CloseSession(uint64_t session_id, const char* reason) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  Session* session = it->second.get();
+  if (session->job != nullptr) session->job->cancel.Cancel();
+  SETM_LOG(kInfo) << "session " << session_id << " closed: " << reason;
+  loop_->Remove(session->fd);
+  ::close(session->fd);
+  sessions_.erase(it);
+  stats_.connections_active.store(sessions_.size());
+  Srv().connections_active->Set(static_cast<int64_t>(sessions_.size()));
+}
+
+}  // namespace setm::net

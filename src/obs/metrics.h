@@ -80,6 +80,15 @@ class Histogram {
   static constexpr size_t kNumBuckets = 64;
 
   void Observe(uint64_t value);
+
+  /// Records a wall-clock duration given in seconds as microseconds — the
+  /// unit convention every *_micros histogram in the stack (planner, worker
+  /// pool, server request latency) shares, kept in one place so exporters
+  /// and dashboards never mix units.
+  void ObserveDurationMicros(double seconds) {
+    Observe(seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e6));
+  }
+
   HistogramSnapshot Snapshot() const;
 
  private:

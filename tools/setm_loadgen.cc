@@ -1,0 +1,199 @@
+// setm_loadgen — scripted client for the setm_served line protocol.
+//
+//   setm_loadgen --connect HOST:PORT [--script FILE] [--payload-only]
+//                [--fail-on-err] [--timeout-ms N]
+//
+// Reads a script (default: stdin), one directive per line:
+//
+//   MINE sales SUPPORT 2%      any protocol line: sent as a command, one
+//                              response read and printed
+//   !send APPEND sales SUPPORT 2%
+//   !send 101 1 2 3            "!send" transmits the line without reading
+//   .                          a response — how APPEND rows are streamed;
+//                              the bare "." is a normal command line whose
+//                              response is the refreshed mining answer
+//   !sleep 250                 pause (milliseconds)
+//   !abort                     close the socket immediately and exit — the
+//                              "client killed mid-MINE" test: the server
+//                              must cancel the orphaned job within one
+//                              iteration and free the connection slot
+//   # ...                      comment; blank lines are skipped
+//
+// Responses are printed as "OK <info>" / "ERR <Code> <message>" followed by
+// the payload; --payload-only drops the status lines so the output can be
+// diffed byte-for-byte against `setm_mine --format csv`. --fail-on-err
+// exits 3 on the first ERR response (transport failures always exit 1).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+
+namespace {
+
+using namespace setm;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string script;  // empty = stdin
+  bool payload_only = false;
+  bool fail_on_err = false;
+  int timeout_ms = 30000;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect HOST:PORT [--script FILE]\n"
+               "          [--payload-only] [--fail-on-err] [--timeout-ms N]\n"
+               "(script directives: protocol lines, !send <line>, "
+               "!sleep <ms>, !abort, # comment)\n",
+               argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  bool have_connect = false;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--connect") == 0) {
+      const char* v = need_value("--connect");
+      if (v == nullptr) return false;
+      const char* colon = std::strrchr(v, ':');
+      if (colon == nullptr || colon == v) {
+        std::fprintf(stderr, "--connect expects HOST:PORT\n");
+        return false;
+      }
+      out->host.assign(v, colon - v);
+      long port = std::atol(colon + 1);
+      if (port < 1 || port > 65535) {
+        std::fprintf(stderr, "--connect port must be in [1,65535]\n");
+        return false;
+      }
+      out->port = static_cast<uint16_t>(port);
+      have_connect = true;
+    } else if (std::strcmp(argv[i], "--script") == 0) {
+      const char* v = need_value("--script");
+      if (v == nullptr) return false;
+      out->script = v;
+    } else if (std::strcmp(argv[i], "--payload-only") == 0) {
+      out->payload_only = true;
+    } else if (std::strcmp(argv[i], "--fail-on-err") == 0) {
+      out->fail_on_err = true;
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      const char* v = need_value("--timeout-ms");
+      if (v == nullptr) return false;
+      out->timeout_ms = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  if (!have_connect) {
+    std::fprintf(stderr, "--connect is required\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::FILE* script = stdin;
+  if (!args.script.empty() && args.script != "-") {
+    script = std::fopen(args.script.c_str(), "r");
+    if (script == nullptr) {
+      std::fprintf(stderr, "cannot open script %s\n", args.script.c_str());
+      return 2;
+    }
+  }
+
+  auto client_or =
+      net::BlockingClient::Connect(args.host, args.port, args.timeout_ms);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "%s\n", client_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::BlockingClient> client = std::move(client_or).value();
+
+  char buf[16384];
+  int exit_code = 0;
+  while (std::fgets(buf, sizeof(buf), script) != nullptr) {
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line.rfind("!send ", 0) == 0) {
+      Status sent = client->SendLine(line.substr(6));
+      if (!sent.ok()) {
+        std::fprintf(stderr, "%s\n", sent.ToString().c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (line.rfind("!sleep ", 0) == 0) {
+      const long ms = std::atol(line.c_str() + 7);
+      if (ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      continue;
+    }
+    if (line == "!abort") {
+      // Hard close without QUIT: exactly what a killed client looks like
+      // to the server.
+      ::close(client->fd());
+      std::_Exit(exit_code);
+    }
+    if (!line.empty() && line[0] == '!') {
+      std::fprintf(stderr, "unknown directive: %s\n", line.c_str());
+      return 2;
+    }
+
+    auto response_or = client->Exec(line);
+    if (!response_or.ok()) {
+      std::fprintf(stderr, "%s\n", response_or.status().ToString().c_str());
+      return 1;
+    }
+    const net::ClientResponse& response = response_or.value();
+    if (!args.payload_only) {
+      if (response.ok) {
+        std::printf("OK %s\n", response.info.c_str());
+      } else {
+        std::printf("ERR %s %s\n", response.code.c_str(),
+                    response.info.c_str());
+      }
+    }
+    if (response.ok && !response.payload.empty()) {
+      std::fwrite(response.payload.data(), 1, response.payload.size(),
+                  stdout);
+    }
+    std::fflush(stdout);
+    if (!response.ok && args.fail_on_err) {
+      std::fprintf(stderr, "aborting on ERR (--fail-on-err)\n");
+      exit_code = 3;
+      break;
+    }
+  }
+  if (script != stdin) std::fclose(script);
+  return exit_code;
+}

@@ -50,6 +50,7 @@
 // it requires store mode (--store and/or --append).
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,6 +71,22 @@
 namespace {
 
 using namespace setm;
+
+/// Set by SIGINT/SIGTERM; polled by the per-iteration observer, so a
+/// Ctrl-C stops the miner (or rule generator) within one iteration, the
+/// scratch relations are dropped, and the database still gets its
+/// checkpointing Close() — the same cooperative-cancellation seam the
+/// server's disconnect handling uses.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleInterrupt(int) { g_interrupted = 1; }
+
+class InterruptObserver : public MiningObserver {
+ public:
+  bool OnIteration(const IterationStats&) override {
+    return g_interrupted == 0;
+  }
+};
 
 struct Args {
   std::string input;
@@ -457,15 +474,6 @@ Result<MiningResult> RunStoreAppend(const Args& args, Database* db,
   return std::move(appended.result);
 }
 
-std::string JoinItems(const std::vector<ItemId>& items, char sep) {
-  std::string out;
-  for (size_t i = 0; i < items.size(); ++i) {
-    if (i > 0) out += sep;
-    out += std::to_string(items[i]);
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -500,6 +508,14 @@ int main(int argc, char** argv) {
   options.min_confidence = args.minconf_pct / 100.0;
   options.max_pattern_length = args.max_k;
 
+  InterruptObserver interrupt_observer;
+  options.observer = &interrupt_observer;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleInterrupt;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
   // With --db the database lives in (and persists to) a file: Open()
   // validates the superblock of an existing file and rebuilds its catalog,
   // or initializes a fresh one; Close() at the end of main checkpoints and
@@ -527,6 +543,15 @@ int main(int argc, char** argv) {
                            options, &plan_stats, &sink)
           : RunAlgorithm(args, db.get(), txns, options, &plan_stats, &sink);
   if (!result.ok()) {
+    if (result.status().IsCancelled() && g_interrupted != 0) {
+      std::fprintf(stderr, "interrupted; closing database\n");
+      Status closed = db->Close();
+      if (!closed.ok()) {
+        std::fprintf(stderr, "closing database failed: %s\n",
+                     closed.ToString().c_str());
+      }
+      return 130;
+    }
     std::fprintf(stderr, "mining failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
@@ -537,6 +562,15 @@ int main(int argc, char** argv) {
   WallTimer rules_timer;
   auto rules_or = GenerateRules(result.value().itemsets, options, mode);
   if (!rules_or.ok()) {
+    if (rules_or.status().IsCancelled() && g_interrupted != 0) {
+      std::fprintf(stderr, "interrupted; closing database\n");
+      Status closed = db->Close();
+      if (!closed.ok()) {
+        std::fprintf(stderr, "closing database failed: %s\n",
+                     closed.ToString().c_str());
+      }
+      return 130;
+    }
     std::fprintf(stderr, "rule generation failed: %s\n",
                  rules_or.status().ToString().c_str());
     return 1;
@@ -551,13 +585,10 @@ int main(int argc, char** argv) {
   }
 
   if (args.format == "csv") {
-    std::printf("antecedent,consequent,confidence,support,lift\n");
-    for (const AssociationRule& r : rules) {
-      std::printf("%s,%s,%.6f,%.6f,%.6f\n",
-                  JoinItems(r.antecedent, ' ').c_str(),
-                  JoinItems(r.consequent, ' ').c_str(), r.confidence,
-                  r.support, r.lift);
-    }
+    // One shared renderer with the server's RULES verb: both surfaces emit
+    // byte-identical CSV by construction.
+    const std::string csv = FormatRulesCsv(rules);
+    std::fwrite(csv.data(), 1, csv.size(), stdout);
   } else {
     std::printf("%llu transactions, %zu frequent patterns, %zu rules "
                 "(%s, minsup %.2f%%, minconf %.0f%%)\n",
