@@ -86,3 +86,22 @@ server_load_bin="build/$preset/bench/server_load"
 if [[ -x "$server_load_bin" ]]; then
   "$server_load_bin" --smoke
 fi
+
+# Shard smoke: setm_shardctl splits a CSV 3 ways; the distributed mine over
+# file shards AND over three live setm_served daemons must be byte-identical
+# to single-node setm_mine; a killed daemon must surface as a clean
+# Unavailable naming the shard while the survivors keep serving.
+shardctl_bin="build/$preset/tools/setm_shardctl"
+if [[ -x "$shardctl_bin" && -x "$mine_bin" && -x "$served_bin" \
+      && -x "$loadgen_bin" ]]; then
+  scripts/smoke_shards.sh "$shardctl_bin" "$mine_bin" "$served_bin" \
+    "$loadgen_bin"
+fi
+
+# Shard scaling bench smoke: the distributed coordinator must stay
+# bit-identical to single-node SETM at 1/2/4/8 shards and turn an injected
+# shard failure into Unavailable, never wrong output.
+shard_bench_bin="build/$preset/bench/shard_scaling"
+if [[ -x "$shard_bench_bin" ]]; then
+  "$shard_bench_bin" --smoke
+fi

@@ -1,0 +1,169 @@
+#include "baselines/parallel_apriori.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "baselines/apriori.h"
+#include "baselines/hash_tree.h"
+#include "common/timer.h"
+#include "exec/worker_pool.h"
+
+namespace setm {
+
+namespace {
+
+/// One contiguous transaction range [begin, end).
+struct Chunk {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+std::vector<Chunk> SplitChunks(size_t n, size_t want) {
+  const size_t num_chunks = std::max<size_t>(
+      1, std::min(want, std::max<size_t>(1, n)));
+  std::vector<Chunk> chunks(num_chunks);
+  const size_t target = (n + num_chunks - 1) / num_chunks;
+  for (size_t i = 0; i < num_chunks; ++i) {
+    chunks[i].begin = std::min(n, i * target);
+    chunks[i].end = std::min(n, (i + 1) * target);
+  }
+  return chunks;
+}
+
+}  // namespace
+
+Result<MiningResult> ParallelAprioriMiner::Mine(
+    const TransactionDb& transactions, const MiningOptions& options) {
+  SETM_RETURN_IF_ERROR(ValidateTransactions(transactions));
+  WallTimer timer;
+  MiningResult result;
+  result.itemsets.num_transactions = transactions.size();
+  const int64_t minsup = ResolveMinSupportCount(options, transactions.size());
+
+  const std::vector<Chunk> chunks =
+      SplitChunks(transactions.size(), std::max<size_t>(1, num_threads_));
+  WorkerPool* pool = pool_;
+  std::unique_ptr<WorkerPool> owned_pool;
+  if (pool == nullptr && num_threads_ > 1) {
+    owned_pool =
+        std::make_unique<WorkerPool>(std::min(num_threads_, chunks.size()));
+    pool = owned_pool.get();
+  }
+
+  // Pass 1: per-chunk item counts, summed before the filter.
+  std::vector<std::vector<ItemId>> frontier;
+  {
+    WallTimer iter_timer;
+    std::vector<std::unordered_map<ItemId, int64_t>> partial(chunks.size());
+    TaskGroup group(pool);
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      const Chunk chunk = chunks[c];
+      std::unordered_map<ItemId, int64_t>* out = &partial[c];
+      group.Submit([&transactions, chunk, out] {
+        for (size_t t = chunk.begin; t < chunk.end; ++t) {
+          for (ItemId item : transactions[t].items) ++(*out)[item];
+        }
+        return Status::OK();
+      });
+    }
+    SETM_RETURN_IF_ERROR(group.Wait());
+    std::unordered_map<ItemId, int64_t> counts;
+    for (auto& p : partial) {
+      for (const auto& [item, count] : p) counts[item] += count;
+    }
+    std::vector<PatternCount> l1;
+    for (const auto& [item, count] : counts) {
+      if (count >= minsup) l1.push_back(PatternCount{{item}, count});
+    }
+    std::sort(l1.begin(), l1.end(),
+              [](const PatternCount& a, const PatternCount& b) {
+                return a.items < b.items;
+              });
+    for (PatternCount& pc : l1) {
+      frontier.push_back(pc.items);
+      result.itemsets.Add(std::move(pc.items), pc.count);
+    }
+    IterationStats stats;
+    stats.k = 1;
+    stats.r_prime_rows = counts.size();
+    stats.c_size = frontier.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
+  }
+
+  for (size_t k = 2; !frontier.empty(); ++k) {
+    if (options.max_pattern_length != 0 && k > options.max_pattern_length) {
+      break;
+    }
+    WallTimer iter_timer;
+    // Serial, deterministic candidate generation — every chunk counts the
+    // same C_k.
+    std::vector<std::vector<ItemId>> candidates =
+        AprioriMiner::GenerateCandidates(frontier);
+    if (candidates.empty()) break;
+
+    // One hash tree per chunk over the identical candidate list; the tree's
+    // probe stamps make sharing one tree across threads a data race.
+    std::vector<std::unordered_map<std::string, PatternCount>> partial(
+        chunks.size());
+    TaskGroup group(pool);
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      const Chunk chunk = chunks[c];
+      std::unordered_map<std::string, PatternCount>* out = &partial[c];
+      group.Submit([&transactions, &candidates, chunk, k, out] {
+        HashTree tree(k);
+        for (const auto& cand : candidates) tree.Insert(cand);
+        for (size_t t = chunk.begin; t < chunk.end; ++t) {
+          tree.CountTransaction(transactions[t].items);
+        }
+        tree.ForEach([out](const std::vector<ItemId>& items, int64_t count) {
+          if (count == 0) return;
+          PatternCount& pc = (*out)[ItemsetKey(items)];
+          if (pc.count == 0) pc.items = items;
+          pc.count += count;
+        });
+        return Status::OK();
+      });
+    }
+    SETM_RETURN_IF_ERROR(group.Wait());
+
+    std::unordered_map<std::string, PatternCount> counts;
+    for (auto& p : partial) {
+      for (auto& [key, pc] : p) {
+        PatternCount& g = counts[key];
+        if (g.count == 0) g.items = std::move(pc.items);
+        g.count += pc.count;
+      }
+    }
+    frontier.clear();
+    std::vector<PatternCount> lk;
+    for (auto& [key, pc] : counts) {
+      if (pc.count >= minsup) lk.push_back(std::move(pc));
+    }
+    std::sort(lk.begin(), lk.end(),
+              [](const PatternCount& a, const PatternCount& b) {
+                return a.items < b.items;
+              });
+    for (PatternCount& pc : lk) {
+      frontier.push_back(pc.items);
+      result.itemsets.Add(std::move(pc.items), pc.count);
+    }
+
+    IterationStats stats;
+    stats.k = k;
+    stats.r_prime_rows = candidates.size();
+    stats.c_size = frontier.size();
+    stats.seconds = iter_timer.ElapsedSeconds();
+    result.iterations.push_back(stats);
+    SETM_RETURN_IF_ERROR(NotifyIteration(options, stats));
+  }
+
+  result.itemsets.Normalize();
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace setm

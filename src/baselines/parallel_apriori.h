@@ -1,0 +1,40 @@
+#ifndef SETM_BASELINES_PARALLEL_APRIORI_H_
+#define SETM_BASELINES_PARALLEL_APRIORI_H_
+
+#include <cstddef>
+
+#include "core/types.h"
+
+namespace setm {
+
+class WorkerPool;
+
+/// Data-parallel Apriori (the "count distribution" scheme of Agrawal &
+/// Shafer, TKDE'96): transactions are split into contiguous chunks, every
+/// chunk counts the SAME global candidate set against its own hash tree
+/// (HashTree's probe stamps make one tree thread-unsafe, so sharing is not
+/// an option), and per-chunk counts are summed before the minsupport
+/// filter. Candidate generation stays serial and deterministic
+/// (AprioriMiner::GenerateCandidates), so results are bit-identical to the
+/// serial AprioriMiner for any thread count — asserted by
+/// miners_equivalence_test under the registry name "apriori-parallel".
+class ParallelAprioriMiner {
+ public:
+  /// `pool` (optional, borrowed) runs the chunk tasks; without one, a
+  /// private pool of `num_threads` workers is spun up per Mine call when
+  /// num_threads > 1.
+  explicit ParallelAprioriMiner(size_t num_threads = 1,
+                                WorkerPool* pool = nullptr)
+      : num_threads_(num_threads), pool_(pool) {}
+
+  Result<MiningResult> Mine(const TransactionDb& transactions,
+                            const MiningOptions& options);
+
+ private:
+  size_t num_threads_;
+  WorkerPool* pool_;
+};
+
+}  // namespace setm
+
+#endif  // SETM_BASELINES_PARALLEL_APRIORI_H_

@@ -23,6 +23,7 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kCancelled,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code, e.g. "IOError".
@@ -76,6 +77,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -95,6 +99,7 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Renders "OK" or "<CodeName>: <message>" for logs and test failures.
   std::string ToString() const;

@@ -6,10 +6,12 @@
 #include "baselines/ais.h"
 #include "baselines/apriori.h"
 #include "baselines/brute_force.h"
+#include "baselines/parallel_apriori.h"
 #include "core/nested_loop_miner.h"
 #include "core/parallel_setm.h"
 #include "core/setm.h"
 #include "core/setm_sql.h"
+#include "shard/sharded_setm.h"
 
 namespace setm {
 
@@ -39,8 +41,9 @@ class MinerAdapter : public Miner {
     const SetmOptions knobs = request.physical.value_or(knobs_);
     if (!honors_threads_ && knobs.num_threads > 1) {
       return Status::InvalidArgument(
-          "algorithm '" + name_ + "' is not partition-parallel; "
-          "num_threads > 1 is only honored by setm and setm-parallel");
+          "algorithm '" + name_ + "' is not partition-parallel and cannot "
+          "honor num_threads > 1 (MinerRegistry::List reports which "
+          "algorithms can)");
     }
     return MineWith(request, knobs);
   }
@@ -97,6 +100,36 @@ class ParallelSetmAdapter : public MinerAdapter {
       return miner.MineTable(*request.table, request.options);
     }
     return miner.Mine(*request.transactions, request.options);
+  }
+};
+
+class ShardedSetmAdapter : public MinerAdapter {
+ public:
+  using MinerAdapter::MinerAdapter;
+
+ protected:
+  Result<MiningResult> MineWith(const MiningRequest& request,
+                                const SetmOptions& knobs) override {
+    shard::ShardedSetmMiner miner(db(), knobs);
+    if (request.table != nullptr) {
+      return miner.MineTable(*request.table, request.options);
+    }
+    return miner.Mine(*request.transactions, request.options);
+  }
+};
+
+class ParallelAprioriAdapter : public MinerAdapter {
+ public:
+  using MinerAdapter::MinerAdapter;
+
+ protected:
+  Result<MiningResult> MineWith(const MiningRequest& request,
+                                const SetmOptions& knobs) override {
+    TransactionDb storage;
+    auto txns = SourceTransactions(request, &storage);
+    if (!txns.ok()) return txns.status();
+    return ParallelAprioriMiner(knobs.num_threads, db()->worker_pool())
+        .Mine(*txns.value(), request.options);
   }
 };
 
@@ -214,6 +247,13 @@ class RegistryState {
         "partial counts shard-merged before the global support filter",
         /*honors_storage=*/true, /*honors_count_method=*/true,
         /*honors_threads=*/true});
+    AddBuiltin<ShardedSetmAdapter>(MinerInfo{
+        "setm-sharded",
+        "SETM through the distributed two-phase count coordinator: trans_id "
+        "shard slices behind the ShardBackend seam, local counts merged "
+        "before the global support filter",
+        /*honors_storage=*/true, /*honors_count_method=*/true,
+        /*honors_threads=*/true});
     AddBuiltin<SetmSqlAdapter>(MinerInfo{
         "setm-sql",
         "SETM as the literal Section 4.1 SQL statements, executed through "
@@ -232,6 +272,13 @@ class RegistryState {
         "pruning and hash-tree counting",
         /*honors_storage=*/false, /*honors_count_method=*/false,
         /*honors_threads=*/false});
+    AddBuiltin<ParallelAprioriAdapter>(MinerInfo{
+        "apriori-parallel",
+        "count-distribution Apriori (TKDE'96): transaction chunks count the "
+        "same candidate hash tree in parallel, partial counts summed before "
+        "the support filter",
+        /*honors_storage=*/false, /*honors_count_method=*/false,
+        /*honors_threads=*/true});
     AddBuiltin<BaselineAdapter<AisMiner>>(MinerInfo{
         "ais",
         "AIS (SIGMOD'93): candidates generated and counted during the "

@@ -8,14 +8,23 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "net/protocol.h"
 
 namespace setm::net {
 
-Result<std::unique_ptr<BlockingClient>> BlockingClient::Connect(
-    const std::string& host, uint16_t port, int timeout_ms) {
+namespace {
+
+/// One full connection attempt: fresh socket, timeouts, TCP_NODELAY,
+/// connect. Returns the connected fd, or a Status; `*transient` reports
+/// whether the failure is worth retrying (a refused connection during
+/// server startup / restart, or an interrupted call).
+Result<int> TryConnect(const std::string& host, uint16_t port, int timeout_ms,
+                       bool* transient) {
+  *transient = false;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError("socket: " + std::string(strerror(errno)));
@@ -40,13 +49,40 @@ Result<std::unique_ptr<BlockingClient>> BlockingClient::Connect(
   }
   if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
+    *transient = errno == ECONNREFUSED || errno == EINTR;
     Status s = Status::IOError("connect " + host + ":" +
                                std::to_string(port) + ": " +
                                std::string(strerror(errno)));
     ::close(fd);
     return s;
   }
-  return std::unique_ptr<BlockingClient>(new BlockingClient(fd));
+  return fd;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BlockingClient>> BlockingClient::Connect(
+    const std::string& host, uint16_t port, int timeout_ms) {
+  // Bounded retry with exponential backoff on transient failures only —
+  // ECONNREFUSED (the server is restarting or not yet listening) and EINTR.
+  // 5 attempts, 10/20/40/80 ms between them: ~150 ms worst case, so a down
+  // shard still fails fast, but a racing startup no longer does.
+  constexpr int kAttempts = 5;
+  int backoff_ms = 10;
+  Status last;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    bool transient = false;
+    auto fd_or = TryConnect(host, port, timeout_ms, &transient);
+    if (fd_or.ok()) {
+      return std::unique_ptr<BlockingClient>(
+          new BlockingClient(fd_or.value()));
+    }
+    last = fd_or.status();
+    if (!transient || attempt + 1 == kAttempts) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms *= 2;
+  }
+  return last;
 }
 
 BlockingClient::~BlockingClient() {

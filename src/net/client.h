@@ -25,7 +25,11 @@ struct ClientResponse {
 class BlockingClient {
  public:
   /// Connects with a socket receive timeout (0 = none): a server that stops
-  /// responding turns into an IOError instead of a hung client.
+  /// responding turns into an IOError instead of a hung client. Transient
+  /// connect failures (ECONNREFUSED while a server is still starting,
+  /// EINTR) are retried up to 5 times with 10..80 ms exponential backoff —
+  /// each attempt on a fresh socket — before the last error is returned; a
+  /// genuinely down endpoint still fails in well under a second.
   static Result<std::unique_ptr<BlockingClient>> Connect(
       const std::string& host, uint16_t port, int timeout_ms = 30000);
   ~BlockingClient();

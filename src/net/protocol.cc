@@ -125,6 +125,10 @@ const char* VerbName(Verb verb) {
       return "rules";
     case Verb::kExplain:
       return "explain";
+    case Verb::kLcount:
+      return "lcount";
+    case Verb::kMerge:
+      return "merge";
     case Verb::kStats:
       return "stats";
     case Verb::kPing:
@@ -172,6 +176,67 @@ Result<Command> ParseCommand(const std::string& line) {
                : verb == "EXPLAIN" ? Verb::kExplain
                                    : Verb::kAppend;
     SETM_RETURN_IF_ERROR(ParseMineArgs(tokens, &cmd));
+    return cmd;
+  }
+  if (verb == "LCOUNT") {
+    cmd.verb = Verb::kLcount;
+    // Continuation form: LCOUNT K <k> drives the connection's shard run.
+    if (tokens.size() == 3 && Upper(tokens[1]) == "K") {
+      SETM_RETURN_IF_ERROR(ParsePositive(tokens[2], "K", 64, &cmd.shard_k));
+      if (cmd.shard_k < 2) {
+        return Status::InvalidArgument(
+            "a shard run starts with LCOUNT <table> K 1 "
+            "[METHOD sortmerge|hash] [FILTER]");
+      }
+      return cmd;
+    }
+    // Begin form: LCOUNT <table> K 1 [METHOD sortmerge|hash] [FILTER].
+    if (tokens.size() < 4) {
+      return Status::InvalidArgument(
+          "usage: LCOUNT <table> K 1 [METHOD sortmerge|hash] [FILTER] "
+          "or LCOUNT K <k>");
+    }
+    cmd.table = tokens[1];
+    if (!ValidTableName(cmd.table)) {
+      return Status::InvalidArgument("invalid table name: " + tokens[1]);
+    }
+    if (Upper(tokens[2]) != "K" || tokens[3] != "1") {
+      return Status::InvalidArgument(
+          "a new shard run must begin at K 1: " + line);
+    }
+    cmd.shard_k = 1;
+    size_t i = 4;
+    while (i < tokens.size()) {
+      std::string key = Upper(tokens[i]);
+      if (key == "FILTER") {
+        cmd.shard_filter = true;
+        i += 1;
+      } else if (key == "METHOD") {
+        if (i + 1 >= tokens.size()) {
+          return Status::InvalidArgument("METHOD requires a value");
+        }
+        std::string method = tokens[i + 1];
+        std::transform(method.begin(), method.end(), method.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        if (method != "sortmerge" && method != "hash") {
+          return Status::InvalidArgument(
+              "METHOD must be sortmerge or hash: " + tokens[i + 1]);
+        }
+        cmd.shard_method = method;
+        i += 2;
+      } else {
+        return Status::InvalidArgument("unknown option: " + tokens[i]);
+      }
+    }
+    return cmd;
+  }
+  if (verb == "MERGE") {
+    if (tokens.size() != 3 || Upper(tokens[1]) != "K") {
+      return Status::InvalidArgument(
+          "usage: MERGE K <k> (then one itemset per line, terminated by .)");
+    }
+    cmd.verb = Verb::kMerge;
+    SETM_RETURN_IF_ERROR(ParsePositive(tokens[2], "K", 64, &cmd.shard_k));
     return cmd;
   }
   if (verb == "RULES") {
@@ -233,6 +298,31 @@ Result<Transaction> ParseAppendRow(const std::string& line) {
   std::sort(t.items.begin(), t.items.end());
   t.items.erase(std::unique(t.items.begin(), t.items.end()), t.items.end());
   return t;
+}
+
+Result<std::vector<ItemId>> ParseItemsetLine(const std::string& line) {
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty itemset line");
+  }
+  std::vector<ItemId> items;
+  items.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    char* end = nullptr;
+    long long v = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size() || v < 0 || v > INT32_MAX) {
+      return Status::InvalidArgument(
+          "itemset token not a non-negative 32-bit integer: " + token);
+    }
+    items.push_back(static_cast<ItemId>(v));
+  }
+  for (size_t i = 1; i < items.size(); ++i) {
+    if (items[i] <= items[i - 1]) {
+      return Status::InvalidArgument(
+          "itemset items must be strictly ascending: " + line);
+    }
+  }
+  return items;
 }
 
 std::string FrameOk(const std::string& info, const std::string& payload) {

@@ -23,6 +23,19 @@ namespace setm::net {
 ///                             the response is the refreshed mining answer
 ///   RULES <conf>[%] [MODE single|subsets]
 ///   EXPLAIN <table> SUPPORT <spec> [ALGO <name>] [THREADS <n>] [MAXK <k>]
+///   LCOUNT <table> K 1 [METHOD sortmerge|hash] [FILTER]
+///                             begins a shard run over <table>: builds the
+///                             local R_1 and answers the full local item
+///                             counts ("<item> <count>" lines) — phase 1 of
+///                             the distributed two-phase count
+///   LCOUNT K <k>              continues the connection's shard run (k >= 2):
+///                             local R'_k join, answers candidate counts
+///                             ("<item_1> ... <item_k> <count>" lines)
+///   MERGE K <k>               then one surviving global itemset per line
+///                             ("<item_1> ... <item_k>", ascending),
+///                             terminated by "."; filters the local R'_k
+///                             (or R_1, for k == 1 under FILTER) down to
+///                             R_k — phase 2 of the distributed count
 ///   STATS [text|json|prom]
 ///   PING
 ///   QUIT
@@ -36,7 +49,17 @@ namespace setm::net {
 ///                                          empty; a payload line starting
 ///                                          with '.' is sent dot-stuffed
 ///   ERR <Code> <message>\n                 single line, connection stays up
-enum class Verb { kMine, kAppend, kRules, kExplain, kStats, kPing, kQuit };
+enum class Verb {
+  kMine,
+  kAppend,
+  kRules,
+  kExplain,
+  kLcount,
+  kMerge,
+  kStats,
+  kPing,
+  kQuit,
+};
 
 /// Stable lower-case name of a verb ("mine", "append", ...), for metrics
 /// and logs.
@@ -54,6 +77,9 @@ struct Command {
   double min_confidence = 0.0;   ///< RULES: fraction
   RuleMode rule_mode = RuleMode::kSingleConsequent;  ///< RULES MODE
   std::string stats_format = "text";                 ///< STATS
+  size_t shard_k = 0;            ///< LCOUNT / MERGE: iteration number
+  std::string shard_method = "sortmerge";  ///< LCOUNT METHOD
+  bool shard_filter = false;     ///< LCOUNT FILTER (a filter_r1 run)
 };
 
 /// Parses one request line. InvalidArgument (with a message naming the
@@ -64,6 +90,12 @@ Result<Command> ParseCommand(const std::string& line);
 /// Parses one APPEND data line: "<trans_id> <item> [<item> ...]". Items are
 /// sorted and deduplicated; ids and items must be non-negative integers.
 Result<Transaction> ParseAppendRow(const std::string& line);
+
+/// Parses one MERGE data line: "<item_1> [<item_2> ...]" — one surviving
+/// global itemset. Items must be non-negative integers in strictly
+/// ascending order (the coordinator broadcasts canonical sorted itemsets;
+/// anything else is a protocol violation, not data to be repaired).
+Result<std::vector<ItemId>> ParseItemsetLine(const std::string& line);
 
 /// Frames a success response: "OK <info>\n" + dot-stuffed payload + ".\n".
 /// `payload` may be empty or multi-line (trailing newline optional).

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "core/mining_planner.h"
 #include "core/miner_registry.h"
@@ -18,6 +20,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "shard/local_backend.h"
 
 namespace setm::net {
 
@@ -99,6 +102,8 @@ struct MiningServer::Session {
     kCommand,      ///< expecting a request line
     kAppend,       ///< collecting APPEND rows until "."
     kAppendDrain,  ///< row error: swallow rows until ".", then answer ERR
+    kMerge,        ///< collecting MERGE itemsets until "."
+    kMergeDrain,   ///< itemset error: swallow until ".", then answer ERR
     kClosing,      ///< QUIT/shutdown: flush, then close; input ignored
   };
 
@@ -121,6 +126,13 @@ struct MiningServer::Session {
   Command append_cmd;
   TransactionDb append_batch;
   Status append_error;
+  /// The connection's shard run (installed by a successful "LCOUNT ... K 1",
+  /// driven by later LCOUNT/MERGE requests, replaced by the next K 1).
+  std::shared_ptr<shard::LocalShardBackend> shard_run;
+  /// MERGE collection state.
+  Command merge_cmd;
+  std::vector<std::vector<ItemId>> merge_keys;
+  Status merge_error;
   WallTimer activity;
 };
 
@@ -138,10 +150,19 @@ struct MiningServer::Job {
   WallTimer dispatched;
   TransactionDb append_batch;                             ///< APPEND input
   std::shared_ptr<const FrequentItemsets> rules_input;    ///< RULES input
+  /// LCOUNT/MERGE: the shard backend this job drives. A fresh backend for
+  /// "LCOUNT ... K 1" (installed into the session on success), the session's
+  /// current run otherwise.
+  std::shared_ptr<shard::LocalShardBackend> shard_backend;
+  std::vector<std::vector<ItemId>> merge_keys;            ///< MERGE input
 
   // Worker-filled results.
   std::string response;  ///< fully framed (OK payload or ERR line)
   std::shared_ptr<const FrequentItemsets> result_itemsets;
+  /// LCOUNT K 1 success: FinishJob installs shard_backend as the session's
+  /// run. Any shard-job failure instead tears the session's run down.
+  bool shard_install = false;
+  bool shard_teardown = false;
   bool cancelled_result = false;
   std::unique_ptr<obs::TraceSpan> trace_root;
 };
@@ -469,6 +490,10 @@ void MiningServer::ProcessLines(uint64_t session_id) {
       case Session::State::kAppendDrain:
         HandleAppendData(session, line);
         break;
+      case Session::State::kMerge:
+      case Session::State::kMergeDrain:
+        HandleMergeData(session, line);
+        break;
       case Session::State::kClosing:
         break;  // input after QUIT is ignored
     }
@@ -535,6 +560,35 @@ void MiningServer::HandleCommand(Session* session, const std::string& line) {
     }
   }
 
+  if (cmd.verb == Verb::kLcount || cmd.verb == Verb::kMerge) {
+    // Continuations need a run; a fresh "LCOUNT <table> K 1" never does (it
+    // replaces whatever run the connection had).
+    const bool begins_run = cmd.verb == Verb::kLcount && cmd.shard_k == 1;
+    if (!begins_run && session->shard_run == nullptr) {
+      Send(session,
+           FrameError(Status::NotFound(
+               "no shard run on this connection; start with "
+               "LCOUNT <table> K 1")));
+      return;
+    }
+    if (cmd.verb == Verb::kMerge) {
+      session->state = Session::State::kMerge;
+      session->merge_cmd = cmd;
+      session->merge_keys.clear();
+      session->merge_error = Status::OK();
+      return;  // itemsets follow; the response comes after "."
+    }
+    auto job = std::make_shared<Job>();
+    job->verb = Verb::kLcount;
+    job->shard_backend =
+        begins_run ? std::make_shared<shard::LocalShardBackend>(
+                         db_, "srv:" + cmd.table, "lcount_")
+                   : session->shard_run;
+    job->cmd = std::move(cmd);
+    DispatchJob(session, std::move(job));
+    return;
+  }
+
   if (cmd.verb == Verb::kAppend) {
     session->state = Session::State::kAppend;
     session->append_cmd = cmd;
@@ -595,6 +649,51 @@ void MiningServer::HandleAppendData(Session* session,
   session->append_batch.push_back(std::move(row_or).value());
 }
 
+void MiningServer::HandleMergeData(Session* session,
+                                   const std::string& line) {
+  if (line == ".") {
+    if (session->state == Session::State::kMergeDrain) {
+      session->state = Session::State::kCommand;
+      Send(session, FrameError(session->merge_error));
+      return;
+    }
+    session->state = Session::State::kCommand;
+    auto job = std::make_shared<Job>();
+    job->verb = Verb::kMerge;
+    job->cmd = session->merge_cmd;
+    job->shard_backend = session->shard_run;
+    job->merge_keys = std::move(session->merge_keys);
+    session->merge_keys.clear();
+    DispatchJob(session, std::move(job));
+    return;
+  }
+  if (session->state == Session::State::kMergeDrain) return;
+
+  if (session->merge_keys.size() >= options_.max_append_rows) {
+    session->state = Session::State::kMergeDrain;
+    session->merge_error = Status::ResourceExhausted(
+        "MERGE batch exceeds " + std::to_string(options_.max_append_rows) +
+        " itemsets");
+    return;
+  }
+  auto itemset_or = ParseItemsetLine(line);
+  if (itemset_or.ok() &&
+      itemset_or.value().size() != session->merge_cmd.shard_k) {
+    itemset_or = Status::InvalidArgument(
+        "MERGE K " + std::to_string(session->merge_cmd.shard_k) +
+        " itemset has " + std::to_string(itemset_or.value().size()) +
+        " items: " + line);
+  }
+  if (!itemset_or.ok()) {
+    stats_.parse_errors.fetch_add(1);
+    Srv().parse_errors_total->Increment();
+    session->state = Session::State::kMergeDrain;
+    session->merge_error = itemset_or.status();
+    return;
+  }
+  session->merge_keys.push_back(std::move(itemset_or).value());
+}
+
 void MiningServer::DispatchJob(Session* session, std::shared_ptr<Job> job) {
   job->id = next_job_id_++;
   job->session_id = session->id;
@@ -629,8 +728,28 @@ void MiningServer::RunJobBody(const std::shared_ptr<Job>& job) {
         job->trace_root->AddTag("verb", VerbName(job->verb));
         job->trace_root->AddTag("table", job->cmd.table);
       }
-      status = job->verb == Verb::kExplain ? ExecuteExplainJob(job.get())
-                                           : ExecuteMineJob(job.get());
+      switch (job->verb) {
+        case Verb::kExplain:
+          status = ExecuteExplainJob(job.get());
+          break;
+        case Verb::kLcount:
+          status = ExecuteLcountJob(job.get());
+          break;
+        case Verb::kMerge:
+          status = ExecuteMergeJob(job.get());
+          break;
+        default:
+          status = ExecuteMineJob(job.get());
+          break;
+      }
+      // A failed shard job leaves the run unusable (the iteration protocol
+      // is a lock-step sequence); release its scratch while the mutex is
+      // still held and have FinishJob drop the session's handle.
+      if (!status.ok() && job->shard_backend != nullptr) {
+        job->shard_backend->EndRun();
+        job->shard_install = false;
+        job->shard_teardown = true;
+      }
     }
   }
 
@@ -656,7 +775,7 @@ void MiningServer::RunJobBody(const std::shared_ptr<Job>& job) {
 }
 
 Status MiningServer::ExecuteMineJob(Job* job) {
-  auto table_or = db_->catalog()->GetTable(job->cmd.table);
+  auto table_or = db_->catalog()->ResolveTable(job->cmd.table);
   if (!table_or.ok()) return table_or.status();
 
   auto info_or = MinerRegistry::Info(job->cmd.algo);
@@ -723,7 +842,7 @@ Status MiningServer::ExecuteMineJob(Job* job) {
 }
 
 Status MiningServer::ExecuteExplainJob(Job* job) {
-  auto table_or = db_->catalog()->GetTable(job->cmd.table);
+  auto table_or = db_->catalog()->ResolveTable(job->cmd.table);
   if (!table_or.ok()) return table_or.status();
 
   PlannerOptions planner_options;
@@ -746,6 +865,75 @@ Status MiningServer::ExecuteExplainJob(Job* job) {
   job->response =
       FrameOk(std::string("explain strategy=") + PlanStrategyName(plan.strategy),
               plan.Explain());
+  return Status::OK();
+}
+
+Status MiningServer::ExecuteLcountJob(Job* job) {
+  const size_t k = job->cmd.shard_k;
+  if (k == 1) {
+    // A new run. Scratch stays in memory regardless of the database's
+    // backing: shard relations are per-request transients, and the remote
+    // coordinator retries elsewhere on failure, so durability buys nothing.
+    shard::ShardRunOptions run;
+    run.storage = TableBacking::kMemory;
+    run.count_method = job->cmd.shard_method == "hash" ? CountMethod::kHash
+                                                       : CountMethod::kSortMerge;
+    run.filter_r1 = job->cmd.shard_filter;
+    job->shard_backend->BindTable(job->cmd.table);
+    SETM_RETURN_IF_ERROR(job->shard_backend->BeginRun(run));
+  }
+  auto counts_or = job->shard_backend->CountIteration(k);
+  if (!counts_or.ok()) return counts_or.status();
+  shard::ShardLocalCounts counts = std::move(counts_or).value();
+
+  // Deterministic payload: counts sorted by itemset. The info line carries
+  // the cardinalities the coordinator folds into IterationStats — and no
+  // timings, so responses to the same question are byte-identical.
+  std::sort(counts.counts.begin(), counts.counts.end(),
+            [](const PatternCount& a, const PatternCount& b) {
+              return a.items < b.items;
+            });
+  std::string payload;
+  for (const PatternCount& pattern : counts.counts) {
+    for (ItemId item : pattern.items) {
+      payload += std::to_string(item);
+      payload += ' ';
+    }
+    payload += std::to_string(pattern.count);
+    payload += '\n';
+  }
+
+  char info[160];
+  if (k == 1) {
+    std::snprintf(info, sizeof(info),
+                  "lcount k=1 transactions=%llu rprime=%llu rbytes=%llu "
+                  "rpages=%llu",
+                  static_cast<unsigned long long>(counts.transactions),
+                  static_cast<unsigned long long>(counts.r_prime_rows),
+                  static_cast<unsigned long long>(counts.r_bytes),
+                  static_cast<unsigned long long>(counts.r_pages));
+    job->shard_install = true;
+  } else {
+    std::snprintf(info, sizeof(info), "lcount k=%zu rprime=%llu", k,
+                  static_cast<unsigned long long>(counts.r_prime_rows));
+  }
+  job->response = FrameOk(info, payload);
+  return Status::OK();
+}
+
+Status MiningServer::ExecuteMergeJob(Job* job) {
+  auto stats_or = job->shard_backend->ApplyGlobalCk(job->cmd.shard_k,
+                                                    job->merge_keys);
+  if (!stats_or.ok()) return stats_or.status();
+  const shard::ShardFilterStats& stats = stats_or.value();
+  char info[160];
+  std::snprintf(info, sizeof(info),
+                "merge k=%zu rows=%llu bytes=%llu pages=%llu",
+                job->cmd.shard_k,
+                static_cast<unsigned long long>(stats.r_rows),
+                static_cast<unsigned long long>(stats.r_bytes),
+                static_cast<unsigned long long>(stats.r_pages));
+  job->response = FrameOk(info, "");
   return Status::OK();
 }
 
@@ -797,6 +985,12 @@ void MiningServer::FinishJob(uint64_t job_id) {
   }
   if (job->result_itemsets != nullptr) {
     session->last_itemsets = job->result_itemsets;
+  }
+  if (job->shard_install) {
+    session->shard_run = job->shard_backend;
+  } else if (job->shard_teardown &&
+             session->shard_run == job->shard_backend) {
+    session->shard_run.reset();
   }
   session->activity.Restart();
   if (session->state == Session::State::kClosing) {

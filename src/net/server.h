@@ -105,9 +105,9 @@ struct ServerStats {
 
 /// The resident mining daemon's engine: one event loop serving the line
 /// protocol (net/protocol.h) over a non-blocking listener, dispatching
-/// MINE / APPEND / RULES / EXPLAIN onto a WorkerPool as cancellable jobs
-/// routed through the MiningPlanner, and answering PING / STATS / QUIT
-/// inline. One instance serves one open Database; the database stays open
+/// MINE / APPEND / RULES / EXPLAIN — and LCOUNT / MERGE, the shard half of
+/// the distributed two-phase count — onto a WorkerPool as cancellable jobs,
+/// and answering PING / STATS / QUIT inline. One instance serves one open Database; the database stays open
 /// (buffer pool warm, stored runs fresh) across every client.
 ///
 /// Threading: the loop thread owns all sessions and the listener; jobs run
@@ -155,10 +155,13 @@ class MiningServer {
   void ProcessLines(uint64_t session_id);
   void HandleCommand(Session* session, const std::string& line);
   void HandleAppendData(Session* session, const std::string& line);
+  void HandleMergeData(Session* session, const std::string& line);
   void DispatchJob(Session* session, std::shared_ptr<Job> job);
   void RunJobBody(const std::shared_ptr<Job>& job);  // job-pool thread
   Status ExecuteMineJob(Job* job);                   // under db_mutex_
   Status ExecuteExplainJob(Job* job);                // under db_mutex_
+  Status ExecuteLcountJob(Job* job);                 // under db_mutex_
+  Status ExecuteMergeJob(Job* job);                  // under db_mutex_
   Status ExecuteRulesJob(Job* job);
   void DrainCompletions();
   void FinishJob(uint64_t job_id);

@@ -1,0 +1,218 @@
+#include "persist/shard_manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_set>
+
+namespace setm {
+
+namespace {
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+Status ParseUint(const std::string& token, uint64_t max, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || token.empty() || v > max) {
+    return Status::InvalidArgument("not an integer in range: " + token);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseInt32(const std::string& token, int32_t* out) {
+  char* end = nullptr;
+  long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || token.empty() || v < INT32_MIN ||
+      v > INT32_MAX) {
+    return Status::InvalidArgument("not a 32-bit integer: " + token);
+  }
+  *out = static_cast<int32_t>(v);
+  return Status::OK();
+}
+
+/// "host:port" -> members' remote endpoint.
+Status ParseEndpoint(const std::string& token, ShardMember* member) {
+  const size_t colon = token.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= token.size()) {
+    return Status::InvalidArgument("remote endpoint must be host:port: " +
+                                   token);
+  }
+  uint64_t port = 0;
+  SETM_RETURN_IF_ERROR(ParseUint(token.substr(colon + 1), 65535, &port));
+  if (port == 0) {
+    return Status::InvalidArgument("remote endpoint port must be non-zero: " +
+                                   token);
+  }
+  member->host = token.substr(0, colon);
+  member->port = static_cast<uint16_t>(port);
+  return Status::OK();
+}
+
+Status ParseMemberLine(const std::vector<std::string>& tokens,
+                       const std::string& line, ShardMember* member) {
+  // shard <id> file <path> [table <name>] [tids <min> <max>]
+  // shard <id> remote <host>:<port> [table <name>] [tids <min> <max>]
+  if (tokens.size() < 4) {
+    return Status::InvalidArgument("short shard line: " + line);
+  }
+  uint64_t id = 0;
+  SETM_RETURN_IF_ERROR(ParseUint(tokens[1], UINT32_MAX, &id));
+  member->id = static_cast<uint32_t>(id);
+  if (tokens[2] == "file") {
+    member->kind = ShardMember::Kind::kFile;
+    member->path = tokens[3];
+  } else if (tokens[2] == "remote") {
+    member->kind = ShardMember::Kind::kRemote;
+    SETM_RETURN_IF_ERROR(ParseEndpoint(tokens[3], member));
+  } else {
+    return Status::InvalidArgument("shard kind must be file or remote: " +
+                                   line);
+  }
+  size_t i = 4;
+  while (i < tokens.size()) {
+    if (tokens[i] == "table" && i + 1 < tokens.size()) {
+      member->table = tokens[i + 1];
+      i += 2;
+    } else if (tokens[i] == "tids" && i + 2 < tokens.size()) {
+      SETM_RETURN_IF_ERROR(ParseInt32(tokens[i + 1], &member->tid_min));
+      SETM_RETURN_IF_ERROR(ParseInt32(tokens[i + 2], &member->tid_max));
+      member->has_range = true;
+      i += 3;
+    } else {
+      return Status::InvalidArgument("unknown shard attribute '" + tokens[i] +
+                                     "': " + line);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ShardManifest::Serialize() const {
+  std::string out = "setm-shards v1\n";
+  out += "epoch " + std::to_string(epoch) + "\n";
+  out += "shards " + std::to_string(members.size()) + "\n";
+  for (const ShardMember& m : members) {
+    out += "shard " + std::to_string(m.id) + " ";
+    if (m.kind == ShardMember::Kind::kFile) {
+      out += "file " + m.path;
+    } else {
+      out += "remote " + m.host + ":" + std::to_string(m.port);
+    }
+    out += " table " + m.table;
+    if (m.has_range) {
+      out += " tids " + std::to_string(m.tid_min) + " " +
+             std::to_string(m.tid_max);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ShardManifest> ShardManifest::Parse(const std::string& text) {
+  ShardManifest manifest;
+  manifest.epoch = 0;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  size_t declared_shards = 0;
+  bool saw_count = false;
+  std::unordered_set<uint32_t> seen_ids;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> tokens = SplitTokens(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (!saw_header) {
+      if (tokens.size() != 2 || tokens[0] != "setm-shards" ||
+          tokens[1] != "v1") {
+        return Status::InvalidArgument(
+            "not a shard manifest (expected 'setm-shards v1'): " + line);
+      }
+      saw_header = true;
+      continue;
+    }
+    if (tokens[0] == "epoch") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("malformed epoch line: " + line);
+      }
+      SETM_RETURN_IF_ERROR(ParseUint(tokens[1], UINT64_MAX, &manifest.epoch));
+    } else if (tokens[0] == "shards") {
+      uint64_t n = 0;
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("malformed shards line: " + line);
+      }
+      SETM_RETURN_IF_ERROR(ParseUint(tokens[1], 4096, &n));
+      declared_shards = static_cast<size_t>(n);
+      saw_count = true;
+    } else if (tokens[0] == "shard") {
+      ShardMember member;
+      SETM_RETURN_IF_ERROR(ParseMemberLine(tokens, line, &member));
+      if (!seen_ids.insert(member.id).second) {
+        return Status::InvalidArgument("duplicate shard id " +
+                                       std::to_string(member.id));
+      }
+      manifest.members.push_back(std::move(member));
+    } else {
+      return Status::InvalidArgument("unknown manifest line: " + line);
+    }
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("empty shard manifest");
+  }
+  if (manifest.epoch == 0) {
+    return Status::InvalidArgument("shard manifest must declare an epoch");
+  }
+  if (saw_count && declared_shards != manifest.members.size()) {
+    return Status::Corruption(
+        "shard manifest declares " + std::to_string(declared_shards) +
+        " shards but lists " + std::to_string(manifest.members.size()));
+  }
+  if (manifest.members.empty()) {
+    return Status::InvalidArgument("shard manifest lists no shards");
+  }
+  return manifest;
+}
+
+Result<ShardManifest> ShardManifest::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open shard manifest " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IOError("cannot read shard manifest " + path);
+  }
+  return Parse(text);
+}
+
+Status ShardManifest::Save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create shard manifest " + path);
+  }
+  const std::string text = Serialize();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flush_error = std::fclose(f) != 0;
+  if (written != text.size() || flush_error) {
+    return Status::IOError("cannot write shard manifest " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace setm

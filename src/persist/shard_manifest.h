@@ -1,0 +1,70 @@
+#ifndef SETM_PERSIST_SHARD_MANIFEST_H_
+#define SETM_PERSIST_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace setm {
+
+/// One member of a sharded database: either a local database file (a normal
+/// format-v3 file with its own WAL) or a remote setm_served instance reached
+/// over the line protocol's LCOUNT/MERGE verbs.
+struct ShardMember {
+  enum class Kind { kFile, kRemote };
+
+  uint32_t id = 0;
+  Kind kind = Kind::kFile;
+  /// kFile: path of the shard's database file.
+  std::string path;
+  /// kRemote: endpoint of the shard's setm_served instance.
+  std::string host;
+  uint16_t port = 0;
+  /// Name of the SALES relation inside the shard.
+  std::string table = "sales";
+  /// Optional trans_id range this shard owns ([tid_min, tid_max], both
+  /// inclusive). Informational — the coordinator never routes by range, it
+  /// always counts every shard — but setm_shardctl records the split it
+  /// performed so operators can audit shard ownership.
+  bool has_range = false;
+  int32_t tid_min = 0;
+  int32_t tid_max = 0;
+};
+
+/// The shard-membership manifest of one sharded database: an ordered member
+/// list plus an epoch that bumps on every membership change, so stale
+/// manifests are detectable. Serialized as a line-oriented text file:
+///
+///   setm-shards v1
+///   epoch 3
+///   shards 3
+///   shard 0 file /data/s0.db table sales tids 0 333
+///   shard 1 file /data/s1.db table sales tids 334 666
+///   shard 2 remote 127.0.0.1:7001 table sales
+///
+/// `table` and `tids` are optional per member (`table` defaults to "sales").
+/// Tokens are whitespace-separated, so file paths must not contain spaces.
+struct ShardManifest {
+  uint64_t epoch = 1;
+  std::vector<ShardMember> members;
+
+  /// Renders the manifest in the format above (always parseable back).
+  std::string Serialize() const;
+
+  /// Parses a serialized manifest. InvalidArgument with the offending line
+  /// on any malformed input; duplicate shard ids are rejected.
+  static Result<ShardManifest> Parse(const std::string& text);
+
+  /// Reads and parses a manifest file. IOError when unreadable.
+  static Result<ShardManifest> Load(const std::string& path);
+
+  /// Writes the manifest to `path` (truncating). IOError on failure.
+  Status Save(const std::string& path) const;
+};
+
+}  // namespace setm
+
+#endif  // SETM_PERSIST_SHARD_MANIFEST_H_

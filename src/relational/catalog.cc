@@ -84,6 +84,21 @@ Result<Table*> Catalog::GetTable(const std::string& name) const {
   return it->second.get();
 }
 
+Result<Table*> Catalog::ResolveTable(const std::string& name) const {
+  auto it = tables_.find(IdentFold(name));
+  if (it == tables_.end()) {
+    std::string available;
+    for (const std::string& existing : creation_order_) {
+      if (!available.empty()) available += ", ";
+      available += existing;
+    }
+    if (available.empty()) available = "(none)";
+    return Status::NotFound("no table '" + name +
+                            "'; available: " + available);
+  }
+  return it->second.get();
+}
+
 bool Catalog::HasTable(const std::string& name) const {
   return tables_.count(IdentFold(name)) != 0;
 }

@@ -43,6 +43,13 @@ class Catalog {
   /// Looks a table up; NotFound if absent.
   Result<Table*> GetTable(const std::string& name) const;
 
+  /// GetTable with an operator-friendly error: the NotFound message names
+  /// the tables that DO exist ("no table 'sale'; available: sales, runs").
+  /// The shared lookup path of every user-supplied table name — the server's
+  /// MINE/APPEND/LCOUNT handlers, the CLI tools and the shard backends —
+  /// so a typo gets the same actionable answer everywhere.
+  Result<Table*> ResolveTable(const std::string& name) const;
+
   /// True iff a table with this name exists.
   bool HasTable(const std::string& name) const;
 

@@ -1,0 +1,234 @@
+#include "shard/remote_backend.h"
+
+#include <cstdlib>
+
+#include "common/timer.h"
+
+namespace setm::shard {
+
+namespace {
+
+/// Rehydrates a protocol "ERR <Code> <message>" into a Status of the same
+/// category, so a remote NotFound (unknown table) stays a NotFound at the
+/// coordinator and only transport failures read as IOError/Unavailable.
+Status StatusFromError(const net::ClientResponse& response) {
+  static const struct {
+    const char* name;
+    StatusCode code;
+  } kCodes[] = {
+      {"InvalidArgument", StatusCode::kInvalidArgument},
+      {"NotFound", StatusCode::kNotFound},
+      {"AlreadyExists", StatusCode::kAlreadyExists},
+      {"Corruption", StatusCode::kCorruption},
+      {"IOError", StatusCode::kIOError},
+      {"NotSupported", StatusCode::kNotSupported},
+      {"OutOfRange", StatusCode::kOutOfRange},
+      {"ResourceExhausted", StatusCode::kResourceExhausted},
+      {"Internal", StatusCode::kInternal},
+      {"Cancelled", StatusCode::kCancelled},
+      {"Unavailable", StatusCode::kUnavailable},
+  };
+  for (const auto& entry : kCodes) {
+    if (response.code == entry.name) {
+      return Status(entry.code, response.info);
+    }
+  }
+  return Status::Internal("server error [" + response.code + "] " +
+                          response.info);
+}
+
+/// Pulls "<key>=<uint>" out of an info line; the fields the server omits
+/// stay at their zero defaults, and a malformed value reads as Corruption.
+Status InfoField(const std::string& info, const std::string& key,
+                 uint64_t* out) {
+  const std::string needle = key + "=";
+  size_t pos = 0;
+  while (true) {
+    pos = info.find(needle, pos);
+    if (pos == std::string::npos) {
+      return Status::Corruption("shard response info is missing '" + key +
+                                "': " + info);
+    }
+    if (pos == 0 || info[pos - 1] == ' ') break;
+    pos += needle.size();
+  }
+  const char* begin = info.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(begin, &end, 10);
+  if (end == begin || (*end != '\0' && *end != ' ')) {
+    return Status::Corruption("shard response info field '" + key +
+                              "' is not a number: " + info);
+  }
+  *out = static_cast<uint64_t>(value);
+  return Status::OK();
+}
+
+/// Parses one "<item_1> ... <item_k> <count>" payload line.
+Result<PatternCount> ParseCountLine(const std::string& line, size_t k) {
+  PatternCount pattern;
+  const char* p = line.c_str();
+  char* end = nullptr;
+  std::vector<long long> values;
+  while (true) {
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0') break;
+    const long long value = std::strtoll(p, &end, 10);
+    if (end == p) {
+      return Status::Corruption("bad shard count line: " + line);
+    }
+    values.push_back(value);
+    p = end;
+  }
+  if (values.size() != k + 1) {
+    return Status::Corruption("shard count line has " +
+                              std::to_string(values.size()) +
+                              " fields, want " + std::to_string(k + 1) +
+                              ": " + line);
+  }
+  pattern.items.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    if (values[i] < 0 ||
+        (i > 0 && values[i] <= values[i - 1])) {
+      return Status::Corruption("shard count line is not a sorted itemset: " +
+                                line);
+    }
+    pattern.items.push_back(static_cast<ItemId>(values[i]));
+  }
+  if (values[k] < 1) {
+    return Status::Corruption("shard count line has count < 1: " + line);
+  }
+  pattern.count = values[k];
+  return pattern;
+}
+
+}  // namespace
+
+RemoteShardBackend::RemoteShardBackend(std::string host, uint16_t port,
+                                       std::string table, std::string name,
+                                       int timeout_ms)
+    : host_(std::move(host)),
+      port_(port),
+      table_(std::move(table)),
+      name_(std::move(name)),
+      timeout_ms_(timeout_ms) {
+  if (name_.empty()) {
+    name_ = host_ + ":" + std::to_string(port_) + "/" + table_;
+  }
+}
+
+Status RemoteShardBackend::EnsureConnected() {
+  if (client_ != nullptr) return Status::OK();
+  auto client_or = net::BlockingClient::Connect(host_, port_, timeout_ms_);
+  if (!client_or.ok()) return client_or.status();
+  client_ = std::move(client_or).value();
+  return Status::OK();
+}
+
+Result<net::ClientResponse> RemoteShardBackend::Exec(
+    const std::string& command) {
+  SETM_RETURN_IF_ERROR(EnsureConnected());
+  auto response_or = client_->Exec(command);
+  if (!response_or.ok()) {
+    client_.reset();  // dead socket; the next run reconnects
+    return response_or.status();
+  }
+  return response_or;
+}
+
+Status RemoteShardBackend::BeginRun(const ShardRunOptions& options) {
+  run_ = options;
+  // Connecting here (instead of lazily) makes a down shard fail the run
+  // before any shard has counted anything.
+  return EnsureConnected();
+}
+
+Result<ShardLocalCounts> RemoteShardBackend::CountIteration(size_t k) {
+  std::string command;
+  if (k == 1) {
+    command = "LCOUNT " + table_ + " K 1";
+    if (run_.count_method == CountMethod::kHash) command += " METHOD hash";
+    if (run_.filter_r1) command += " FILTER";
+  } else {
+    command = "LCOUNT K " + std::to_string(k);
+  }
+  WallTimer timer;
+  auto response_or = Exec(command);
+  if (!response_or.ok()) return response_or.status();
+  const net::ClientResponse& response = response_or.value();
+  if (!response.ok) return StatusFromError(response);
+
+  ShardLocalCounts out;
+  out.seconds = timer.ElapsedSeconds();
+  SETM_RETURN_IF_ERROR(InfoField(response.info, "rprime", &out.r_prime_rows));
+  if (k == 1) {
+    SETM_RETURN_IF_ERROR(
+        InfoField(response.info, "transactions", &out.transactions));
+    SETM_RETURN_IF_ERROR(InfoField(response.info, "rbytes", &out.r_bytes));
+    SETM_RETURN_IF_ERROR(InfoField(response.info, "rpages", &out.r_pages));
+    last_transactions_ = out.transactions;
+    last_rows_ = out.r_prime_rows;
+    last_bytes_ = out.r_bytes;
+  }
+
+  size_t pos = 0;
+  while (pos < response.payload.size()) {
+    const size_t nl = response.payload.find('\n', pos);
+    const std::string line =
+        response.payload.substr(pos, nl == std::string::npos
+                                         ? std::string::npos
+                                         : nl - pos);
+    pos = nl == std::string::npos ? response.payload.size() : nl + 1;
+    if (line.empty()) continue;
+    auto pattern_or = ParseCountLine(line, k);
+    if (!pattern_or.ok()) return pattern_or.status();
+    out.counts.push_back(std::move(pattern_or).value());
+  }
+  return out;
+}
+
+Result<ShardFilterStats> RemoteShardBackend::ApplyGlobalCk(
+    size_t k, const std::vector<std::vector<ItemId>>& ck) {
+  // The whole phase-2 exchange is one Exec: the command line, every
+  // surviving itemset and the "." terminator ride in a single send (the
+  // protocol is line-oriented, not packet-oriented), so a large C_k does
+  // not become thousands of TCP_NODELAY-sized packets.
+  std::string command = "MERGE K " + std::to_string(k);
+  for (const std::vector<ItemId>& items : ck) {
+    command += '\n';
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) command += ' ';
+      command += std::to_string(items[i]);
+    }
+  }
+  command += "\n.";
+  auto response_or = Exec(command);
+  if (!response_or.ok()) return response_or.status();
+  const net::ClientResponse& response = response_or.value();
+  if (!response.ok) return StatusFromError(response);
+
+  ShardFilterStats out;
+  SETM_RETURN_IF_ERROR(InfoField(response.info, "rows", &out.r_rows));
+  SETM_RETURN_IF_ERROR(InfoField(response.info, "bytes", &out.r_bytes));
+  SETM_RETURN_IF_ERROR(InfoField(response.info, "pages", &out.r_pages));
+  return out;
+}
+
+Status RemoteShardBackend::EndRun() {
+  // The server releases a run when the connection starts a new one (or
+  // closes); nothing to send. Keeping the connection makes back-to-back
+  // runs cheap.
+  return Status::OK();
+}
+
+Result<ShardHealth> RemoteShardBackend::Health() {
+  ShardHealth health;
+  health.transactions = last_transactions_;
+  health.sales_rows = last_rows_;
+  health.sales_bytes = last_bytes_;
+  auto response_or = Exec("PING");
+  if (!response_or.ok()) return health;  // unreachable, occupancy cached
+  health.reachable = response_or.value().ok;
+  return health;
+}
+
+}  // namespace setm::shard

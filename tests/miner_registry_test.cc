@@ -18,9 +18,9 @@
 namespace setm {
 namespace {
 
-const char* kBuiltins[] = {"setm",    "setm-parallel", "setm-sql",
-                           "nested-loop", "apriori",   "ais",
-                           "brute-force"};
+const char* kBuiltins[] = {"setm",        "setm-parallel",    "setm-sharded",
+                           "setm-sql",    "nested-loop",      "apriori",
+                           "apriori-parallel", "ais",         "brute-force"};
 
 TransactionDb TestTransactions() {
   QuestOptions gen;
@@ -70,8 +70,8 @@ TEST(MinerRegistryTest, UnknownAlgorithmIsNotFound) {
 
 TEST(MinerRegistryTest, EnumerationIsStableAndStartsWithBuiltins) {
   std::vector<MinerInfo> first = MinerRegistry::List();
-  ASSERT_GE(first.size(), 7u);
-  for (size_t i = 0; i < 7; ++i) {
+  ASSERT_GE(first.size(), 9u);
+  for (size_t i = 0; i < 9; ++i) {
     EXPECT_EQ(first[i].name, kBuiltins[i]) << "position " << i;
     EXPECT_FALSE(first[i].description.empty());
   }

@@ -161,6 +161,87 @@ TEST(ProtocolTest, RejectsMalformedLines) {
   }
 }
 
+TEST(ProtocolTest, ParsesLcountAndMerge) {
+  // Begin form: table, K 1, optional METHOD / FILTER in either order.
+  auto begin_or = ParseCommand("LCOUNT sales K 1");
+  ASSERT_TRUE(begin_or.ok()) << begin_or.status().ToString();
+  EXPECT_EQ(begin_or.value().verb, Verb::kLcount);
+  EXPECT_EQ(begin_or.value().table, "sales");
+  EXPECT_EQ(begin_or.value().shard_k, 1u);
+  EXPECT_EQ(begin_or.value().shard_method, "sortmerge");
+  EXPECT_FALSE(begin_or.value().shard_filter);
+
+  auto hashed_or = ParseCommand("lcount Sales k 1 method HASH filter");
+  ASSERT_TRUE(hashed_or.ok()) << hashed_or.status().ToString();
+  EXPECT_EQ(hashed_or.value().table, "Sales");  // table keeps its case
+  EXPECT_EQ(hashed_or.value().shard_method, "hash");
+  EXPECT_TRUE(hashed_or.value().shard_filter);
+
+  // Continuation form: no table, k >= 2.
+  auto cont_or = ParseCommand("LCOUNT K 3");
+  ASSERT_TRUE(cont_or.ok()) << cont_or.status().ToString();
+  EXPECT_EQ(cont_or.value().verb, Verb::kLcount);
+  EXPECT_TRUE(cont_or.value().table.empty());
+  EXPECT_EQ(cont_or.value().shard_k, 3u);
+
+  auto merge_or = ParseCommand("MERGE K 2");
+  ASSERT_TRUE(merge_or.ok()) << merge_or.status().ToString();
+  EXPECT_EQ(merge_or.value().verb, Verb::kMerge);
+  EXPECT_EQ(merge_or.value().shard_k, 2u);
+}
+
+TEST(ProtocolTest, RejectsMalformedShardLines) {
+  const char* bad[] = {
+      "LCOUNT",                        // nothing
+      "LCOUNT K",                      // missing k
+      "LCOUNT K 1",                    // a run must begin with a table
+      "LCOUNT K 0",                    // k out of range
+      "LCOUNT K 65",                   // k over the cap
+      "LCOUNT K x",                    // not a number
+      "LCOUNT sales",                  // missing K 1
+      "LCOUNT sales K 2",              // new runs begin at K 1
+      "LCOUNT sales K 1 METHOD",       // missing method value
+      "LCOUNT sales K 1 METHOD tree",  // unknown method
+      "LCOUNT sales K 1 BOGUS",        // unknown option
+      "MERGE",                         // nothing
+      "MERGE K",                       // missing k
+      "MERGE K 0",                     // k out of range
+      "MERGE K 65",                    // k over the cap
+      "MERGE 2",                       // missing K keyword
+      "MERGE K 2 EXTRA",               // trailing junk
+  };
+  for (const char* line : bad) {
+    auto cmd_or = ParseCommand(line);
+    EXPECT_FALSE(cmd_or.ok()) << "accepted: " << line;
+    EXPECT_EQ(cmd_or.status().code(), StatusCode::kInvalidArgument) << line;
+  }
+}
+
+TEST(ProtocolTest, ParsesItemsetLineStrictlyAscending) {
+  auto one_or = ParseItemsetLine("7");
+  ASSERT_TRUE(one_or.ok());
+  EXPECT_EQ(one_or.value(), (std::vector<ItemId>{7}));
+
+  auto three_or = ParseItemsetLine("1 3 12");
+  ASSERT_TRUE(three_or.ok());
+  EXPECT_EQ(three_or.value(), (std::vector<ItemId>{1, 3, 12}));
+
+  const char* bad[] = {
+      "",         // empty
+      "x",        // not a number
+      "-1",       // negative item
+      "3 1",      // descending
+      "1 1",      // duplicate (itemsets are strictly ascending)
+      "1 2 x",    // trailing junk
+  };
+  for (const char* line : bad) {
+    auto itemset_or = ParseItemsetLine(line);
+    EXPECT_FALSE(itemset_or.ok()) << "accepted: '" << line << "'";
+    EXPECT_EQ(itemset_or.status().code(), StatusCode::kInvalidArgument)
+        << line;
+  }
+}
+
 TEST(ProtocolTest, ParsesAppendRowSortedAndDeduped) {
   auto row_or = ParseAppendRow("42 7 3 7 1");
   ASSERT_TRUE(row_or.ok());
@@ -533,6 +614,86 @@ TEST(MiningServerTest, ShutdownCancelsParkedJob) {
   std::thread stopper([&fixture] { fixture.reset(); });
   gate.Open();  // shutdown cancels the job; the drain completes
   stopper.join();
+}
+
+// ------------------------------------------------------- shard sessions
+
+TEST(MiningServerTest, ShardSessionCountsAndFilters) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+
+  // Phase 1, k = 1: the full local item counts of TinyTxns, sorted,
+  // min_count = 1 (support is the coordinator's concern, not the shard's).
+  auto begin = client->Exec("LCOUNT sales K 1");
+  ASSERT_TRUE(begin.ok());
+  ASSERT_TRUE(begin.value().ok) << begin.value().info;
+  EXPECT_NE(begin.value().info.find("lcount k=1 transactions=10"),
+            std::string::npos)
+      << begin.value().info;
+  EXPECT_EQ(begin.value().payload,
+            "0 6\n1 4\n2 4\n3 6\n4 4\n5 3\n6 2\n7 1\n");
+
+  // A malformed phase-2 batch (1-item lines for K 2) is drained and
+  // answered with ERR; the run survives.
+  auto bad_merge = client->Exec("MERGE K 2\n0\n.");
+  ASSERT_TRUE(bad_merge.ok());
+  EXPECT_FALSE(bad_merge.value().ok);
+  EXPECT_EQ(bad_merge.value().code, "InvalidArgument");
+
+  // Phase 1, k = 2: the local R_1-join candidate counts.
+  auto pairs = client->Exec("LCOUNT K 2");
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_TRUE(pairs.value().ok) << pairs.value().info;
+  EXPECT_NE(pairs.value().info.find("lcount k=2 rprime="), std::string::npos);
+  // {0,1} occurs in transactions 10, 20 and 30.
+  EXPECT_NE(pairs.value().payload.find("0 1 3\n"), std::string::npos)
+      << pairs.value().payload;
+
+  // Phase 2, k = 2: the whole global C_2 rides in one request.
+  auto merged = client->Exec("MERGE K 2\n0 1\n3 4\n.");
+  ASSERT_TRUE(merged.ok());
+  ASSERT_TRUE(merged.value().ok) << merged.value().info;
+  EXPECT_NE(merged.value().info.find("merge k=2 rows="), std::string::npos);
+
+  // The run continues into k = 3 off the filtered R_2.
+  auto triples = client->Exec("LCOUNT K 3");
+  ASSERT_TRUE(triples.ok());
+  EXPECT_TRUE(triples.value().ok) << triples.value().info;
+}
+
+TEST(MiningServerTest, ShardContinuationWithoutRunIsNotFound) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+
+  for (const char* line : {"LCOUNT K 2", "MERGE K 2"}) {
+    auto response = client->Exec(line);
+    ASSERT_TRUE(response.ok()) << line;
+    EXPECT_FALSE(response.value().ok) << line;
+    EXPECT_EQ(response.value().code, "NotFound") << line;
+    EXPECT_NE(response.value().info.find("no shard run"), std::string::npos)
+        << response.value().info;
+  }
+  auto pong = client->Exec("PING");  // protocol errors, connection alive
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong.value().ok);
+}
+
+TEST(MiningServerTest, UnknownTableNamesAvailableTables) {
+  ServerFixture fixture;
+  auto client = fixture.Connect();
+
+  // MINE and LCOUNT share the catalog's operator-friendly lookup: the
+  // error names the tables that DO exist.
+  for (const char* line :
+       {"MINE nosuch SUPPORT 2%", "LCOUNT nosuch K 1"}) {
+    auto response = client->Exec(line);
+    ASSERT_TRUE(response.ok()) << line;
+    EXPECT_FALSE(response.value().ok) << line;
+    EXPECT_EQ(response.value().code, "NotFound") << line;
+    EXPECT_NE(response.value().info.find("available: sales"),
+              std::string::npos)
+        << response.value().info;
+  }
 }
 
 }  // namespace
